@@ -1,0 +1,35 @@
+//! One benchmark per thesis figure: runs the actual regeneration code at
+//! a reduced scale. Besides timing the experiment paths, this is the
+//! "does every figure still run end to end" canary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcs_core::{all_experiments, Scale};
+
+/// A miniature scale so a single iteration stays in the tens of
+/// milliseconds.
+fn bench_scale() -> Scale {
+    Scale {
+        count: 8_000,
+        repeats: 1,
+        rates: vec![Some(300.0), None],
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    for (id, _desc, run) in all_experiments() {
+        g.bench_with_input(BenchmarkId::from_parameter(id), &run, |b, run| {
+            b.iter(|| {
+                let e = run(&scale);
+                assert!(!e.series.is_empty(), "{id} produced no series");
+                e
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

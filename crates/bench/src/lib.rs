@@ -1,0 +1,37 @@
+//! # pcs-bench — benchmark harness
+//!
+//! Criterion benchmarks over the reproduction:
+//!
+//! * `benches/microbench.rs` — component throughput (BPF interpretation,
+//!   filter compilation, distribution sampling, packet generation,
+//!   DEFLATE, savefile writing, single-machine simulation);
+//! * `benches/figures.rs` — one benchmark per thesis figure, running the
+//!   actual regeneration code at a reduced scale so regressions in any
+//!   experiment path show up as timing changes.
+//!
+//! Run with `cargo bench --workspace`.
+
+/// A tiny helper shared by the benches: a deterministic packet for filter
+/// benchmarks (the generator's canonical addressing).
+pub fn sample_packet(seq: u64, frame_len: u32) -> pcs_wire::SimPacket {
+    pcs_wire::SimPacket::build_udp(
+        seq,
+        seq * 6_000,
+        frame_len,
+        pcs_wire::MacAddr::ZERO.offset(seq % 3),
+        pcs_wire::MacAddr::new(0, 0x0e, 0x0c, 1, 2, 3),
+        std::net::Ipv4Addr::new(192, 168, 10, 100),
+        std::net::Ipv4Addr::new(192, 168, 10, 12),
+        9,
+        9,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sample_packet_is_ipv4() {
+        let p = super::sample_packet(7, 750);
+        assert!(p.ipv4().is_some());
+    }
+}

@@ -1,0 +1,221 @@
+//! Abstract syntax for the pcap filter expression language.
+
+use std::net::Ipv4Addr;
+
+/// A boolean filter expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// A protocol/address/port primitive.
+    Prim(Primitive),
+    /// A relation between two arithmetic expressions
+    /// (e.g. `ether[6:4] = 0`).
+    Rel(RelOp, Arith, Arith),
+}
+
+/// Direction qualifier (`src`, `dst`, or either).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Match source fields only.
+    Src,
+    /// Match destination fields only.
+    Dst,
+    /// Match if either side matches (the default).
+    Either,
+}
+
+/// Transport-protocol qualifier for port primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortProto {
+    /// `tcp port N`
+    Tcp,
+    /// `udp port N`
+    Udp,
+    /// plain `port N`: match TCP or UDP.
+    Any,
+}
+
+/// Filter primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Primitive {
+    /// Link-layer protocol check: `ip`, `arp`, `ip6` — true when the
+    /// EtherType matches.
+    EtherProto(u16),
+    /// Network-layer protocol check: `tcp`, `udp`, `icmp`,
+    /// `ip proto N` — implies the packet is IPv4.
+    IpProto(u8),
+    /// `[ip] [src|dst] host A` / `ip src A`.
+    Host(Dir, Ipv4Addr),
+    /// `[ip] [src|dst] net A/len` — IPv4 prefix match.
+    Net(Dir, Ipv4Addr, u8),
+    /// `[tcp|udp] [src|dst] port N`.
+    Port(PortProto, Dir, u16),
+    /// `ether [src|dst] host M` — hardware address match.
+    EtherHost(Dir, [u8; 6]),
+    /// `less N` — frame length ≤ N.
+    LenLe(u32),
+    /// `greater N` — frame length ≥ N.
+    LenGe(u32),
+}
+
+/// Relational operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelOp {
+    /// `=` / `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+}
+
+/// Binary arithmetic operators inside accessor expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+}
+
+/// Base protocol for `proto[off:size]` accessors; offsets are relative to
+/// that protocol's header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadBase {
+    /// `ether[...]` — absolute frame offsets.
+    Ether,
+    /// `ip[...]` — relative to the IPv4 header (implies an EtherType
+    /// guard).
+    Ip,
+    /// `tcp[...]` — relative to the TCP header (implies protocol and
+    /// variable-length IP header handling).
+    Tcp,
+    /// `udp[...]` — relative to the UDP header.
+    Udp,
+    /// `icmp[...]` — relative to the ICMP header.
+    Icmp,
+}
+
+/// Arithmetic (numeric) expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Arith {
+    /// A constant.
+    Num(u32),
+    /// The captured packet length (`len`).
+    PktLen,
+    /// A packet load `base[offset:size]`; `size` ∈ {1, 2, 4}, default 1.
+    Load {
+        /// Header-relative base.
+        base: LoadBase,
+        /// Byte offset within that header (may itself be computed).
+        offset: Box<Arith>,
+        /// Load width in bytes.
+        size: u8,
+    },
+    /// A binary operation.
+    Bin(ArithOp, Box<Arith>, Box<Arith>),
+}
+
+impl Arith {
+    /// Constant-fold, returning the value if the expression is constant.
+    pub fn const_value(&self) -> Option<u32> {
+        match self {
+            Arith::Num(n) => Some(*n),
+            Arith::PktLen | Arith::Load { .. } => None,
+            Arith::Bin(op, l, r) => {
+                let l = l.const_value()?;
+                let r = r.const_value()?;
+                Some(match op {
+                    ArithOp::Add => l.wrapping_add(r),
+                    ArithOp::Sub => l.wrapping_sub(r),
+                    ArithOp::Mul => l.wrapping_mul(r),
+                    ArithOp::Div => {
+                        if r == 0 {
+                            return None;
+                        }
+                        l / r
+                    }
+                    ArithOp::And => l & r,
+                    ArithOp::Or => l | r,
+                })
+            }
+        }
+    }
+}
+
+impl Expr {
+    /// Convenience conjunction used by programmatic filter builders.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience disjunction.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_folding() {
+        let e = Arith::Bin(
+            ArithOp::Add,
+            Box::new(Arith::Num(6)),
+            Box::new(Arith::Bin(
+                ArithOp::Mul,
+                Box::new(Arith::Num(2)),
+                Box::new(Arith::Num(4)),
+            )),
+        );
+        assert_eq!(e.const_value(), Some(14));
+        assert_eq!(Arith::PktLen.const_value(), None);
+        // Division by zero does not fold.
+        let bad = Arith::Bin(
+            ArithOp::Div,
+            Box::new(Arith::Num(1)),
+            Box::new(Arith::Num(0)),
+        );
+        assert_eq!(bad.const_value(), None);
+    }
+
+    #[test]
+    fn builders() {
+        let e = Expr::Prim(Primitive::EtherProto(0x800))
+            .and(Expr::Prim(Primitive::IpProto(6)).not());
+        match e {
+            Expr::And(l, r) => {
+                assert!(matches!(*l, Expr::Prim(Primitive::EtherProto(0x800))));
+                assert!(matches!(*r, Expr::Not(_)));
+            }
+            _ => panic!("unexpected shape"),
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Tokenizer for the pcap filter expression language.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A keyword or identifier (`ip`, `src`, `host`, `port`, ...).
+    Ident(String),
+    /// An unsigned number (decimal or `0x` hex).
+    Number(u32),
+    /// A dotted-quad IPv4 address.
+    Ip(Ipv4Addr),
+    /// A six-part colon-separated MAC address.
+    Mac([u8; 6]),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `/` (also the net-mask separator)
+    Slash,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `=` or `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `!` (synonym of `not`)
+    Bang,
+    /// `&&` (synonym of `and`)
+    AndAnd,
+    /// `||` (synonym of `or`)
+    OrOr,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Ip(a) => write!(f, "{a}"),
+            Token::Mac(m) => write!(
+                f,
+                "{:x}:{:x}:{:x}:{:x}:{:x}:{:x}",
+                m[0], m[1], m[2], m[3], m[4], m[5]
+            ),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Colon => write!(f, ":"),
+            Token::Slash => write!(f, "/"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Amp => write!(f, "&"),
+            Token::Pipe => write!(f, "|"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Gt => write!(f, ">"),
+            Token::Lt => write!(f, "<"),
+            Token::Ge => write!(f, ">="),
+            Token::Le => write!(f, "<="),
+            Token::Bang => write!(f, "!"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+        }
+    }
+}
+
+/// A lexing failure with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset into the input.
+    pub pos: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Split `input` into tokens.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let b = input.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b'[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            b']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            b':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'&' => {
+                if b.get(i + 1) == Some(&b'&') {
+                    out.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    out.push(Token::Amp);
+                    i += 1;
+                }
+            }
+            b'|' => {
+                if b.get(i + 1) == Some(&b'|') {
+                    out.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    out.push(Token::Pipe);
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                out.push(Token::Eq);
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                // A word followed by ':' pairs may be a MAC address
+                // (hex bytes only).
+                if i < b.len() && b[i] == b':' && word.len() <= 2 {
+                    if let Some((mac, consumed)) = try_lex_mac(&input[start..]) {
+                        out.push(Token::Mac(mac));
+                        i = start + consumed;
+                        continue;
+                    }
+                }
+                match word {
+                    "and" => out.push(Token::AndAnd),
+                    "or" => out.push(Token::OrOr),
+                    "not" => out.push(Token::Bang),
+                    _ => out.push(Token::Ident(word.to_ascii_lowercase())),
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                // Could be: plain number, hex number, dotted quad, or MAC.
+                if let Some((mac, consumed)) = try_lex_mac(&input[i..]) {
+                    out.push(Token::Mac(mac));
+                    i += consumed;
+                    continue;
+                }
+                if let Some((ip, consumed)) = try_lex_ip(&input[i..]) {
+                    out.push(Token::Ip(ip));
+                    i += consumed;
+                    continue;
+                }
+                let start = i;
+                if c == b'0' && matches!(b.get(i + 1), Some(b'x') | Some(b'X')) {
+                    i += 2;
+                    let hs = i;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if hs == i {
+                        return Err(LexError {
+                            pos: start,
+                            message: "empty hex literal".into(),
+                        });
+                    }
+                    let v = u32::from_str_radix(&input[hs..i], 16).map_err(|_| LexError {
+                        pos: start,
+                        message: "hex literal out of range".into(),
+                    })?;
+                    out.push(Token::Number(v));
+                } else {
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v: u32 = input[start..i].parse().map_err(|_| LexError {
+                        pos: start,
+                        message: "number out of range".into(),
+                    })?;
+                    out.push(Token::Number(v));
+                }
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character '{}'", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Try to lex a dotted quad at the start of `s`; returns the address and
+/// bytes consumed.
+fn try_lex_ip(s: &str) -> Option<(Ipv4Addr, usize)> {
+    let b = s.as_bytes();
+    let mut parts = [0u8; 4];
+    let mut i = 0usize;
+    for (idx, part) in parts.iter_mut().enumerate() {
+        let start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if start == i || i - start > 3 {
+            return None;
+        }
+        *part = s[start..i].parse().ok()?;
+        if idx < 3 {
+            if b.get(i) != Some(&b'.') {
+                return None;
+            }
+            i += 1;
+        }
+    }
+    // Must not be followed by another dot or digit (e.g. "1.2.3.4.5").
+    if matches!(b.get(i), Some(c) if *c == b'.' || c.is_ascii_digit()) {
+        return None;
+    }
+    Some((Ipv4Addr::new(parts[0], parts[1], parts[2], parts[3]), i))
+}
+
+/// Try to lex a colon-separated MAC address at the start of `s`.
+fn try_lex_mac(s: &str) -> Option<([u8; 6], usize)> {
+    let b = s.as_bytes();
+    let mut mac = [0u8; 6];
+    let mut i = 0usize;
+    for (idx, byte) in mac.iter_mut().enumerate() {
+        let start = i;
+        while i < b.len() && b[i].is_ascii_hexdigit() && i - start < 2 {
+            i += 1;
+        }
+        if start == i {
+            return None;
+        }
+        *byte = u8::from_str_radix(&s[start..i], 16).ok()?;
+        if idx < 5 {
+            if b.get(i) != Some(&b':') {
+                return None;
+            }
+            i += 1;
+        }
+    }
+    if matches!(b.get(i), Some(b':')) {
+        return None;
+    }
+    Some((mac, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_idents() {
+        let toks = lex("ip and not tcp or udp").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("ip".into()),
+                Token::AndAnd,
+                Token::Bang,
+                Token::Ident("tcp".into()),
+                Token::OrOr,
+                Token::Ident("udp".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            lex("42 0x2a 0xFFFF").unwrap(),
+            vec![Token::Number(42), Token::Number(0x2a), Token::Number(0xffff)]
+        );
+    }
+
+    #[test]
+    fn ip_addresses() {
+        assert_eq!(
+            lex("10.11.12.13").unwrap(),
+            vec![Token::Ip(Ipv4Addr::new(10, 11, 12, 13))]
+        );
+        // "host" then address
+        let toks = lex("src host 192.168.10.100").unwrap();
+        assert_eq!(toks[2], Token::Ip(Ipv4Addr::new(192, 168, 10, 100)));
+    }
+
+    #[test]
+    fn mac_addresses() {
+        assert_eq!(
+            lex("00:00:00:00:00:02").unwrap(),
+            vec![Token::Mac([0, 0, 0, 0, 0, 2])]
+        );
+        assert_eq!(
+            lex("de:ad:be:ef:0:1").unwrap(),
+            vec![Token::Mac([0xde, 0xad, 0xbe, 0xef, 0, 1])]
+        );
+    }
+
+    #[test]
+    fn packet_accessors() {
+        let toks = lex("ether[6:4]=0x00000000").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("ether".into()),
+                Token::LBracket,
+                Token::Number(6),
+                Token::Colon,
+                Token::Number(4),
+                Token::RBracket,
+                Token::Eq,
+                Token::Number(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            lex("= == != > < >= <=").unwrap(),
+            vec![
+                Token::Eq,
+                Token::Eq,
+                Token::Ne,
+                Token::Gt,
+                Token::Lt,
+                Token::Ge,
+                Token::Le
+            ]
+        );
+    }
+
+    #[test]
+    fn arithmetic_symbols() {
+        assert_eq!(
+            lex("+ - * / & |").unwrap(),
+            vec![
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Amp,
+                Token::Pipe
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("ip @ udp").is_err());
+    }
+
+    #[test]
+    fn five_dots_is_not_an_ip() {
+        assert!(lex("1.2.3.4.5").is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Compiler from the pcap filter expression language to BPF programs.
+//!
+//! The pipeline is `lexer` → `parser` → `gen`, mirroring what
+//! `pcap_compile()` does for tcpdump-style expressions (the thesis relies
+//! on that path to install its Fig. 6.5 measurement filter, §6.3.2).
+
+pub mod ast;
+pub mod gen;
+pub mod lexer;
+pub mod parser;
+
+use crate::insn::Insn;
+pub use ast::{Arith, ArithOp, Dir, Expr, LoadBase, PortProto, Primitive, RelOp};
+pub use gen::GenError;
+pub use lexer::LexError;
+pub use parser::ParseError;
+
+/// A compilation failure: either the expression does not parse or it cannot
+/// be lowered to a valid program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Lowering error.
+    Gen(GenError),
+}
+
+impl core::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse error: {e}"),
+            CompileError::Gen(e) => write!(f, "codegen error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<GenError> for CompileError {
+    fn from(e: GenError) -> Self {
+        CompileError::Gen(e)
+    }
+}
+
+/// Compile a filter expression into a validated BPF program, accepting
+/// matching packets with `snaplen` bytes. The empty string compiles to the
+/// accept-everything program, as in libpcap.
+///
+/// ```
+/// use pcs_bpf::{compile, vm};
+///
+/// let prog = compile("udp and dst port 9", 96).unwrap();
+/// // Run it over raw bytes (or any pcs_wire::PacketBytes impl).
+/// let non_ip = [0u8; 64];
+/// let verdict = vm::run(&prog, &non_ip.as_slice()).unwrap();
+/// assert!(!verdict.accepted());
+/// ```
+pub fn compile(expression: &str, snaplen: u32) -> Result<Vec<Insn>, CompileError> {
+    let ast = parser::parse(expression)?;
+    let prog = gen::generate(ast.as_ref(), snaplen)?;
+    let prog = crate::opt::optimize(&prog);
+    crate::validate::validate(&prog)
+        .map_err(|e| CompileError::Gen(GenError::Invalid(e)))?;
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm;
+    use pcs_wire::{MacAddr, SimPacket};
+    use std::net::Ipv4Addr;
+
+    fn udp_packet(src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16) -> SimPacket {
+        SimPacket::build_udp(
+            1,
+            0,
+            200,
+            MacAddr::ZERO,
+            MacAddr::new(0, 0xe, 0xc, 1, 2, 3),
+            src,
+            dst,
+            src_port,
+            dst_port,
+        )
+    }
+
+    fn matches(expr: &str, pkt: &SimPacket) -> bool {
+        let prog = compile(expr, 65535).expect("compile");
+        vm::run(&prog, pkt).expect("vm").accepted()
+    }
+
+    #[test]
+    fn empty_filter_accepts_all() {
+        let p = udp_packet(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            1000,
+            53,
+        );
+        assert!(matches("", &p));
+    }
+
+    #[test]
+    fn protocol_primitives_on_udp_packet() {
+        let p = udp_packet(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            1000,
+            53,
+        );
+        assert!(matches("ip", &p));
+        assert!(matches("udp", &p));
+        assert!(!matches("tcp", &p));
+        assert!(!matches("arp", &p));
+        assert!(matches("not tcp", &p));
+        assert!(matches("ip proto 17", &p));
+    }
+
+    #[test]
+    fn host_matching() {
+        let src = Ipv4Addr::new(192, 168, 10, 100);
+        let dst = Ipv4Addr::new(192, 168, 10, 12);
+        let p = udp_packet(src, dst, 9, 9);
+        assert!(matches("ip src 192.168.10.100", &p));
+        assert!(!matches("ip src 192.168.10.12", &p));
+        assert!(matches("ip dst 192.168.10.12", &p));
+        assert!(matches("host 192.168.10.100", &p));
+        assert!(matches("host 192.168.10.12", &p));
+        assert!(!matches("host 10.0.0.1", &p));
+        assert!(matches("src host 192.168.10.100 and dst host 192.168.10.12", &p));
+    }
+
+    #[test]
+    fn net_matching() {
+        let p = udp_packet(
+            Ipv4Addr::new(192, 168, 10, 100),
+            Ipv4Addr::new(10, 1, 2, 3),
+            9,
+            9,
+        );
+        assert!(matches("net 192.168.10.0/24", &p));
+        assert!(matches("src net 192.168.0.0/16", &p));
+        assert!(!matches("src net 10.0.0.0/8", &p));
+        assert!(matches("dst net 10.0.0.0/8", &p));
+        assert!(!matches("net 172.16.0.0/12", &p));
+    }
+
+    #[test]
+    fn port_matching() {
+        let p = udp_packet(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1234,
+            53,
+        );
+        assert!(matches("port 53", &p));
+        assert!(matches("udp port 53", &p));
+        assert!(!matches("tcp port 53", &p));
+        assert!(matches("dst port 53", &p));
+        assert!(!matches("src port 53", &p));
+        assert!(matches("src port 1234", &p));
+        assert!(!matches("port 80", &p));
+    }
+
+    #[test]
+    fn ether_host_matching() {
+        let p = udp_packet(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+        );
+        assert!(matches("ether src 00:00:00:00:00:00", &p));
+        assert!(!matches("ether src 00:00:00:00:00:01", &p));
+        assert!(matches("ether dst 00:0e:0c:01:02:03", &p));
+        assert!(matches("ether host 00:0e:0c:01:02:03", &p));
+        assert!(!matches("ether host 01:02:03:04:05:06", &p));
+    }
+
+    #[test]
+    fn length_primitives_and_relations() {
+        let p = udp_packet(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+        );
+        // frame_len is 200
+        assert!(matches("greater 100", &p));
+        assert!(!matches("greater 201", &p));
+        assert!(matches("less 200", &p));
+        assert!(!matches("less 199", &p));
+        assert!(matches("len = 200", &p));
+        assert!(matches("len > 100 and len < 300", &p));
+        assert!(matches("len != 100", &p));
+        assert!(matches("len >= 200 and len <= 200", &p));
+    }
+
+    #[test]
+    fn accessor_relations() {
+        let p = udp_packet(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+        );
+        assert!(matches("ether[6:4]=0x00000000", &p));
+        assert!(matches("ether[12:2]=0x0800", &p));
+        // IP version/IHL byte.
+        assert!(matches("ip[0] = 0x45", &p));
+        assert!(matches("ip[0] & 0xf0 = 0x40", &p));
+        // IP TTL (pktgen uses 32).
+        assert!(matches("ip[8] = 32", &p));
+        // UDP destination port via transport accessor.
+        assert!(matches("udp[2:2] = 2", &p));
+        assert!(!matches("udp[2:2] = 3", &p));
+        // tcp accessor on a UDP packet fails the guard.
+        assert!(!matches("tcp[2:2] = 2", &p));
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let p = udp_packet(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            5,
+            6,
+        );
+        assert!(matches("ip and udp", &p));
+        assert!(matches("tcp or udp", &p));
+        assert!(!matches("tcp and udp", &p));
+        assert!(matches("not (tcp or arp)", &p));
+        assert!(matches(
+            "(ip src 10.0.0.1 or ip src 10.0.0.9) and udp",
+            &p
+        ));
+        assert!(!matches("ip src 10.0.0.1 and not udp", &p));
+    }
+
+    #[test]
+    fn computed_vs_computed_relation() {
+        let p = udp_packet(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            7,
+            7,
+        );
+        // src port equals dst port.
+        assert!(matches("udp[0:2] = udp[2:2]", &p));
+        // frame length equals ip total length + 14.
+        assert!(matches("len = ip[2:2] + 14", &p));
+    }
+
+    #[test]
+    fn computed_offset_loads() {
+        let p = udp_packet(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            7,
+            7,
+        );
+        // ether[12+0] via computed offset: high EtherType byte.
+        assert!(matches("ether[ip[0] & 0 + 12] = 0x08", &p));
+    }
+
+    #[test]
+    fn nested_transport_offset_rejected() {
+        let err = compile("tcp[tcp[12]] = 0", 65535).unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::Gen(GenError::NestedTransportLoad)
+        ));
+    }
+
+    #[test]
+    fn compiled_programs_are_valid() {
+        for expr in [
+            "",
+            "ip",
+            "not tcp",
+            "udp port 53 or tcp port 80",
+            "host 1.2.3.4 and greater 64 and less 1500",
+            "net 10.0.0.0/8 or net 192.168.0.0/16",
+            "ether[6:4]=0 and ether[10]=0 and not tcp",
+        ] {
+            let prog = compile(expr, 96).expect(expr);
+            crate::validate::validate(&prog).expect(expr);
+        }
+    }
+}

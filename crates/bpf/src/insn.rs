@@ -1,0 +1,323 @@
+//! Classic BPF instruction encoding.
+//!
+//! The instruction format is the one introduced by McCanne & Jacobson's
+//! 1993 BSDI paper ("The BSD Packet Filter: A New Architecture for
+//! User-level Packet Capture") and still used verbatim by FreeBSD's BPF
+//! devices and the Linux Socket Filter, which the thesis describes in
+//! §2.1.1–2.1.2. Each instruction is a fixed 64-bit record:
+//!
+//! ```text
+//! opcode:16  jt:8  jf:8  k:32
+//! ```
+
+/// Number of 32-bit scratch memory slots (BPF_MEMWORDS).
+pub const MEMWORDS: usize = 16;
+/// Maximum program length accepted by the validator (BPF_MAXINSNS).
+pub const MAXINSNS: usize = 4096;
+
+// ---- opcode classes ----
+/// Load into accumulator.
+pub const LD: u16 = 0x00;
+/// Load into index register.
+pub const LDX: u16 = 0x01;
+/// Store accumulator to scratch memory.
+pub const ST: u16 = 0x02;
+/// Store index register to scratch memory.
+pub const STX: u16 = 0x03;
+/// Arithmetic/logic on the accumulator.
+pub const ALU: u16 = 0x04;
+/// Conditional and unconditional jumps.
+pub const JMP: u16 = 0x05;
+/// Return (accept length).
+pub const RET: u16 = 0x06;
+/// Register transfers.
+pub const MISC: u16 = 0x07;
+
+// ---- size field (ld/ldx) ----
+/// 32-bit word.
+pub const W: u16 = 0x00;
+/// 16-bit half word.
+pub const H: u16 = 0x08;
+/// 8-bit byte.
+pub const B: u16 = 0x10;
+
+// ---- mode field (ld/ldx) ----
+/// Immediate constant.
+pub const IMM: u16 = 0x00;
+/// Absolute packet offset.
+pub const ABS: u16 = 0x20;
+/// Packet offset indexed by X.
+pub const IND: u16 = 0x40;
+/// Scratch memory slot.
+pub const MEM: u16 = 0x60;
+/// Packet length.
+pub const LEN: u16 = 0x80;
+/// `4 * (P[k] & 0xf)` — the IP-header-length idiom (ldx only).
+pub const MSH: u16 = 0xa0;
+
+// ---- alu/jmp op field ----
+/// A + operand.
+pub const ADD: u16 = 0x00;
+/// A - operand.
+pub const SUB: u16 = 0x10;
+/// A * operand.
+pub const MUL: u16 = 0x20;
+/// A / operand (division by zero rejects the packet).
+pub const DIV: u16 = 0x30;
+/// A | operand.
+pub const OR: u16 = 0x40;
+/// A & operand.
+pub const AND: u16 = 0x50;
+/// A << operand.
+pub const LSH: u16 = 0x60;
+/// A >> operand.
+pub const RSH: u16 = 0x70;
+/// -A.
+pub const NEG: u16 = 0x80;
+/// A % operand (a later Linux extension; accepted by our VM).
+pub const MOD: u16 = 0x90;
+/// A ^ operand (a later Linux extension; accepted by our VM).
+pub const XOR: u16 = 0xa0;
+
+/// Unconditional jump.
+pub const JA: u16 = 0x00;
+/// Jump if A == operand.
+pub const JEQ: u16 = 0x10;
+/// Jump if A > operand (unsigned).
+pub const JGT: u16 = 0x20;
+/// Jump if A >= operand (unsigned).
+pub const JGE: u16 = 0x30;
+/// Jump if A & operand != 0.
+pub const JSET: u16 = 0x40;
+
+// ---- source field ----
+/// Operand is the constant `k`.
+pub const K: u16 = 0x00;
+/// Operand is the index register X.
+pub const X: u16 = 0x08;
+/// Return source: the accumulator (ret only).
+pub const A: u16 = 0x10;
+
+// ---- misc ops ----
+/// X := A.
+pub const TAX: u16 = 0x00;
+/// A := X.
+pub const TXA: u16 = 0x80;
+
+/// One BPF instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Insn {
+    /// Packed opcode.
+    pub code: u16,
+    /// Jump-if-true offset (relative to the following instruction).
+    pub jt: u8,
+    /// Jump-if-false offset (relative to the following instruction).
+    pub jf: u8,
+    /// The multi-purpose constant field.
+    pub k: u32,
+}
+
+impl Insn {
+    /// Construct an instruction with explicit fields.
+    pub const fn new(code: u16, jt: u8, jf: u8, k: u32) -> Self {
+        Insn { code, jt, jf, k }
+    }
+
+    /// A non-jump instruction.
+    pub const fn stmt(code: u16, k: u32) -> Self {
+        Insn {
+            code,
+            jt: 0,
+            jf: 0,
+            k,
+        }
+    }
+
+    /// A conditional jump.
+    pub const fn jump(code: u16, k: u32, jt: u8, jf: u8) -> Self {
+        Insn { code, jt, jf, k }
+    }
+
+    /// The class bits of the opcode.
+    pub const fn class(&self) -> u16 {
+        self.code & 0x07
+    }
+
+    /// The size bits (meaningful for loads).
+    pub const fn size(&self) -> u16 {
+        self.code & 0x18
+    }
+
+    /// The mode bits (meaningful for loads).
+    pub const fn mode(&self) -> u16 {
+        self.code & 0xe0
+    }
+
+    /// The op bits (meaningful for ALU and JMP).
+    pub const fn op(&self) -> u16 {
+        self.code & 0xf0
+    }
+
+    /// The source bit (K vs X).
+    pub const fn src(&self) -> u16 {
+        self.code & 0x08
+    }
+
+    /// The return-value source bits (meaningful for RET).
+    pub const fn rval(&self) -> u16 {
+        self.code & 0x18
+    }
+}
+
+/// Convenience constructors mirroring the macros of `bpf.h`.
+pub mod ops {
+    use super::*;
+
+    /// `A := P[k:4]`
+    pub const fn ld_abs_w(k: u32) -> Insn {
+        Insn::stmt(LD | W | ABS, k)
+    }
+    /// `A := P[k:2]`
+    pub const fn ld_abs_h(k: u32) -> Insn {
+        Insn::stmt(LD | H | ABS, k)
+    }
+    /// `A := P[k:1]`
+    pub const fn ld_abs_b(k: u32) -> Insn {
+        Insn::stmt(LD | B | ABS, k)
+    }
+    /// `A := P[X+k:4]`
+    pub const fn ld_ind_w(k: u32) -> Insn {
+        Insn::stmt(LD | W | IND, k)
+    }
+    /// `A := P[X+k:2]`
+    pub const fn ld_ind_h(k: u32) -> Insn {
+        Insn::stmt(LD | H | IND, k)
+    }
+    /// `A := P[X+k:1]`
+    pub const fn ld_ind_b(k: u32) -> Insn {
+        Insn::stmt(LD | B | IND, k)
+    }
+    /// `A := k`
+    pub const fn ld_imm(k: u32) -> Insn {
+        Insn::stmt(LD | W | IMM, k)
+    }
+    /// `A := len`
+    pub const fn ld_len() -> Insn {
+        Insn::stmt(LD | W | LEN, 0)
+    }
+    /// `A := M[k]`
+    pub const fn ld_mem(k: u32) -> Insn {
+        Insn::stmt(LD | W | MEM, k)
+    }
+    /// `X := k`
+    pub const fn ldx_imm(k: u32) -> Insn {
+        Insn::stmt(LDX | W | IMM, k)
+    }
+    /// `X := len`
+    pub const fn ldx_len() -> Insn {
+        Insn::stmt(LDX | W | LEN, 0)
+    }
+    /// `X := M[k]`
+    pub const fn ldx_mem(k: u32) -> Insn {
+        Insn::stmt(LDX | W | MEM, k)
+    }
+    /// `X := 4 * (P[k] & 0xf)` — extract an IP header length.
+    pub const fn ldx_msh(k: u32) -> Insn {
+        Insn::stmt(LDX | B | MSH, k)
+    }
+    /// `M[k] := A`
+    pub const fn st(k: u32) -> Insn {
+        Insn::stmt(ST, k)
+    }
+    /// `M[k] := X`
+    pub const fn stx(k: u32) -> Insn {
+        Insn::stmt(STX, k)
+    }
+    /// `return k` (accept `k` bytes; 0 rejects).
+    pub const fn ret_k(k: u32) -> Insn {
+        Insn::stmt(RET | K, k)
+    }
+    /// `return A`
+    pub const fn ret_a() -> Insn {
+        Insn::stmt(RET | A, 0)
+    }
+    /// Unconditional jump by `k` instructions.
+    pub const fn ja(k: u32) -> Insn {
+        Insn::stmt(JMP | JA, k)
+    }
+    /// `if A == k goto jt else goto jf`
+    pub const fn jeq_k(k: u32, jt: u8, jf: u8) -> Insn {
+        Insn::jump(JMP | JEQ | K, k, jt, jf)
+    }
+    /// `if A > k goto jt else goto jf`
+    pub const fn jgt_k(k: u32, jt: u8, jf: u8) -> Insn {
+        Insn::jump(JMP | JGT | K, k, jt, jf)
+    }
+    /// `if A >= k goto jt else goto jf`
+    pub const fn jge_k(k: u32, jt: u8, jf: u8) -> Insn {
+        Insn::jump(JMP | JGE | K, k, jt, jf)
+    }
+    /// `if A & k goto jt else goto jf`
+    pub const fn jset_k(k: u32, jt: u8, jf: u8) -> Insn {
+        Insn::jump(JMP | JSET | K, k, jt, jf)
+    }
+    /// ALU with constant operand.
+    pub const fn alu_k(op: u16, k: u32) -> Insn {
+        Insn::stmt(ALU | op | K, k)
+    }
+    /// ALU with X operand.
+    pub const fn alu_x(op: u16) -> Insn {
+        Insn::stmt(ALU | op | X, 0)
+    }
+    /// `X := A`
+    pub const fn tax() -> Insn {
+        Insn::stmt(MISC | TAX, 0)
+    }
+    /// `A := X`
+    pub const fn txa() -> Insn {
+        Insn::stmt(MISC | TXA, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ops::*;
+    use super::*;
+
+    #[test]
+    fn field_extraction() {
+        let i = ld_abs_h(12);
+        assert_eq!(i.class(), LD);
+        assert_eq!(i.size(), H);
+        assert_eq!(i.mode(), ABS);
+        assert_eq!(i.k, 12);
+
+        let j = jeq_k(0x800, 2, 5);
+        assert_eq!(j.class(), JMP);
+        assert_eq!(j.op(), JEQ);
+        assert_eq!(j.src(), K);
+        assert_eq!((j.jt, j.jf), (2, 5));
+
+        let r = ret_k(96);
+        assert_eq!(r.class(), RET);
+        assert_eq!(r.rval(), K);
+
+        let ra = ret_a();
+        assert_eq!(ra.rval(), A);
+    }
+
+    #[test]
+    fn msh_encoding_distinct_from_plain_loads() {
+        let m = ldx_msh(14);
+        assert_eq!(m.class(), LDX);
+        assert_eq!(m.mode(), MSH);
+        assert_ne!(m.code, ldx_imm(14).code);
+    }
+
+    #[test]
+    fn alu_variants() {
+        assert_eq!(alu_k(ADD, 4).op(), ADD);
+        assert_eq!(alu_x(SUB).src(), X);
+        assert_eq!(alu_k(NEG, 0).op(), NEG);
+    }
+}

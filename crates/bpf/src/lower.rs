@@ -1,0 +1,205 @@
+//! Shared lowering machinery: the label-based pre-resolution instruction
+//! stream ([`Ir`]) and its resolution into the 8-bit relative-offset
+//! instruction format, inserting `ja` trampolines where conditional targets
+//! are out of reach. Used by both the code generator and the optimizer.
+
+use crate::insn::{self, Insn};
+
+/// A symbolic label.
+pub(crate) type Label = u32;
+
+/// Pre-resolution instruction stream element.
+#[derive(Debug, Clone)]
+pub(crate) enum Ir {
+    /// A non-jump instruction.
+    Stmt(Insn),
+    /// A conditional jump with symbolic targets.
+    Cond {
+        /// Full opcode (class JMP, op, src).
+        code: u16,
+        /// Constant operand.
+        k: u32,
+        /// True target.
+        jt: Label,
+        /// False target.
+        jf: Label,
+    },
+    /// An unconditional jump with a symbolic target.
+    Goto(Label),
+    /// A label definition (occupies no space).
+    Mark(Label),
+}
+
+/// Resolve symbolic labels to relative offsets, dropping `Goto`s to the
+/// immediately following instruction and inserting `ja` trampolines for
+/// conditional jumps whose targets exceed the 255-instruction reach of the
+/// 8-bit offset fields.
+pub(crate) fn resolve(mut ir: Vec<Ir>, mut next_label: Label) -> Vec<Insn> {
+    loop {
+        // Pass 0: drop no-op gotos (a Goto whose target is the next
+        // emitted instruction). Done iteratively inside the loop because
+        // trampoline insertion can create new ones.
+        let (addr_of, label_addr, total) = layout(&ir, next_label);
+        let mut removed = false;
+        let mut i = 0;
+        ir.retain(|item| {
+            let keep = match item {
+                Ir::Goto(l) => {
+                    let here = addr_of[i];
+                    label_addr[*l as usize].min(total) != here + 1
+                }
+                _ => true,
+            };
+            i += 1;
+            if !keep {
+                removed = true;
+            }
+            keep
+        });
+        if removed {
+            continue;
+        }
+
+        let (addr_of, label_addr, total) = layout(&ir, next_label);
+        let resolve_label = |l: Label| -> usize { label_addr[l as usize].min(total) };
+
+        // Pass 1: find the first conditional jump that does not fit.
+        let mut violation: Option<usize> = None;
+        for (i, item) in ir.iter().enumerate() {
+            if let Ir::Cond { jt, jf, .. } = item {
+                let here = addr_of[i];
+                let dt = resolve_label(*jt).saturating_sub(here + 1);
+                let df = resolve_label(*jf).saturating_sub(here + 1);
+                if dt > u8::MAX as usize || df > u8::MAX as usize {
+                    violation = Some(i);
+                    break;
+                }
+            }
+        }
+
+        if let Some(i) = violation {
+            // Rewrite: jump to local stubs that long-jump onward.
+            let (jt_old, jf_old) = match &ir[i] {
+                Ir::Cond { jt, jf, .. } => (*jt, *jf),
+                _ => unreachable!(),
+            };
+            let stub_t = next_label;
+            let stub_f = next_label + 1;
+            next_label += 2;
+            if let Ir::Cond { jt, jf, .. } = &mut ir[i] {
+                *jt = stub_t;
+                *jf = stub_f;
+            }
+            ir.splice(
+                i + 1..i + 1,
+                [
+                    Ir::Mark(stub_t),
+                    Ir::Goto(jt_old),
+                    Ir::Mark(stub_f),
+                    Ir::Goto(jf_old),
+                ],
+            );
+            continue;
+        }
+
+        // Pass 2: materialize.
+        let mut out = Vec::with_capacity(total);
+        for (i, item) in ir.iter().enumerate() {
+            let here = addr_of[i];
+            match item {
+                Ir::Mark(_) => {}
+                Ir::Stmt(insn) => out.push(*insn),
+                Ir::Goto(l) => {
+                    let target = resolve_label(*l);
+                    out.push(Insn::stmt(
+                        insn::JMP | insn::JA,
+                        (target - (here + 1)) as u32,
+                    ));
+                }
+                Ir::Cond { code, k, jt, jf } => {
+                    let dt = (resolve_label(*jt) - (here + 1)) as u8;
+                    let df = (resolve_label(*jf) - (here + 1)) as u8;
+                    out.push(Insn::new(*code, dt, df, *k));
+                }
+            }
+        }
+        return out;
+    }
+}
+
+/// Compute per-item addresses and label positions.
+fn layout(ir: &[Ir], label_count: Label) -> (Vec<usize>, Vec<usize>, usize) {
+    let mut addr_of = vec![0usize; ir.len()];
+    let mut label_addr = vec![usize::MAX; label_count as usize];
+    let mut pc = 0usize;
+    for (i, item) in ir.iter().enumerate() {
+        addr_of[i] = pc;
+        match item {
+            Ir::Mark(l) => label_addr[*l as usize] = pc,
+            _ => pc += 1,
+        }
+    }
+    (addr_of, label_addr, pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::ops::*;
+
+    #[test]
+    fn goto_to_next_instruction_is_dropped() {
+        let ir = vec![
+            Ir::Stmt(ld_imm(1)),
+            Ir::Goto(0),
+            Ir::Mark(0),
+            Ir::Stmt(ret_k(0)),
+        ];
+        let prog = resolve(ir, 1);
+        assert_eq!(prog, vec![ld_imm(1), ret_k(0)]);
+    }
+
+    #[test]
+    fn cond_offsets_resolve() {
+        let ir = vec![
+            Ir::Cond {
+                code: insn::JMP | insn::JEQ | insn::K,
+                k: 5,
+                jt: 0,
+                jf: 1,
+            },
+            Ir::Stmt(ld_imm(9)),
+            Ir::Mark(0),
+            Ir::Stmt(ret_k(1)),
+            Ir::Mark(1),
+            Ir::Stmt(ret_k(0)),
+        ];
+        let prog = resolve(ir, 2);
+        assert_eq!(prog[0], jeq_k(5, 1, 2));
+    }
+
+    #[test]
+    fn long_conditional_gets_trampoline() {
+        // A conditional jump over 300 instructions must be rewritten via
+        // ja stubs and still validate + behave.
+        let mut ir = vec![Ir::Cond {
+            code: insn::JMP | insn::JEQ | insn::K,
+            k: 0,
+            jt: 0,
+            jf: 1,
+        }];
+        for _ in 0..300 {
+            ir.push(Ir::Stmt(ld_imm(7)));
+        }
+        ir.push(Ir::Mark(0));
+        ir.push(Ir::Stmt(ret_k(1)));
+        ir.push(Ir::Mark(1));
+        ir.push(Ir::Stmt(ret_k(0)));
+        let prog = resolve(ir, 2);
+        crate::validate::validate(&prog).expect("trampolined program validates");
+        // Execute: A starts 0, so jeq #0 is true -> accept.
+        let pkt: &[u8] = &[0u8; 4];
+        let v = crate::vm::run(&prog, &pkt).unwrap();
+        assert!(v.accepted());
+    }
+}

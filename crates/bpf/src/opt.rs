@@ -1,0 +1,781 @@
+//! A BPF program optimizer in the spirit of libpcap's `opt.c`.
+//!
+//! The code generator's output contains one header guard per primitive
+//! (`ldh [12]; jeq #0x800, ...` before every `ip src` test, etc.). tcpdump's
+//! optimizer removes this redundancy by *edge threading*: it follows each
+//! branch edge forward through the control-flow graph, partially evaluating
+//! conditionals whose outcome is implied by the facts accumulated along the
+//! path, and retargets the edge as far forward as correctness allows. The
+//! thesis' Fig. 6.5 filter relies on exactly this: its 38 `not ip src/dst`
+//! terms compile to a 50-instruction program only because each term's
+//! EtherType guard and address reload are threaded away.
+//!
+//! Classic BPF programs are DAGs (all jumps are forward), which makes the
+//! dataflow analysis a single in-order pass per round:
+//!
+//! 1. compute, for every edge, the accumulator contents and the value
+//!    knowledge (`==k`, `≠k`, interval bounds) established along all paths;
+//! 2. for every conditional edge, walk forward from its target, skipping
+//!    loads whose value is already in A and conditionals decided by the
+//!    edge's knowledge, and retarget the edge to the furthest safe landing
+//!    point;
+//! 3. drop unreachable instructions and re-resolve offsets;
+//! 4. repeat until a fixpoint (each round only moves edges forward, so this
+//!    terminates).
+
+use crate::insn::{self, Insn};
+use crate::lower::{resolve, Ir, Label};
+use std::collections::BTreeMap;
+
+/// Optimize a (validated) program. The result is semantically equivalent:
+/// it returns the same verdict for every packet.
+pub fn optimize(prog: &[Insn]) -> Vec<Insn> {
+    let mut g = match Graph::build(prog) {
+        Some(g) => g,
+        None => return prog.to_vec(),
+    };
+    // Each round moves at least one edge strictly forward, so the loop is
+    // bounded; the explicit cap is a safety net.
+    for _ in 0..64 {
+        if !g.thread_round() {
+            break;
+        }
+    }
+    g.emit()
+}
+
+/// Values the analysis can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum AVal {
+    /// Absolute packet load (`size` is the opcode size bits).
+    Abs { size: u16, off: u32 },
+    /// The packet length.
+    PktLen,
+    /// A constant.
+    Const(u32),
+}
+
+/// What is known about one value along a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Knowledge {
+    lo: u32,
+    hi: u32,
+    /// Values the quantity is known not to equal (sorted, deduped).
+    ne: Vec<u32>,
+}
+
+impl Knowledge {
+    fn any() -> Self {
+        Knowledge {
+            lo: 0,
+            hi: u32::MAX,
+            ne: Vec::new(),
+        }
+    }
+
+    fn exactly(v: u32) -> Self {
+        Knowledge {
+            lo: v,
+            hi: v,
+            ne: Vec::new(),
+        }
+    }
+
+    fn is_vacuous(&self) -> bool {
+        self.lo == 0 && self.hi == u32::MAX && self.ne.is_empty()
+    }
+
+    fn add_ne(&mut self, v: u32) {
+        if let Err(i) = self.ne.binary_search(&v) {
+            self.ne.insert(i, v);
+        }
+        // Keep the set small; knowledge loss is always sound.
+        if self.ne.len() > 64 {
+            self.ne.truncate(64);
+        }
+    }
+
+    /// Join of knowledge from two paths (union of possible values —
+    /// i.e. intersection of what is *known*).
+    fn merge(&mut self, other: &Knowledge) {
+        self.lo = self.lo.min(other.lo);
+        self.hi = self.hi.max(other.hi);
+        self.ne.retain(|v| other.ne.contains(v));
+    }
+
+    /// Decide a conditional test, if possible.
+    fn decide(&self, op: u16, k: u32) -> Option<bool> {
+        match op {
+            insn::JEQ => {
+                if self.lo == self.hi {
+                    Some(self.lo == k)
+                } else if k < self.lo || k > self.hi || self.ne.binary_search(&k).is_ok() {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            insn::JGT => {
+                if self.lo > k {
+                    Some(true)
+                } else if self.hi <= k {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            insn::JGE => {
+                if self.lo >= k {
+                    Some(true)
+                } else if self.hi < k {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            insn::JSET => {
+                if self.lo == self.hi {
+                    Some(self.lo & k != 0)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Narrow per the outcome of a test.
+    fn apply(&mut self, op: u16, k: u32, taken: bool) {
+        match (op, taken) {
+            (insn::JEQ, true) => {
+                self.lo = k;
+                self.hi = k;
+                self.ne.clear();
+            }
+            (insn::JEQ, false) => self.add_ne(k),
+            (insn::JGT, true) => self.lo = self.lo.max(k.saturating_add(1)),
+            (insn::JGT, false) => self.hi = self.hi.min(k),
+            (insn::JGE, true) => self.lo = self.lo.max(k),
+            (insn::JGE, false) => self.hi = self.hi.min(k.saturating_sub(1)),
+            _ => {}
+        }
+        if self.lo > self.hi {
+            // Contradictory path (dead); leave as-is, it can't execute.
+            self.hi = self.lo;
+        }
+    }
+}
+
+/// Abstract state at a point: accumulator contents, value knowledge, and
+/// the set of absolute packet loads that have executed on **every** path
+/// here (their out-of-bounds check has already fired, so re-executing or
+/// skipping them cannot change the verdict).
+#[derive(Debug, Clone, Default, PartialEq)]
+struct State {
+    a: Option<AVal>,
+    know: BTreeMap<AVal, Knowledge>,
+    loaded: std::collections::BTreeSet<AVal>,
+}
+
+impl State {
+    fn knowledge_of(&self, v: AVal) -> Knowledge {
+        if let AVal::Const(k) = v {
+            return Knowledge::exactly(k);
+        }
+        self.know.get(&v).cloned().unwrap_or_else(Knowledge::any)
+    }
+
+    fn set_knowledge(&mut self, v: AVal, k: Knowledge) {
+        if matches!(v, AVal::Const(_)) {
+            return;
+        }
+        if k.is_vacuous() {
+            self.know.remove(&v);
+        } else {
+            self.know.insert(v, k);
+        }
+    }
+
+    /// Join with a state arriving on another path.
+    fn merge(&mut self, other: &State) {
+        if self.a != other.a {
+            self.a = None;
+        }
+        self.loaded = self.loaded.intersection(&other.loaded).copied().collect();
+        let keys: Vec<AVal> = self.know.keys().copied().collect();
+        for key in keys {
+            match other.know.get(&key) {
+                Some(ok) => {
+                    let mut mine = self.know.remove(&key).expect("present");
+                    mine.merge(ok);
+                    self.set_knowledge(key, mine);
+                }
+                None => {
+                    self.know.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+/// How a node interacts with the accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Writes A with a nameable value; reads nothing relevant.
+    LoadVal(AVal),
+    /// Writes A with an unanalyzable value (ld M[], ld [x+k], txa, alu).
+    /// Landing is safe (A is overwritten before any read) only for plain
+    /// loads; ALU reads A first — distinguished by `reads_a`.
+    OpaqueWrite {
+        /// Whether the instruction reads A before writing it.
+        reads_a: bool,
+    },
+    /// Side effects outside A (st/stx/tax/ldx): `reads_a` as above.
+    SideEffect {
+        /// Whether the instruction reads A.
+        reads_a: bool,
+    },
+    /// Conditional jump (reads A).
+    Cond {
+        /// Comparison op bits.
+        op: u16,
+        /// Constant operand (`None` when comparing against X).
+        k: Option<u32>,
+    },
+    /// Unconditional jump.
+    Ja,
+    /// Return accepting a constant.
+    RetK,
+    /// Return accepting A (reads A).
+    RetA,
+}
+
+struct Node {
+    insn: Insn,
+    kind: Kind,
+    /// Successors: next instruction for straight-line code, `[t, f]` for
+    /// conditionals, `[target; 2]` for `ja`; `usize::MAX` for returns.
+    succ: [usize; 2],
+}
+
+struct Graph {
+    nodes: Vec<Node>,
+}
+
+const NONE: usize = usize::MAX;
+
+impl Graph {
+    fn build(prog: &[Insn]) -> Option<Graph> {
+        let n = prog.len();
+        let mut nodes = Vec::with_capacity(n);
+        for (i, ins) in prog.iter().enumerate() {
+            let (kind, succ) = match ins.class() {
+                insn::LD => match ins.mode() {
+                    insn::ABS => (
+                        Kind::LoadVal(AVal::Abs {
+                            size: ins.size(),
+                            off: ins.k,
+                        }),
+                        [i + 1, i + 1],
+                    ),
+                    insn::LEN => (Kind::LoadVal(AVal::PktLen), [i + 1, i + 1]),
+                    insn::IMM => (Kind::LoadVal(AVal::Const(ins.k)), [i + 1, i + 1]),
+                    _ => (Kind::OpaqueWrite { reads_a: false }, [i + 1, i + 1]),
+                },
+                insn::LDX => (Kind::SideEffect { reads_a: false }, [i + 1, i + 1]),
+                insn::ST => (Kind::SideEffect { reads_a: true }, [i + 1, i + 1]),
+                insn::STX => (Kind::SideEffect { reads_a: false }, [i + 1, i + 1]),
+                insn::ALU => (Kind::OpaqueWrite { reads_a: true }, [i + 1, i + 1]),
+                insn::MISC => {
+                    if ins.code & 0xf8 == insn::TAX {
+                        (Kind::SideEffect { reads_a: true }, [i + 1, i + 1])
+                    } else {
+                        (Kind::OpaqueWrite { reads_a: false }, [i + 1, i + 1])
+                    }
+                }
+                insn::JMP => {
+                    if ins.op() == insn::JA {
+                        let t = i + 1 + ins.k as usize;
+                        (Kind::Ja, [t, t])
+                    } else {
+                        let k = if ins.src() == insn::K {
+                            Some(ins.k)
+                        } else {
+                            None
+                        };
+                        (
+                            Kind::Cond { op: ins.op(), k },
+                            [i + 1 + ins.jt as usize, i + 1 + ins.jf as usize],
+                        )
+                    }
+                }
+                insn::RET => {
+                    if ins.rval() == insn::A {
+                        (Kind::RetA, [NONE, NONE])
+                    } else {
+                        (Kind::RetK, [NONE, NONE])
+                    }
+                }
+                _ => return None,
+            };
+            if succ[0] != NONE && (succ[0] > n || succ[1] > n) {
+                return None; // malformed; leave untouched
+            }
+            nodes.push(Node {
+                insn: *ins,
+                kind,
+                succ,
+            });
+        }
+        Some(Graph { nodes })
+    }
+
+    fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            if i == NONE || i >= self.nodes.len() || seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            let node = &self.nodes[i];
+            if node.succ[0] != NONE {
+                stack.push(node.succ[0]);
+                if node.succ[1] != node.succ[0] {
+                    stack.push(node.succ[1]);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Dataflow: the abstract state at entry to every reachable node.
+    /// Forward-only jumps make a single in-order pass exact.
+    fn entry_states(&self, reachable: &[bool]) -> Vec<Option<State>> {
+        let n = self.nodes.len();
+        let mut entry: Vec<Option<State>> = vec![None; n];
+        entry[0] = Some(State::default());
+        for i in 0..n {
+            if !reachable[i] {
+                continue;
+            }
+            let st = match &entry[i] {
+                Some(s) => s.clone(),
+                None => State::default(), // reachable ⇒ computed; defensive
+            };
+            let node = &self.nodes[i];
+            let push = |to: usize, s: State, entry: &mut Vec<Option<State>>| {
+                if to == NONE || to >= n {
+                    return;
+                }
+                match &mut entry[to] {
+                    Some(existing) => existing.merge(&s),
+                    slot @ None => *slot = Some(s),
+                }
+            };
+            match node.kind {
+                Kind::LoadVal(v) => {
+                    let mut s = st;
+                    s.a = Some(v);
+                    if matches!(v, AVal::Abs { .. }) {
+                        s.loaded.insert(v);
+                    }
+                    push(node.succ[0], s, &mut entry);
+                }
+                Kind::OpaqueWrite { .. } => {
+                    let mut s = st;
+                    s.a = None;
+                    push(node.succ[0], s, &mut entry);
+                }
+                Kind::SideEffect { .. } => {
+                    push(node.succ[0], st, &mut entry);
+                }
+                Kind::Ja => {
+                    push(node.succ[0], st, &mut entry);
+                }
+                Kind::Cond { op, k: Some(k) } => {
+                    if let Some(v) = st.a {
+                        let mut t = st.clone();
+                        let mut know = t.knowledge_of(v);
+                        know.apply(op, k, true);
+                        t.set_knowledge(v, know);
+                        let mut f = st.clone();
+                        let mut know = f.knowledge_of(v);
+                        know.apply(op, k, false);
+                        f.set_knowledge(v, know);
+                        push(node.succ[0], t, &mut entry);
+                        push(node.succ[1], f, &mut entry);
+                    } else {
+                        push(node.succ[0], st.clone(), &mut entry);
+                        push(node.succ[1], st, &mut entry);
+                    }
+                }
+                Kind::Cond { .. } => {
+                    push(node.succ[0], st.clone(), &mut entry);
+                    push(node.succ[1], st, &mut entry);
+                }
+                Kind::RetK | Kind::RetA => {}
+            }
+        }
+        entry
+    }
+
+    /// One threading round. Returns true when any edge moved.
+    fn thread_round(&mut self) -> bool {
+        let reachable = self.reachable();
+        let entry = self.entry_states(&reachable);
+        let mut changed = false;
+
+        for i in 0..self.nodes.len() {
+            if !reachable[i] {
+                continue;
+            }
+            // Thread outgoing edges of conditionals (where facts appear)
+            // and of straight-line loads (where A-knowledge appears).
+            let st = match &entry[i] {
+                Some(s) => s.clone(),
+                None => continue,
+            };
+            match self.nodes[i].kind {
+                Kind::Cond { op, k: Some(k) } => {
+                    if let Some(v) = st.a {
+                        // First: if the test itself is decided, make the
+                        // node effectively unconditional by collapsing both
+                        // successors (the node stays; DCE may remove it if
+                        // nothing else needs it — keeping it is still
+                        // correct since conds have no side effects).
+                        for (b, taken) in [(0usize, true), (1usize, false)] {
+                            let mut es = st.clone();
+                            let mut know = es.knowledge_of(v);
+                            know.apply(op, k, taken);
+                            es.set_knowledge(v, know);
+                            let target = self.nodes[i].succ[b];
+                            let new = self.walk(target, es);
+                            if new != target {
+                                self.nodes[i].succ[b] = new;
+                                changed = true;
+                            }
+                        }
+                        // Collapse decided conditionals to a direct jump.
+                        if let Some(taken) = st.knowledge_of(v).decide(op, k) {
+                            let target = self.nodes[i].succ[if taken { 0 } else { 1 }];
+                            if self.nodes[i].kind != Kind::Ja || self.nodes[i].succ != [target; 2]
+                            {
+                                self.nodes[i].kind = Kind::Ja;
+                                self.nodes[i].succ = [target, target];
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                Kind::LoadVal(v) => {
+                    let mut es = st;
+                    es.a = Some(v);
+                    if matches!(v, AVal::Abs { .. }) {
+                        es.loaded.insert(v);
+                    }
+                    let target = self.nodes[i].succ[0];
+                    let new = self.walk(target, es);
+                    if new != target {
+                        self.nodes[i].succ = [new, new];
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        changed
+    }
+
+    /// Walk forward from `start` under edge state `es`, returning the
+    /// furthest node the edge can safely be retargeted to.
+    ///
+    /// Invariants: the *real* machine's A at the edge is `es.a` and never
+    /// changes during the walk (skipped nodes do not execute). `sim_a`
+    /// tracks what the original path would hold; a node that reads A is a
+    /// valid landing point only when `sim_a == es.a` (both known). An
+    /// absolute packet load may be skipped only when an identical load
+    /// already executed on every path to the edge (`es.loaded`) — its
+    /// out-of-bounds reject has then already had its chance to fire.
+    fn walk(&self, start: usize, es: State) -> usize {
+        let real_a = es.a;
+        let mut sim_a = es.a;
+        let mut loaded = es.loaded;
+        let mut know = es.know;
+        let mut best = start;
+        let mut w = start;
+        let mut steps = 0usize;
+        let matches_real =
+            |sim: Option<AVal>| -> bool { sim.is_some() && sim == real_a };
+
+        loop {
+            if w == NONE || w >= self.nodes.len() {
+                return best;
+            }
+            steps += 1;
+            if steps > self.nodes.len() + 1 {
+                return best; // defensive (cannot happen on a DAG)
+            }
+            let node = &self.nodes[w];
+            match node.kind {
+                Kind::Ja => {
+                    // Pure control flow: follow, and prefer landing past it.
+                    if best == w {
+                        best = node.succ[0];
+                    }
+                    w = node.succ[0];
+                }
+                Kind::RetK => {
+                    return w;
+                }
+                Kind::RetA => {
+                    return if matches_real(sim_a) { w } else { best };
+                }
+                Kind::LoadVal(v) => {
+                    // Landing here is always safe (A is overwritten).
+                    best = w;
+                    if matches!(v, AVal::Abs { .. }) && !loaded.contains(&v) {
+                        // First execution of a packet load on this path:
+                        // its bounds check must actually run.
+                        return w;
+                    }
+                    loaded.insert(v);
+                    sim_a = Some(v);
+                    w = node.succ[0];
+                }
+                Kind::Cond { op, k: Some(k) } => {
+                    let decided = sim_a.and_then(|v| {
+                        let kn = if let AVal::Const(c) = v {
+                            Knowledge::exactly(c)
+                        } else {
+                            know.get(&v).cloned().unwrap_or_else(Knowledge::any)
+                        };
+                        kn.decide(op, k)
+                    });
+                    match decided {
+                        Some(taken) => {
+                            if let Some(v) = sim_a {
+                                if !matches!(v, AVal::Const(_)) {
+                                    let mut kn =
+                                        know.get(&v).cloned().unwrap_or_else(Knowledge::any);
+                                    kn.apply(op, k, taken);
+                                    know.insert(v, kn);
+                                }
+                            }
+                            w = node.succ[if taken { 0 } else { 1 }];
+                        }
+                        None => {
+                            // Undecidable: we may land *at* the test only
+                            // if the real A is what the test expects.
+                            return if matches_real(sim_a) { w } else { best };
+                        }
+                    }
+                }
+                Kind::Cond { .. } => {
+                    // Comparison against X: cannot reason; landable if the
+                    // real A matches.
+                    return if matches_real(sim_a) { w } else { best };
+                }
+                Kind::OpaqueWrite { reads_a } | Kind::SideEffect { reads_a } => {
+                    // Must execute from here on; landable unless it reads
+                    // a stale A.
+                    return if !reads_a || matches_real(sim_a) { w } else { best };
+                }
+            }
+        }
+    }
+
+    /// Emit the optimized program: reachable nodes in original order,
+    /// with labels re-resolved.
+    fn emit(&self) -> Vec<Insn> {
+        let reachable = self.reachable();
+        let mut ir: Vec<Ir> = Vec::new();
+        // One label per node index.
+        let n = self.nodes.len();
+        let label_of = |i: usize| -> Label { i as Label };
+        let mut emitted_any = false;
+        let mut last_emitted: Option<usize> = None;
+        for i in 0..n {
+            if !reachable[i] {
+                continue;
+            }
+            // If the previously emitted node falls through to something
+            // other than this node, bridge with a goto.
+            if let Some(prev) = last_emitted {
+                let p = &self.nodes[prev];
+                let falls = matches!(
+                    p.kind,
+                    Kind::LoadVal(_) | Kind::OpaqueWrite { .. } | Kind::SideEffect { .. }
+                );
+                if falls && p.succ[0] != i {
+                    ir.push(Ir::Goto(label_of(p.succ[0])));
+                }
+            }
+            ir.push(Ir::Mark(label_of(i)));
+            let node = &self.nodes[i];
+            match node.kind {
+                Kind::Ja => ir.push(Ir::Goto(label_of(node.succ[0]))),
+                Kind::Cond { .. } => ir.push(Ir::Cond {
+                    code: node.insn.code,
+                    k: node.insn.k,
+                    jt: label_of(node.succ[0]),
+                    jf: label_of(node.succ[1]),
+                }),
+                Kind::RetK | Kind::RetA => ir.push(Ir::Stmt(node.insn)),
+                _ => {
+                    ir.push(Ir::Stmt(node.insn));
+                    // Straight-line fall-through handled at next iteration.
+                }
+            }
+            emitted_any = true;
+            last_emitted = Some(i);
+        }
+        if !emitted_any {
+            return vec![Insn::stmt(insn::RET | insn::K, 0)];
+        }
+        // A trailing fall-through (last node straight-line) needs a goto.
+        if let Some(prev) = last_emitted {
+            let p = &self.nodes[prev];
+            if matches!(
+                p.kind,
+                Kind::LoadVal(_) | Kind::OpaqueWrite { .. } | Kind::SideEffect { .. }
+            ) {
+                ir.push(Ir::Goto(label_of(p.succ[0])));
+            }
+        }
+        resolve(ir, n as Label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::ops::*;
+    use crate::validate::validate;
+    use crate::vm;
+
+    /// Exhaustively compare verdicts of original vs optimized program over
+    /// a set of packets.
+    fn assert_equivalent(prog: &[Insn], packets: &[Vec<u8>]) {
+        validate(prog).expect("input valid");
+        let opt = optimize(prog);
+        validate(&opt).expect("optimized valid");
+        for (i, p) in packets.iter().enumerate() {
+            let a = vm::run(prog, &p.as_slice()).unwrap().accepted();
+            let b = vm::run(&opt, &p.as_slice()).unwrap().accepted();
+            assert_eq!(a, b, "packet {i} diverges");
+        }
+    }
+
+    fn eth_packet(ethertype: u16, proto: u8) -> Vec<u8> {
+        let mut v = vec![0u8; 40];
+        v[12] = (ethertype >> 8) as u8;
+        v[13] = ethertype as u8;
+        v[14] = 0x45;
+        v[23] = proto;
+        v
+    }
+
+    #[test]
+    fn threads_redundant_guards() {
+        // Two primitives, each with its own EtherType guard:
+        //   ip and not tcp   (naive codegen shape)
+        let prog = vec![
+            ld_abs_h(12),
+            jeq_k(0x800, 0, 5), // guard 1 -> reject (index 7)
+            ld_abs_h(12),       // redundant reload
+            jeq_k(0x800, 0, 3), // redundant guard -> reject
+            ld_abs_b(23),
+            jeq_k(6, 1, 0), // tcp -> reject, else accept
+            ret_k(96),
+            ret_k(0),
+        ];
+        let packets = vec![
+            eth_packet(0x800, 17),
+            eth_packet(0x800, 6),
+            eth_packet(0x806, 0),
+        ];
+        assert_equivalent(&prog, &packets);
+        let opt = optimize(&prog);
+        assert!(
+            opt.len() < prog.len(),
+            "expected shrink, got:\n{}",
+            crate::asm::disasm(&opt)
+        );
+    }
+
+    #[test]
+    fn optimizer_preserves_interval_semantics() {
+        // len > 100 and len > 50 (second test is implied).
+        let prog = vec![
+            ld_len(),
+            jgt_k(100, 0, 3),
+            ld_len(),
+            jgt_k(50, 0, 1),
+            ret_k(96),
+            ret_k(0),
+        ];
+        let mut packets = Vec::new();
+        for l in [10usize, 50, 51, 100, 101, 200] {
+            packets.push(vec![0u8; l]);
+        }
+        assert_equivalent(&prog, &packets);
+        let opt = optimize(&prog);
+        // The implied second test disappears entirely.
+        assert!(opt.len() <= 4, "{}", crate::asm::disasm(&opt));
+    }
+
+    #[test]
+    fn does_not_break_alu_and_scratch_programs() {
+        let prog = vec![
+            ld_abs_b(14),
+            alu_k(insn::AND, 0x0f),
+            st(0),
+            ld_abs_b(14),
+            alu_k(insn::RSH, 4),
+            tax(),
+            ld_mem(0),
+            alu_x(insn::ADD),
+            jeq_k(9, 0, 1),
+            ret_k(96),
+            ret_k(0),
+        ];
+        let packets = vec![eth_packet(0x800, 17), eth_packet(0x800, 6)];
+        assert_equivalent(&prog, &packets);
+    }
+
+    #[test]
+    fn handles_ret_a() {
+        let prog = vec![ld_abs_b(0), ret_a()];
+        let mut p1 = vec![0u8; 4];
+        p1[0] = 5;
+        let p2 = vec![0u8; 4];
+        assert_equivalent(&prog, &[p1, p2]);
+    }
+
+    #[test]
+    fn idempotent_on_optimal_programs() {
+        let prog = vec![ld_abs_h(12), jeq_k(0x800, 0, 1), ret_k(96), ret_k(0)];
+        let once = optimize(&prog);
+        let twice = optimize(&once);
+        assert_eq!(once, twice);
+        assert_eq!(once.len(), prog.len());
+    }
+
+    #[test]
+    fn contradictory_paths_fold() {
+        // jeq #5 true-path then jeq #6 on same value: always false.
+        let prog = vec![
+            ld_abs_b(0),
+            jeq_k(5, 0, 2),
+            jeq_k(6, 0, 1), // unreachable-true
+            ret_k(1),       // dead
+            ret_k(0),
+        ];
+        let mut p5 = vec![0u8; 2];
+        p5[0] = 5;
+        let mut p6 = vec![0u8; 2];
+        p6[0] = 6;
+        assert_equivalent(&prog, &[p5, p6, vec![0u8; 2]]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Canned filter programs used throughout the evaluation.
+
+use crate::compiler::{compile, CompileError};
+use crate::insn::{ops, Insn};
+
+/// The accept-everything program (what an empty filter compiles to).
+pub fn accept_all(snaplen: u32) -> Vec<Insn> {
+    vec![ops::ret_k(snaplen)]
+}
+
+/// The reject-everything program.
+pub fn reject_all() -> Vec<Insn> {
+    vec![ops::ret_k(0)]
+}
+
+/// The exact filter expression of the thesis' Figure 6.5: a 38-term
+/// conjunction crafted so that **every generated packet is accepted, but
+/// only after all instructions have been evaluated** — maximizing filter
+/// cost without changing the captured set (§6.3.2).
+///
+/// The generated packets have source IP 192.168.10.100, destination IP
+/// 192.168.10.12 and source MACs cycling 00:00:00:00:00:00–02, so none of
+/// the negated address tests ever match.
+pub fn fig65_expression() -> String {
+    let mut parts: Vec<String> = vec![
+        "ether[6:4]=0x00000000".into(),
+        "ether[10]=0x00".into(),
+        "not tcp".into(),
+    ];
+    for i in 0..19u32 {
+        // 10.11.12.13, 20.11.12.14, ... 190.11.12.31 (the thesis listing).
+        parts.push(format!(
+            "not ip src {}.11.12.{}",
+            (i + 1) * 10,
+            13 + i
+        ));
+    }
+    for i in 0..19u32 {
+        // 10.99.12.13 ... 190.99.12.31, with the thesis' typo at index 10
+        // ("990.99.12.23") corrected to 110.99.12.23.
+        parts.push(format!(
+            "not ip dst {}.99.12.{}",
+            (i + 1) * 10,
+            13 + i
+        ));
+    }
+    parts.join(" and ")
+}
+
+/// Compile the Figure 6.5 filter. The thesis reports the compiled program
+/// is 50 BPF instructions long; our compiler reproduces that count (see the
+/// `fig65_is_50_instructions` test).
+pub fn fig65_program(snaplen: u32) -> Result<Vec<Insn>, CompileError> {
+    compile(&fig65_expression(), snaplen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm;
+    use pcs_wire::{MacAddr, SimPacket};
+    use std::net::Ipv4Addr;
+
+    fn generated_packet(seq: u64) -> SimPacket {
+        // Matches the generator setup described in §6.3.2.
+        SimPacket::build_udp(
+            seq,
+            0,
+            750,
+            MacAddr::ZERO.offset(seq % 3),
+            MacAddr::new(0, 0xe, 0xc, 1, 2, 3),
+            Ipv4Addr::new(192, 168, 10, 100),
+            Ipv4Addr::new(192, 168, 10, 12),
+            9,
+            9,
+        )
+    }
+
+    #[test]
+    fn fig65_is_50_instructions() {
+        let prog = fig65_program(65535).expect("compile");
+        assert_eq!(
+            prog.len(),
+            50,
+            "the thesis reports a 50-instruction filter;\n{}",
+            crate::asm::disasm(&prog)
+        );
+    }
+
+    #[test]
+    fn fig65_accepts_generated_packets_after_full_evaluation() {
+        let prog = fig65_program(65535).unwrap();
+        for seq in 0..3 {
+            let p = generated_packet(seq);
+            let v = vm::run(&prog, &p).unwrap();
+            assert!(v.accepted(), "seq {seq}");
+            // Must walk essentially the whole program: everything except
+            // the final reject ret.
+            assert_eq!(v.insns_executed as usize, prog.len() - 1, "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn fig65_rejects_tcp_and_listed_sources() {
+        let prog = fig65_program(65535).unwrap();
+        // A packet from one of the negated sources is rejected.
+        let p = SimPacket::build_udp(
+            0,
+            0,
+            100,
+            MacAddr::ZERO,
+            MacAddr::new(0, 0xe, 0xc, 1, 2, 3),
+            Ipv4Addr::new(10, 11, 12, 13),
+            Ipv4Addr::new(192, 168, 10, 12),
+            9,
+            9,
+        );
+        assert!(!vm::run(&prog, &p).unwrap().accepted());
+        // A packet with a non-zero source MAC tail beyond the cycled range.
+        let p = generated_packet(0);
+        let mut q = p.clone();
+        q.header[6] = 0x01; // first byte of ether[6:4]
+        assert!(!vm::run(&prog, &q).unwrap().accepted());
+    }
+
+    #[test]
+    fn canned_programs() {
+        let p = generated_packet(0);
+        assert!(vm::run(&accept_all(96), &p).unwrap().accepted());
+        assert!(!vm::run(&reject_all(), &p).unwrap().accepted());
+    }
+}

@@ -1,0 +1,238 @@
+//! Program validation, mirroring the kernel's `bpf_validate()` /
+//! `sk_chk_filter()`: both FreeBSD and Linux refuse to attach a filter that
+//! could loop, fall off the end, or touch invalid scratch memory. Programs
+//! that pass this check can always be executed by [`crate::vm::run`]
+//! without a [`crate::vm::VmError`].
+
+use crate::insn::{self, Insn};
+
+/// Why a program was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// Empty program.
+    Empty,
+    /// Longer than [`insn::MAXINSNS`].
+    TooLong(usize),
+    /// The final instruction is not a return (so execution could fall off
+    /// the end).
+    NoTrailingRet,
+    /// Unknown or malformed opcode at the given index.
+    BadInstruction(usize),
+    /// A jump at the given index lands outside the program.
+    JumpOutOfRange(usize),
+    /// A scratch-memory access at the given index uses a bad slot.
+    BadMemSlot(usize),
+    /// Constant division by zero at the given index.
+    DivisionByZero(usize),
+}
+
+impl core::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ValidateError::Empty => write!(f, "empty program"),
+            ValidateError::TooLong(n) => write!(f, "program too long: {n} instructions"),
+            ValidateError::NoTrailingRet => write!(f, "last instruction must be a return"),
+            ValidateError::BadInstruction(i) => write!(f, "bad instruction at index {i}"),
+            ValidateError::JumpOutOfRange(i) => write!(f, "jump out of range at index {i}"),
+            ValidateError::BadMemSlot(i) => write!(f, "bad scratch slot at index {i}"),
+            ValidateError::DivisionByZero(i) => write!(f, "constant division by zero at {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate a program. Since classic BPF jumps are strictly forward,
+/// a validated program is loop-free by construction.
+pub fn validate(prog: &[Insn]) -> Result<(), ValidateError> {
+    if prog.is_empty() {
+        return Err(ValidateError::Empty);
+    }
+    if prog.len() > insn::MAXINSNS {
+        return Err(ValidateError::TooLong(prog.len()));
+    }
+    for (i, ins) in prog.iter().enumerate() {
+        match ins.class() {
+            insn::LD | insn::LDX => {
+                let mode = ins.mode();
+                let ok_mode = match ins.class() {
+                    insn::LD => matches!(
+                        mode,
+                        insn::IMM | insn::ABS | insn::IND | insn::MEM | insn::LEN
+                    ),
+                    _ => matches!(mode, insn::IMM | insn::MEM | insn::LEN | insn::MSH),
+                };
+                if !ok_mode {
+                    return Err(ValidateError::BadInstruction(i));
+                }
+                if !matches!(ins.size(), insn::W | insn::H | insn::B) {
+                    return Err(ValidateError::BadInstruction(i));
+                }
+                // Word-sized is required for non-packet loads.
+                if matches!(mode, insn::IMM | insn::MEM | insn::LEN) && ins.size() != insn::W {
+                    return Err(ValidateError::BadInstruction(i));
+                }
+                if mode == insn::MSH && ins.size() != insn::B {
+                    return Err(ValidateError::BadInstruction(i));
+                }
+                if mode == insn::MEM && ins.k as usize >= insn::MEMWORDS {
+                    return Err(ValidateError::BadMemSlot(i));
+                }
+            }
+            insn::ST | insn::STX => {
+                if ins.k as usize >= insn::MEMWORDS {
+                    return Err(ValidateError::BadMemSlot(i));
+                }
+            }
+            insn::ALU => {
+                match ins.op() {
+                    insn::ADD
+                    | insn::SUB
+                    | insn::MUL
+                    | insn::OR
+                    | insn::AND
+                    | insn::XOR
+                    | insn::LSH
+                    | insn::RSH
+                    | insn::NEG => {}
+                    insn::DIV | insn::MOD => {
+                        if ins.src() == insn::K && ins.k == 0 {
+                            return Err(ValidateError::DivisionByZero(i));
+                        }
+                    }
+                    _ => return Err(ValidateError::BadInstruction(i)),
+                }
+                if !matches!(ins.src(), insn::K | insn::X) {
+                    return Err(ValidateError::BadInstruction(i));
+                }
+            }
+            insn::JMP => {
+                if ins.op() == insn::JA {
+                    let target = i as u64 + 1 + ins.k as u64;
+                    if target >= prog.len() as u64 {
+                        return Err(ValidateError::JumpOutOfRange(i));
+                    }
+                } else {
+                    if !matches!(ins.op(), insn::JEQ | insn::JGT | insn::JGE | insn::JSET) {
+                        return Err(ValidateError::BadInstruction(i));
+                    }
+                    let t = i + 1 + ins.jt as usize;
+                    let f = i + 1 + ins.jf as usize;
+                    if t >= prog.len() || f >= prog.len() {
+                        return Err(ValidateError::JumpOutOfRange(i));
+                    }
+                }
+            }
+            insn::RET => {
+                if !matches!(ins.rval(), insn::K | insn::A) {
+                    return Err(ValidateError::BadInstruction(i));
+                }
+            }
+            insn::MISC => {
+                let op = ins.code & 0xf8;
+                if op != insn::TAX && op != insn::TXA {
+                    return Err(ValidateError::BadInstruction(i));
+                }
+            }
+            _ => return Err(ValidateError::BadInstruction(i)),
+        }
+    }
+    let last = prog[prog.len() - 1];
+    if last.class() != insn::RET {
+        return Err(ValidateError::NoTrailingRet);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::ops::*;
+    use crate::insn::{DIV, JMP, LD};
+
+    #[test]
+    fn accepts_simple_program() {
+        let prog = [ld_abs_h(12), jeq_k(0x800, 0, 1), ret_k(96), ret_k(0)];
+        assert_eq!(validate(&prog), Ok(()));
+    }
+
+    #[test]
+    fn rejects_empty_and_too_long() {
+        assert_eq!(validate(&[]), Err(ValidateError::Empty));
+        let long = vec![ret_k(0); insn::MAXINSNS + 1];
+        assert!(matches!(validate(&long), Err(ValidateError::TooLong(_))));
+    }
+
+    #[test]
+    fn rejects_missing_ret() {
+        assert_eq!(
+            validate(&[ld_imm(1)]),
+            Err(ValidateError::NoTrailingRet)
+        );
+    }
+
+    #[test]
+    fn rejects_jump_past_end() {
+        let prog = [jeq_k(1, 0, 5), ret_k(0)];
+        assert_eq!(validate(&prog), Err(ValidateError::JumpOutOfRange(0)));
+        let prog = [ja(5), ret_k(0)];
+        assert_eq!(validate(&prog), Err(ValidateError::JumpOutOfRange(0)));
+    }
+
+    #[test]
+    fn rejects_bad_mem_slots() {
+        assert_eq!(
+            validate(&[st(16), ret_k(0)]),
+            Err(ValidateError::BadMemSlot(0))
+        );
+        assert_eq!(
+            validate(&[ld_mem(31), ret_k(0)]),
+            Err(ValidateError::BadMemSlot(0))
+        );
+    }
+
+    #[test]
+    fn rejects_constant_division_by_zero() {
+        assert_eq!(
+            validate(&[ld_imm(1), alu_k(DIV, 0), ret_a()]),
+            Err(ValidateError::DivisionByZero(1))
+        );
+        // Division by X is allowed (checked at run time).
+        assert_eq!(validate(&[ld_imm(1), alu_x(DIV), ret_a()]), Ok(()));
+    }
+
+    #[test]
+    fn rejects_unknown_opcodes() {
+        // LD with an invalid mode.
+        let bad = Insn::stmt(LD | 0xc0, 0);
+        assert_eq!(
+            validate(&[bad, ret_k(0)]),
+            Err(ValidateError::BadInstruction(0))
+        );
+        // JMP with invalid op bits.
+        let bad = Insn::stmt(JMP | 0x70, 0);
+        assert_eq!(
+            validate(&[bad, ret_k(0)]),
+            Err(ValidateError::BadInstruction(0))
+        );
+    }
+
+    #[test]
+    fn validated_programs_never_trap() {
+        // Run the canonical filter over packets of many lengths: validation
+        // must guarantee VM success (reject is fine, error is not).
+        let prog = [
+            ld_abs_h(12),
+            jeq_k(0x800, 0, 3),
+            ldx_msh(14),
+            ld_ind_w(14),
+            ret_a(),
+            ret_k(0),
+        ];
+        validate(&prog).unwrap();
+        for len in 0..64usize {
+            let data = vec![0xabu8; len];
+            assert!(crate::vm::run(&prog, &data.as_slice()).is_ok(), "len {len}");
+        }
+    }
+}

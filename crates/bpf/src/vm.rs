@@ -1,0 +1,399 @@
+//! The BPF virtual machine.
+//!
+//! Executes a validated program against any [`PacketBytes`] implementation.
+//! The interpreter follows the kernel semantics shared by FreeBSD's
+//! `bpf_filter()` and the Linux Socket Filter: out-of-bounds packet loads
+//! and division by zero terminate the program with a *reject* verdict
+//! rather than an error — a filter can never crash the kernel.
+//!
+//! The VM also reports the number of instructions executed, which the
+//! simulated kernels use to charge CPU time for filtering (the paper's
+//! Fig. 6.6 experiment measures exactly this cost).
+
+use crate::insn::{self, Insn};
+use pcs_wire::PacketBytes;
+
+/// Why a program failed to run to completion. Produced only for *invalid*
+/// programs (the validator prevents these paths for checked programs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// The program ran off its end without returning.
+    FellThrough,
+    /// An unknown opcode was encountered.
+    BadInstruction(usize),
+    /// A scratch-memory access was out of range.
+    BadMemSlot(usize),
+    /// Executed more instructions than the program length (impossible for
+    /// validated programs, which are loop-free).
+    Runaway,
+}
+
+impl core::fmt::Display for VmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VmError::FellThrough => write!(f, "program fell through without ret"),
+            VmError::BadInstruction(pc) => write!(f, "bad instruction at {pc}"),
+            VmError::BadMemSlot(pc) => write!(f, "bad memory slot at {pc}"),
+            VmError::Runaway => write!(f, "instruction budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Outcome of a filter run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Number of bytes to accept: 0 rejects the packet; larger values give
+    /// the snapshot length (the kernel truncates to this).
+    pub accept_len: u32,
+    /// Instructions executed, for CPU cost accounting.
+    pub insns_executed: u32,
+}
+
+impl Verdict {
+    /// True when the packet passed the filter.
+    pub fn accepted(&self) -> bool {
+        self.accept_len > 0
+    }
+}
+
+/// Execute `prog` over `pkt`.
+///
+/// Invalid opcodes and scratch slots yield `Err`; packet-bounds violations
+/// and division by zero yield a *reject* verdict per kernel semantics.
+pub fn run<P: PacketBytes>(prog: &[Insn], pkt: &P) -> Result<Verdict, VmError> {
+    let mut a: u32 = 0;
+    let mut x: u32 = 0;
+    let mut mem = [0u32; insn::MEMWORDS];
+    let mut pc: usize = 0;
+    let mut executed: u32 = 0;
+    // A validated program is a DAG, so it can execute at most prog.len()
+    // instructions. Unvalidated programs get the same budget as a backstop.
+    let budget = prog.len() as u32 + 1;
+
+    macro_rules! reject_on_none {
+        ($e:expr) => {
+            match $e {
+                Some(v) => v,
+                None => {
+                    return Ok(Verdict {
+                        accept_len: 0,
+                        insns_executed: executed,
+                    })
+                }
+            }
+        };
+    }
+
+    loop {
+        let ins = match prog.get(pc) {
+            Some(i) => *i,
+            None => return Err(VmError::FellThrough),
+        };
+        executed += 1;
+        if executed > budget {
+            return Err(VmError::Runaway);
+        }
+        pc += 1;
+
+        match ins.class() {
+            insn::LD => {
+                let val = match (ins.mode(), ins.size()) {
+                    (insn::IMM, _) => ins.k,
+                    (insn::LEN, _) => pkt.len(),
+                    (insn::MEM, _) => {
+                        let slot = ins.k as usize;
+                        if slot >= insn::MEMWORDS {
+                            return Err(VmError::BadMemSlot(pc - 1));
+                        }
+                        mem[slot]
+                    }
+                    (insn::ABS, insn::W) => reject_on_none!(pkt.word(ins.k)),
+                    (insn::ABS, insn::H) => reject_on_none!(pkt.half_word(ins.k)) as u32,
+                    (insn::ABS, insn::B) => reject_on_none!(pkt.byte(ins.k)) as u32,
+                    (insn::IND, insn::W) => {
+                        reject_on_none!(x.checked_add(ins.k).and_then(|o| pkt.word(o)))
+                    }
+                    (insn::IND, insn::H) => {
+                        reject_on_none!(x.checked_add(ins.k).and_then(|o| pkt.half_word(o))) as u32
+                    }
+                    (insn::IND, insn::B) => {
+                        reject_on_none!(x.checked_add(ins.k).and_then(|o| pkt.byte(o))) as u32
+                    }
+                    _ => return Err(VmError::BadInstruction(pc - 1)),
+                };
+                a = val;
+            }
+            insn::LDX => {
+                x = match ins.mode() {
+                    insn::IMM => ins.k,
+                    insn::LEN => pkt.len(),
+                    insn::MEM => {
+                        let slot = ins.k as usize;
+                        if slot >= insn::MEMWORDS {
+                            return Err(VmError::BadMemSlot(pc - 1));
+                        }
+                        mem[slot]
+                    }
+                    insn::MSH => 4 * (reject_on_none!(pkt.byte(ins.k)) as u32 & 0x0f),
+                    _ => return Err(VmError::BadInstruction(pc - 1)),
+                };
+            }
+            insn::ST => {
+                let slot = ins.k as usize;
+                if slot >= insn::MEMWORDS {
+                    return Err(VmError::BadMemSlot(pc - 1));
+                }
+                mem[slot] = a;
+            }
+            insn::STX => {
+                let slot = ins.k as usize;
+                if slot >= insn::MEMWORDS {
+                    return Err(VmError::BadMemSlot(pc - 1));
+                }
+                mem[slot] = x;
+            }
+            insn::ALU => {
+                let operand = if ins.src() == insn::X { x } else { ins.k };
+                a = match ins.op() {
+                    insn::ADD => a.wrapping_add(operand),
+                    insn::SUB => a.wrapping_sub(operand),
+                    insn::MUL => a.wrapping_mul(operand),
+                    insn::DIV => {
+                        if operand == 0 {
+                            return Ok(Verdict {
+                                accept_len: 0,
+                                insns_executed: executed,
+                            });
+                        }
+                        a / operand
+                    }
+                    insn::MOD => {
+                        if operand == 0 {
+                            return Ok(Verdict {
+                                accept_len: 0,
+                                insns_executed: executed,
+                            });
+                        }
+                        a % operand
+                    }
+                    insn::OR => a | operand,
+                    insn::AND => a & operand,
+                    insn::XOR => a ^ operand,
+                    insn::LSH => a.wrapping_shl(operand),
+                    insn::RSH => a.wrapping_shr(operand),
+                    insn::NEG => a.wrapping_neg(),
+                    _ => return Err(VmError::BadInstruction(pc - 1)),
+                };
+            }
+            insn::JMP => {
+                if ins.op() == insn::JA {
+                    pc = pc
+                        .checked_add(ins.k as usize)
+                        .ok_or(VmError::BadInstruction(pc - 1))?;
+                    continue;
+                }
+                let operand = if ins.src() == insn::X { x } else { ins.k };
+                let taken = match ins.op() {
+                    insn::JEQ => a == operand,
+                    insn::JGT => a > operand,
+                    insn::JGE => a >= operand,
+                    insn::JSET => a & operand != 0,
+                    _ => return Err(VmError::BadInstruction(pc - 1)),
+                };
+                pc += if taken { ins.jt } else { ins.jf } as usize;
+            }
+            insn::RET => {
+                let val = match ins.rval() {
+                    insn::A => a,
+                    _ => ins.k,
+                };
+                return Ok(Verdict {
+                    accept_len: val,
+                    insns_executed: executed,
+                });
+            }
+            insn::MISC => match ins.code & 0xf8 {
+                insn::TAX => x = a,
+                insn::TXA => a = x,
+                _ => return Err(VmError::BadInstruction(pc - 1)),
+            },
+            _ => return Err(VmError::BadInstruction(pc - 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::ops::*;
+    use crate::insn::{ADD, AND, DIV, LSH, MUL, NEG, OR, RSH, SUB};
+
+    fn pkt() -> Vec<u8> {
+        // A tiny fake frame: dst 6B, src 6B, ethertype 0x0800, then bytes.
+        let mut v = vec![0u8; 14];
+        v[12] = 0x08;
+        v[13] = 0x00;
+        v.extend_from_slice(&[0x45, 0x00, 0x01, 0x02, 0xaa, 0xbb, 0xcc, 0xdd]);
+        v
+    }
+
+    fn run_prog(prog: &[Insn]) -> Verdict {
+        let data = pkt();
+        run(prog, &data.as_slice()).expect("vm error")
+    }
+
+    #[test]
+    fn accept_all_and_reject_all() {
+        assert!(run_prog(&[ret_k(u32::MAX)]).accepted());
+        assert!(!run_prog(&[ret_k(0)]).accepted());
+    }
+
+    #[test]
+    fn load_sizes() {
+        // ldb [12] = 0x08
+        let v = run_prog(&[ld_abs_b(12), ret_a()]);
+        assert_eq!(v.accept_len, 0x08);
+        // ldh [12] = 0x0800
+        let v = run_prog(&[ld_abs_h(12), ret_a()]);
+        assert_eq!(v.accept_len, 0x0800);
+        // ld [14] = 0x45000102
+        let v = run_prog(&[ld_abs_w(14), ret_a()]);
+        assert_eq!(v.accept_len, 0x4500_0102);
+    }
+
+    #[test]
+    fn out_of_bounds_load_rejects() {
+        let v = run_prog(&[ld_abs_w(1000), ret_k(100)]);
+        assert!(!v.accepted());
+        assert_eq!(v.insns_executed, 1);
+    }
+
+    #[test]
+    fn indexed_loads_and_msh() {
+        // X := 4*(P[14] & 0xf) = 4*5 = 20; A := P[X - 6 .. ] via ind
+        let v = run_prog(&[ldx_msh(14), ld_ind_b(0), ret_a()]);
+        // P[20] = 0xcc
+        assert_eq!(v.accept_len, 0xcc);
+    }
+
+    #[test]
+    fn indexed_load_overflow_rejects() {
+        let prog = [ldx_imm(u32::MAX), ld_ind_b(10), ret_k(1)];
+        let v = run_prog(&prog);
+        assert!(!v.accepted());
+    }
+
+    #[test]
+    fn len_load() {
+        let v = run_prog(&[ld_len(), ret_a()]);
+        assert_eq!(v.accept_len, pkt().len() as u32);
+    }
+
+    #[test]
+    fn scratch_memory_roundtrip() {
+        let prog = [
+            ld_imm(42),
+            st(3),
+            ld_imm(0),
+            ld_mem(3),
+            tax(),
+            txa(),
+            ret_a(),
+        ];
+        assert_eq!(run_prog(&prog).accept_len, 42);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        let cases: &[(u16, u32, u32)] = &[
+            (ADD, 2, 12),
+            (SUB, 3, 7),
+            (MUL, 4, 40),
+            (DIV, 5, 2),
+            (OR, 0x20, 0x2a),
+            (AND, 0x6, 0x2),
+            (LSH, 2, 40),
+            (RSH, 1, 5),
+        ];
+        for &(op, k, expect) in cases {
+            let prog = [ld_imm(10), alu_k(op, k), ret_a()];
+            assert_eq!(run_prog(&prog).accept_len, expect, "op {op:#x}");
+        }
+        let prog = [ld_imm(10), alu_k(NEG, 0), ret_a()];
+        assert_eq!(run_prog(&prog).accept_len, 10u32.wrapping_neg());
+    }
+
+    #[test]
+    fn division_by_zero_rejects() {
+        let v = run_prog(&[ld_imm(10), alu_k(DIV, 0), ret_k(5)]);
+        assert!(!v.accepted());
+    }
+
+    #[test]
+    fn alu_with_x_operand() {
+        let prog = [ldx_imm(8), ld_imm(3), alu_x(ADD), ret_a()];
+        assert_eq!(run_prog(&prog).accept_len, 11);
+    }
+
+    #[test]
+    fn jumps() {
+        // ethertype == 0x800 ? accept : reject
+        let prog = [ld_abs_h(12), jeq_k(0x800, 0, 1), ret_k(96), ret_k(0)];
+        let v = run_prog(&prog);
+        assert!(v.accepted());
+        assert_eq!(v.insns_executed, 3);
+
+        let prog = [ld_abs_h(12), jeq_k(0x806, 0, 1), ret_k(96), ret_k(0)];
+        assert!(!run_prog(&prog).accepted());
+    }
+
+    #[test]
+    fn jump_variants() {
+        for (op_insn, expect) in [
+            (jgt_k(0x7ff, 0, 1), true),
+            (jgt_k(0x800, 0, 1), false),
+            (jge_k(0x800, 0, 1), true),
+            (jset_k(0x0800, 0, 1), true),
+            (jset_k(0x0400, 0, 1), false),
+        ] {
+            let prog = [ld_abs_h(12), op_insn, ret_k(1), ret_k(0)];
+            assert_eq!(run_prog(&prog).accepted(), expect);
+        }
+    }
+
+    #[test]
+    fn unconditional_jump() {
+        let prog = [ja(1), ret_k(0), ret_k(7)];
+        assert_eq!(run_prog(&prog).accept_len, 7);
+    }
+
+    #[test]
+    fn fall_through_is_error() {
+        let data = pkt();
+        assert_eq!(
+            run(&[ld_imm(1)], &data.as_slice()),
+            Err(VmError::FellThrough)
+        );
+    }
+
+    #[test]
+    fn bad_mem_slot_is_error() {
+        let data = pkt();
+        assert_eq!(
+            run(&[ld_mem(16), ret_a()], &data.as_slice()),
+            Err(VmError::BadMemSlot(0))
+        );
+        assert_eq!(
+            run(&[st(99), ret_k(0)], &data.as_slice()),
+            Err(VmError::BadMemSlot(0))
+        );
+    }
+
+    #[test]
+    fn counts_instructions() {
+        let prog = [ld_imm(1), ld_imm(2), ld_imm(3), ret_k(1)];
+        assert_eq!(run_prog(&prog).insns_executed, 4);
+    }
+}

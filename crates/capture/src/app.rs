@@ -1,0 +1,132 @@
+//! The measurement capture application — `createDist` in its capturing
+//! role (thesis Appendix A.1), with the evaluation's load options.
+//!
+//! Command-line options of the original map to builder methods:
+//!
+//! | createDist option | builder |
+//! |---|---|
+//! | `-f <expr>` (capture filter) | [`MeasurementApp::filter`] |
+//! | `-sl <n>` (snaplen) | [`MeasurementApp::snaplen`] |
+//! | `-c <n>` (extra copies) | [`MeasurementApp::extra_copies`] |
+//! | `-z <level>` (compression) | [`MeasurementApp::compress`] |
+//! | `-t` + `-tsl <n>` (trace first n bytes to disk) | [`MeasurementApp::write_headers`] |
+
+use crate::session::PcapError;
+use pcs_bpf::compile;
+use pcs_oskernel::AppConfig;
+
+/// Builder for the capture application's configuration.
+#[derive(Debug, Clone, Default)]
+pub struct MeasurementApp {
+    cfg: AppConfig,
+}
+
+impl MeasurementApp {
+    /// A plain full-snaplen capture application (the baseline setup).
+    pub fn new() -> MeasurementApp {
+        MeasurementApp {
+            cfg: AppConfig::plain(),
+        }
+    }
+
+    /// Attach a tcpdump-style filter expression (`-f`).
+    pub fn filter(mut self, expression: &str) -> Result<MeasurementApp, PcapError> {
+        let prog = compile(expression, self.cfg.snaplen).map_err(PcapError::Compile)?;
+        self.cfg.filter = Some(prog);
+        Ok(self)
+    }
+
+    /// Set the snapshot length (`-sl`).
+    pub fn snaplen(mut self, snaplen: u32) -> MeasurementApp {
+        self.cfg.snaplen = snaplen.max(14);
+        self
+    }
+
+    /// Perform `n` additional memcpys per packet (`-c`, Fig. 6.10/B.2).
+    pub fn extra_copies(mut self, n: u32) -> MeasurementApp {
+        self.cfg.extra_copies = n;
+        self
+    }
+
+    /// Compress every packet at the given zlib level (`-z`,
+    /// Fig. 6.11/B.3).
+    pub fn compress(mut self, level: u8) -> MeasurementApp {
+        self.cfg.compress_level = Some(level.min(9));
+        self
+    }
+
+    /// Write the first `bytes` of every packet to disk (`-t -tsl`,
+    /// Fig. 6.14).
+    pub fn write_headers(mut self, bytes: u32) -> MeasurementApp {
+        self.cfg.disk_write_bytes = Some(bytes);
+        self
+    }
+
+    /// Pipe whole packets to a gzip process at the given level
+    /// (the Fig. 6.12 `tcpdump -w sniffer_pipe` setup).
+    pub fn pipe_to_gzip(mut self, level: u8) -> MeasurementApp {
+        self.cfg.pipe_to_gzip = Some(level.min(9));
+        self
+    }
+
+    /// Use the memory-mapped libpcap variant (Fig. 6.15).
+    pub fn mmap(mut self) -> MeasurementApp {
+        self.cfg.mmap = true;
+        self
+    }
+
+    /// Keep per-packet records in the report.
+    pub fn record(mut self) -> MeasurementApp {
+        self.cfg.record = true;
+        self
+    }
+
+    /// The final application configuration.
+    pub fn build(self) -> AppConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composition() {
+        let cfg = MeasurementApp::new()
+            .snaplen(1515)
+            .extra_copies(50)
+            .compress(3)
+            .write_headers(76)
+            .build();
+        assert_eq!(cfg.snaplen, 1515);
+        assert_eq!(cfg.extra_copies, 50);
+        assert_eq!(cfg.compress_level, Some(3));
+        assert_eq!(cfg.disk_write_bytes, Some(76));
+        assert!(!cfg.mmap);
+    }
+
+    #[test]
+    fn filter_option() {
+        let cfg = MeasurementApp::new()
+            .filter("udp dst port 9")
+            .unwrap()
+            .build();
+        assert!(cfg.filter.is_some());
+        assert!(MeasurementApp::new().filter("!bogus!").is_err());
+    }
+
+    #[test]
+    fn compression_level_clamped() {
+        let cfg = MeasurementApp::new().compress(42).build();
+        assert_eq!(cfg.compress_level, Some(9));
+    }
+
+    #[test]
+    fn pipe_and_mmap() {
+        let cfg = MeasurementApp::new().pipe_to_gzip(3).build();
+        assert_eq!(cfg.pipe_to_gzip, Some(3));
+        let cfg = MeasurementApp::new().mmap().record().build();
+        assert!(cfg.mmap && cfg.record);
+    }
+}

@@ -1,0 +1,22 @@
+//! # pcs-capture — the libpcap-style capture API
+//!
+//! The user-space face of the Schneider (2005) reproduction:
+//!
+//! * [`session::Pcap`] — the `pcap_open_live` / `pcap_compile` /
+//!   `pcap_setfilter` / `pcap_stats` surface (thesis §2.1.3), lowered onto
+//!   the simulated capture stacks;
+//! * [`app::MeasurementApp`] — the thesis' `createDist`-as-capture-app
+//!   with its load options (extra copies, compression, header tracing,
+//!   piping to gzip, the mmap variant);
+//! * [`dump::Dumper`] — savefile output for captured packets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod dump;
+pub mod session;
+
+pub use app::MeasurementApp;
+pub use dump::Dumper;
+pub use session::{Pcap, PcapError, PcapStat};

@@ -1,0 +1,257 @@
+//! The libpcap-style capture session API (thesis §2.1.3).
+//!
+//! `Pcap` mirrors the procedures the thesis lists as the important ones —
+//! `pcap_open_live()`, `pcap_compile()`, `pcap_setfilter()`,
+//! `pcap_loop()`/`pcap_next()`, `pcap_stats()` — adapted to the simulated
+//! testbed: a session is *configured* up front, attached to a machine
+//! simulation as one capture application, and its statistics and packet
+//! stream are read back from the run report.
+
+use pcs_bpf::{compile, validate, CompileError, Insn, ValidateError};
+use pcs_oskernel::{AppConfig, AppReport, CapturedPacket};
+
+/// Errors raised by session configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PcapError {
+    /// The filter expression failed to compile.
+    Compile(CompileError),
+    /// A hand-built program failed kernel validation.
+    Invalid(ValidateError),
+    /// Incompatible options (e.g. non-blocking mode with the mmap patch,
+    /// which the thesis notes is unsupported — §6.3.6).
+    Unsupported(&'static str),
+}
+
+impl core::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PcapError::Compile(e) => write!(f, "filter compilation failed: {e}"),
+            PcapError::Invalid(e) => write!(f, "invalid filter program: {e}"),
+            PcapError::Unsupported(s) => write!(f, "unsupported configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+/// Capture statistics, shaped like `struct pcap_stat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PcapStat {
+    /// Packets received by the filter (`ps_recv`).
+    pub ps_recv: u64,
+    /// Packets dropped for lack of buffer space (`ps_drop`).
+    pub ps_drop: u64,
+    /// Packets dropped by the interface/driver (`ps_ifdrop`).
+    pub ps_ifdrop: u64,
+}
+
+/// A configured capture session.
+///
+/// ```
+/// use pcs_capture::Pcap;
+///
+/// let mut session = Pcap::open_live("em0", 1515, true, 20);
+/// session.set_filter_expression("udp and dst port 9").unwrap();
+/// let app = session.app_config();
+/// assert_eq!(app.snaplen, 1515);
+/// assert!(app.filter.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pcap {
+    device: String,
+    snaplen: u32,
+    promiscuous: bool,
+    timeout_ms: u32,
+    nonblocking: bool,
+    filter: Option<Vec<Insn>>,
+    mmap: bool,
+    record: bool,
+}
+
+impl Pcap {
+    /// `pcap_open_live()`: open a session on a (simulated) interface.
+    pub fn open_live(device: &str, snaplen: u32, promiscuous: bool, timeout_ms: u32) -> Pcap {
+        Pcap {
+            device: device.to_string(),
+            snaplen: snaplen.max(14),
+            promiscuous,
+            timeout_ms,
+            nonblocking: false,
+            filter: None,
+            mmap: false,
+            record: false,
+        }
+    }
+
+    /// `pcap_compile()`: compile a tcpdump-style filter expression with
+    /// this session's snaplen.
+    pub fn compile(&self, expression: &str) -> Result<Vec<Insn>, PcapError> {
+        compile(expression, self.snaplen).map_err(PcapError::Compile)
+    }
+
+    /// `pcap_setfilter()`: attach a compiled (and kernel-validated)
+    /// program.
+    pub fn setfilter(&mut self, prog: Vec<Insn>) -> Result<(), PcapError> {
+        validate(&prog).map_err(PcapError::Invalid)?;
+        self.filter = Some(prog);
+        Ok(())
+    }
+
+    /// Compile and attach in one step.
+    pub fn set_filter_expression(&mut self, expression: &str) -> Result<(), PcapError> {
+        let prog = self.compile(expression)?;
+        self.setfilter(prog)
+    }
+
+    /// `pcap_setnonblock()`: request non-blocking reads. Incompatible
+    /// with the mmap patch (the thesis' Bro caveat, §6.3.6).
+    pub fn set_nonblocking(&mut self, on: bool) -> Result<(), PcapError> {
+        if on && self.mmap {
+            return Err(PcapError::Unsupported(
+                "the mmap'ed libpcap does not support non-blocking mode",
+            ));
+        }
+        self.nonblocking = on;
+        Ok(())
+    }
+
+    /// Select the memory-mapped ring variant (Linux only at run time).
+    pub fn set_mmap(&mut self, on: bool) -> Result<(), PcapError> {
+        if on && self.nonblocking {
+            return Err(PcapError::Unsupported(
+                "the mmap'ed libpcap does not support non-blocking mode",
+            ));
+        }
+        self.mmap = on;
+        Ok(())
+    }
+
+    /// Keep per-packet records in the run report (needed for
+    /// `pcap_loop`-style iteration and savefile writing).
+    pub fn set_record(&mut self, on: bool) {
+        self.record = on;
+    }
+
+    /// The configured snaplen.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// The device name given at open.
+    pub fn device(&self) -> &str {
+        &self.device
+    }
+
+    /// Promiscuous flag (informational; the splitter feed behaves
+    /// promiscuously either way).
+    pub fn promiscuous(&self) -> bool {
+        self.promiscuous
+    }
+
+    /// The read timeout from open (informational in the simulation).
+    pub fn timeout_ms(&self) -> u32 {
+        self.timeout_ms
+    }
+
+    /// Lower the session onto the simulator: one capture application.
+    pub fn app_config(&self) -> AppConfig {
+        AppConfig {
+            filter: self.filter.clone(),
+            snaplen: self.snaplen,
+            mmap: self.mmap,
+            record: self.record,
+            ..AppConfig::default()
+        }
+    }
+
+    /// `pcap_stats()`: read the statistics back from a finished run.
+    pub fn stats(report: &AppReport, nic_drops: u64) -> PcapStat {
+        PcapStat {
+            ps_recv: report.stats.accepted,
+            ps_drop: report.stats.dropped_buffer + report.stats.dropped_pool,
+            ps_ifdrop: nic_drops,
+        }
+    }
+
+    /// `pcap_loop()`: invoke `callback` for every captured packet of a
+    /// finished run (requires [`Pcap::set_record`]). Returns the count.
+    pub fn dispatch<F>(report: &AppReport, mut callback: F) -> u64
+    where
+        F: FnMut(&CapturedPacket),
+    {
+        for p in &report.captured {
+            callback(p);
+        }
+        report.captured.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_bpf::insn::ops;
+    use pcs_oskernel::StackStats;
+
+    #[test]
+    fn open_and_configure() {
+        let mut p = Pcap::open_live("if0", 1515, true, 20);
+        assert_eq!(p.snaplen(), 1515);
+        assert_eq!(p.device(), "if0");
+        assert!(p.promiscuous());
+        assert_eq!(p.timeout_ms(), 20);
+        p.set_filter_expression("udp and dst port 9").unwrap();
+        let cfg = p.app_config();
+        assert!(cfg.filter.is_some());
+        assert_eq!(cfg.snaplen, 1515);
+    }
+
+    #[test]
+    fn bad_filters_rejected() {
+        let mut p = Pcap::open_live("if0", 96, false, 0);
+        assert!(matches!(
+            p.set_filter_expression("this is not a filter !!"),
+            Err(PcapError::Compile(_))
+        ));
+        // Hand-built invalid program (no trailing ret).
+        assert!(matches!(
+            p.setfilter(vec![ops::ld_imm(1)]),
+            Err(PcapError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn mmap_and_nonblocking_are_mutually_exclusive() {
+        let mut p = Pcap::open_live("if0", 96, false, 0);
+        p.set_mmap(true).unwrap();
+        assert!(p.set_nonblocking(true).is_err());
+        p.set_mmap(false).unwrap();
+        p.set_nonblocking(true).unwrap();
+        assert!(p.set_mmap(true).is_err());
+    }
+
+    #[test]
+    fn stats_shape() {
+        let report = AppReport {
+            received: 90,
+            received_bytes: 9000,
+            captured: Vec::new(),
+            stats: StackStats {
+                accepted: 100,
+                rejected: 5,
+                dropped_buffer: 7,
+                dropped_pool: 3,
+                delivered: 90,
+            },
+        };
+        let s = Pcap::stats(&report, 2);
+        assert_eq!(s.ps_recv, 100);
+        assert_eq!(s.ps_drop, 10);
+        assert_eq!(s.ps_ifdrop, 2);
+    }
+
+    #[test]
+    fn snaplen_floor() {
+        let p = Pcap::open_live("if0", 1, false, 0);
+        assert_eq!(p.snaplen(), 14);
+    }
+}

@@ -1,0 +1,259 @@
+//! Experiment result structures and rendering.
+//!
+//! Every thesis figure regenerates as an [`Experiment`]: a set of labelled
+//! [`Series`] over an x-axis (data rate, buffer size, machine, …), with
+//! capture-rate and CPU-usage values per point — the same two curves the
+//! thesis plots.
+
+use pcs_testbed::PointResult;
+use serde::Serialize;
+
+/// One (x, y…) measurement of one series.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct SeriesPoint {
+    /// X coordinate (e.g. achieved Mbit/s, buffer kBytes).
+    pub x: f64,
+    /// Mean capture rate in percent.
+    pub capture: f64,
+    /// Worst application's capture rate in percent (multi-app plots).
+    pub capture_worst: f64,
+    /// Best application's capture rate in percent.
+    pub capture_best: f64,
+    /// Trimmed CPU busy percentage.
+    pub cpu: f64,
+}
+
+/// One plotted line.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. "FreeBSD/AMD - moorhen").
+    pub label: String,
+    /// The points, in x order.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// One regenerated figure or table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Experiment {
+    /// Short id (e.g. "fig6.3a").
+    pub id: String,
+    /// The thesis reference (e.g. "Figure 6.3 (a), experiment (33)").
+    pub thesis_ref: String,
+    /// Human title.
+    pub title: String,
+    /// X axis label.
+    pub xlabel: String,
+    /// Y axis label for the first value column.
+    pub ylabel: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form observations (filled by the experiment code).
+    pub notes: Vec<String>,
+}
+
+impl Experiment {
+    /// Append per-SUT series from sweep results; x = achieved rate.
+    pub fn from_sweep(
+        id: &str,
+        thesis_ref: &str,
+        title: &str,
+        points: &[PointResult],
+    ) -> Experiment {
+        let mut series: Vec<Series> = Vec::new();
+        if let Some(first) = points.first() {
+            for s in 0..first.suts.len() {
+                series.push(Series {
+                    label: first.suts[s].label.clone(),
+                    points: points
+                        .iter()
+                        .map(|p| SeriesPoint {
+                            x: p.achieved_mbps,
+                            capture: p.suts[s].capture * 100.0,
+                            capture_worst: p.suts[s].capture_worst * 100.0,
+                            capture_best: p.suts[s].capture_best * 100.0,
+                            cpu: p.suts[s].cpu_busy,
+                        })
+                        .collect(),
+                });
+            }
+        }
+        Experiment {
+            id: id.to_string(),
+            thesis_ref: thesis_ref.to_string(),
+            title: title.to_string(),
+            xlabel: "Datarate [Mbit/s]".to_string(),
+            ylabel: "capture[%]".to_string(),
+            series,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Render as an aligned text table (one row per x, one column pair
+    /// per series), like the thesis' linespoints plots read as numbers.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# {} — {}\n# {}\n",
+            self.id, self.title, self.thesis_ref
+        ));
+        out.push_str(&format!("{:>12}", self.xlabel_short()));
+        for s in &self.series {
+            out.push_str(&format!("  {:>22}", truncate(&s.label, 22)));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:>12}", ""));
+        for _ in &self.series {
+            out.push_str(&format!("  {:>13} {:>8}", self.ylabel, "cpu[%]"));
+        }
+        out.push('\n');
+        let nrows = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        for i in 0..nrows {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(i).map(|p| p.x))
+                .unwrap_or(0.0);
+            out.push_str(&format!("{x:>12.0}"));
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(p) => {
+                        out.push_str(&format!("  {:>13.1} {:>8.0}", p.capture, p.cpu))
+                    }
+                    None => out.push_str(&format!("  {:>13} {:>8}", "-", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("# note: {n}\n"));
+        }
+        out
+    }
+
+    /// Render as CSV (long format: series,x,capture,worst,best,cpu).
+    /// Fields containing commas or quotes are quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::from("experiment,series,x,capture_pct,worst_pct,best_pct,cpu_pct\n");
+        for s in &self.series {
+            for p in &s.points {
+                out.push_str(&format!(
+                    "{},{},{:.1},{:.2},{:.2},{:.2},{:.1}\n",
+                    field(&self.id),
+                    field(&s.label),
+                    p.x,
+                    p.capture,
+                    p.capture_worst,
+                    p.capture_best,
+                    p.cpu
+                ));
+            }
+        }
+        out
+    }
+
+    fn xlabel_short(&self) -> &str {
+        match self.xlabel.as_str() {
+            "Datarate [Mbit/s]" => "rate[Mbit/s]",
+            other => other,
+        }
+    }
+
+    /// The capture percentage of a labelled series at the highest x.
+    pub fn final_capture(&self, label_contains: &str) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.label.contains(label_contains))
+            .and_then(|s| s.points.last())
+            .map(|p| p.capture)
+    }
+
+    /// The x value where a series first drops below `threshold` percent
+    /// capture (the "knee"); `None` when it never does.
+    pub fn knee(&self, label_contains: &str, threshold: f64) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.label.contains(label_contains))
+            .and_then(|s| s.points.iter().find(|p| p.capture < threshold))
+            .map(|p| p.x)
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_testbed::SutPoint;
+
+    fn fake_points() -> Vec<PointResult> {
+        vec![
+            PointResult {
+                target_mbps: Some(100.0),
+                achieved_mbps: 101.0,
+                generated: 1000,
+                suts: vec![SutPoint {
+                    label: "Linux/AMD - swan".into(),
+                    capture: 1.0,
+                    capture_worst: 1.0,
+                    capture_best: 1.0,
+                    cpu_busy: 20.0,
+                }],
+            },
+            PointResult {
+                target_mbps: Some(900.0),
+                achieved_mbps: 870.0,
+                generated: 1000,
+                suts: vec![SutPoint {
+                    label: "Linux/AMD - swan".into(),
+                    capture: 0.6,
+                    capture_worst: 0.5,
+                    capture_best: 0.7,
+                    cpu_busy: 100.0,
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn sweep_conversion() {
+        let e = Experiment::from_sweep("t1", "Fig X", "test", &fake_points());
+        assert_eq!(e.series.len(), 1);
+        assert_eq!(e.series[0].points.len(), 2);
+        assert_eq!(e.series[0].points[1].capture, 60.0);
+        assert_eq!(e.final_capture("swan"), Some(60.0));
+        assert_eq!(e.knee("swan", 90.0), Some(870.0));
+        assert_eq!(e.knee("swan", 10.0), None);
+        assert_eq!(e.final_capture("missing"), None);
+    }
+
+    #[test]
+    fn table_and_csv_render() {
+        let e = Experiment::from_sweep("t1", "Fig X", "test", &fake_points());
+        let t = e.to_table();
+        assert!(t.contains("t1"));
+        assert!(t.contains("Linux/AMD - swan"));
+        assert!(t.contains("100"));
+        let c = e.to_csv();
+        assert!(c.starts_with("experiment,series,x"));
+        // Labels with commas are quoted per RFC 4180.
+        let mut tricky = e.clone();
+        tricky.series[0].label = "swan, default buffers".into();
+        let qc = tricky.to_csv();
+        assert!(qc.contains("\"swan, default buffers\""));
+        assert_eq!(c.lines().count(), 3);
+        assert!(c.contains("t1,Linux/AMD - swan,870.0,60.00,50.00,70.00,100.0"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # pcs-des — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the `pcapbench` reproduction of Schneider's
+//! *"Performance evaluation of packet capturing systems for high-speed
+//! networks"* (TU München, 2005). Every higher layer — hardware models,
+//! operating-system capture stacks, the packet generator, the measurement
+//! testbed — advances virtual time through the primitives in this crate:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time;
+//! * [`EventQueue`] — a stable (FIFO-on-ties) pending-event set;
+//! * [`Pcg32`] / [`SplitMix64`] — deterministic PRNG streams, so that a run
+//!   seed fully determines the generated packet sequence (the paper's
+//!   reproducibility requirement, §3.2);
+//! * [`stats`] — small statistics accumulators for result processing.
+//!
+//! The crate is intentionally free of I/O and of `std::time`: simulated time
+//! never observes wall-clock time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::{Pcg32, SplitMix64};
+pub use time::{SimDuration, SimTime};

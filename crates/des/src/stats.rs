@@ -1,0 +1,155 @@
+//! Small statistics helpers shared by the measurement crates.
+
+/// Streaming accumulator for min / max / mean / variance (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sample standard deviation (0 with fewer than two observations).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+/// Median of a slice (averaging the middle pair for even lengths).
+/// Returns 0 for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) using linear interpolation between order
+/// statistics. Returns 0 for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_basic() {
+        let mut a = Accumulator::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.add(x);
+        }
+        assert_eq!(a.count(), 8);
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(a.min(), 2.0);
+        assert_eq!(a.max(), 9.0);
+        // population stddev is 2; sample stddev = sqrt(32/7)
+        assert!((a.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_empty() {
+        let a = Accumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.min(), 0.0);
+        assert_eq!(a.max(), 0.0);
+        assert_eq!(a.stddev(), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 1.0), 100.0);
+        assert_eq!(quantile(&xs, 0.5), 50.0);
+        assert!((quantile(&xs, 0.25) - 25.0).abs() < 1e-9);
+    }
+}

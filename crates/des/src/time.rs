@@ -1,0 +1,279 @@
+//! Virtual simulation time.
+//!
+//! All simulation time is kept as an integer number of **nanoseconds** since
+//! the start of the run. Integer time makes event ordering exact and keeps
+//! runs bit-for-bit reproducible, which the paper's methodology requires
+//! (§3.2 "Reproducibility").
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// This instant expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// Negative or non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// The time needed to move `bits` over a link of `bits_per_sec`.
+    ///
+    /// Rounds up so that back-to-back transmissions never overlap.
+    pub fn for_bits(bits: u64, bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "link rate must be positive");
+        // ceil(bits * 1e9 / rate) without overflow for realistic inputs:
+        // bits is bounded by a frame size (< 2^14), rate < 2^40.
+        let num = (bits as u128) * 1_000_000_000u128;
+        let per = bits_per_sec as u128;
+        SimDuration(num.div_ceil(per) as u64)
+    }
+
+    /// The time needed to move `bytes` at a bandwidth of `bytes_per_sec`.
+    pub fn for_bytes(bytes: u64, bytes_per_sec: u64) -> Self {
+        Self::for_bits(bytes * 8, bytes_per_sec * 8)
+    }
+
+    /// This duration expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Nanoseconds in this duration.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply by an integer count.
+    pub fn times(self, n: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(n))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, other: SimDuration) {
+        *self = *self + other;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(other.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, other: SimDuration) {
+        *self = *self - other;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, n: u64) -> SimDuration {
+        self.times(n)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, n: u64) -> SimDuration {
+        SimDuration(self.0 / n)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(4).as_nanos(), 4_000);
+        assert_eq!(SimDuration::from_secs(1), SimDuration(1_000_000_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_micros(10) + SimDuration::from_micros(5);
+        assert_eq!(t, SimTime::from_micros(15));
+        assert_eq!(
+            t.since(SimTime::from_micros(10)),
+            SimDuration::from_micros(5)
+        );
+        // saturating behaviour
+        assert_eq!(SimTime::from_micros(1).since(t), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn serialization_time_for_bits() {
+        // 1500 byte frame on gigabit: 12 microseconds.
+        let d = SimDuration::for_bits(1500 * 8, 1_000_000_000);
+        assert_eq!(d, SimDuration::from_micros(12));
+        // Rounds up: 1 bit at 1 Gbit/s is 1 ns exactly.
+        assert_eq!(SimDuration::for_bits(1, 1_000_000_000), SimDuration(1));
+        // 3 bits at 2 bit/s = 1.5s -> rounds up to 1.5e9 ns exactly
+        assert_eq!(SimDuration::for_bits(3, 2), SimDuration(1_500_000_000));
+    }
+
+    #[test]
+    fn for_bytes_matches_bits() {
+        assert_eq!(
+            SimDuration::for_bytes(1000, 125_000_000),
+            SimDuration::for_bits(8000, 1_000_000_000)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn from_secs_f64_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration(1_500_000_000));
+    }
+}

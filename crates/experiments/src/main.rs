@@ -1,0 +1,99 @@
+//! `experiments` — regenerate every table and figure of the thesis'
+//! evaluation.
+//!
+//! ```text
+//! experiments list
+//! experiments run <id>... [--scale quick|standard|full] [--csv-dir DIR]
+//! experiments all [--scale ...] [--csv-dir DIR]
+//! ```
+//!
+//! Output is a text table per experiment (capture rate and CPU usage per
+//! system under test, like the thesis' plots read as numbers), plus
+//! optional CSV files for plotting.
+
+use pcs_core::{all_experiments, Scale};
+use std::io::Write;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--csv-dir DIR]\n  experiments all [--scale quick|standard|full] [--csv-dir DIR]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder)."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    match args[0].as_str() {
+        "list" => {
+            println!("{:<12} DESCRIPTION", "ID");
+            for (id, desc, _) in all_experiments() {
+                println!("{id:<12} {desc}");
+            }
+        }
+        "run" | "all" => {
+            let mut ids: Vec<String> = Vec::new();
+            let mut scale = Scale::standard();
+            let mut csv_dir: Option<String> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--scale" => {
+                        i += 1;
+                        let name = args.get(i).unwrap_or_else(|| usage());
+                        scale = Scale::by_name(name).unwrap_or_else(|| {
+                            eprintln!("unknown scale '{name}'");
+                            std::process::exit(2);
+                        });
+                    }
+                    "--csv-dir" => {
+                        i += 1;
+                        csv_dir = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+                    }
+                    other if other.starts_with("--") => usage(),
+                    other => ids.push(other.to_string()),
+                }
+                i += 1;
+            }
+            let registry = all_experiments();
+            let selected: Vec<_> = if args[0] == "all" {
+                registry.iter().collect()
+            } else {
+                if ids.is_empty() {
+                    usage();
+                }
+                let mut sel = Vec::new();
+                for id in &ids {
+                    match registry.iter().find(|(rid, _, _)| rid == id) {
+                        Some(e) => sel.push(e),
+                        None => {
+                            eprintln!("unknown experiment '{id}' (try `experiments list`)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                sel
+            };
+            if let Some(dir) = &csv_dir {
+                std::fs::create_dir_all(dir).expect("create csv dir");
+            }
+            for (id, desc, run) in selected {
+                eprintln!("== running {id}: {desc}");
+                let t0 = Instant::now();
+                let e = run(&scale);
+                eprintln!("== {id} finished in {:.1}s", t0.elapsed().as_secs_f64());
+                println!("{}", e.to_table());
+                if let Some(dir) = &csv_dir {
+                    let path = format!("{dir}/{}.csv", id.replace('/', "_"));
+                    let mut f = std::fs::File::create(&path).expect("create csv");
+                    f.write_all(e.to_csv().as_bytes()).expect("write csv");
+                    eprintln!("== wrote {path}");
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

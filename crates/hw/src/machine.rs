@@ -1,0 +1,214 @@
+//! Machine presets: the thesis' four systems under test (Fig. 2.4).
+//!
+//! | Name     | Architecture              | OS            |
+//! |----------|---------------------------|---------------|
+//! | swan     | AMD Opteron 244 (1024 kB) | Linux 2.6.11  |
+//! | moorhen  | AMD Opteron 244 (1024 kB) | FreeBSD 5.4   |
+//! | flamingo | Intel Xeon 3.06 (512 kB)  | FreeBSD 5.4   |
+//! | snipe    | Intel Xeon 3.06 (512 kB)  | Linux 2.6.11  |
+//!
+//! All carry 2 GB RAM, an Intel 82544EI fiber GbE controller on PCI-64,
+//! and a 3ware 7000 ATA RAID.
+
+use crate::bus::{PciBus, PciKind};
+use crate::cost::{os_costs, OsCosts, OsKind};
+use crate::cpu::{CpuArch, CpuSpec};
+use crate::disk::DiskModel;
+use crate::memory::MemorySystem;
+use crate::nic::NicModel;
+use serde::{Deserialize, Serialize};
+
+/// A complete system under test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Hostname in the testbed.
+    pub name: &'static str,
+    /// Processor complex.
+    pub cpu: CpuSpec,
+    /// Memory subsystem.
+    pub memory: MemorySystem,
+    /// I/O bus the NIC and RAID share.
+    pub pci: PciBus,
+    /// Capture NIC.
+    pub nic: NicModel,
+    /// RAID set.
+    pub disk: DiskModel,
+    /// Installed operating system.
+    pub os: OsKind,
+    /// RAM in bytes (2 GB on all sniffers).
+    pub ram_bytes: u64,
+}
+
+impl MachineSpec {
+    /// swan: Linux 2.6.11 on dual Opteron 244.
+    pub fn swan() -> MachineSpec {
+        MachineSpec {
+            name: "swan",
+            cpu: CpuSpec::opteron(2),
+            memory: MemorySystem::opteron(),
+            pci: PciBus::new(PciKind::Pci64),
+            nic: NicModel::intel_82544(),
+            disk: DiskModel::raid_opteron(),
+            os: OsKind::Linux26,
+            ram_bytes: 2 << 30,
+        }
+    }
+
+    /// moorhen: FreeBSD 5.4 on dual Opteron 244.
+    pub fn moorhen() -> MachineSpec {
+        MachineSpec {
+            name: "moorhen",
+            os: OsKind::FreeBsd54,
+            ..MachineSpec::swan()
+        }
+    }
+
+    /// flamingo: FreeBSD 5.4 on dual Xeon 3.06 GHz.
+    pub fn flamingo() -> MachineSpec {
+        MachineSpec {
+            name: "flamingo",
+            cpu: CpuSpec::xeon(2, false),
+            memory: MemorySystem::xeon(),
+            pci: PciBus::new(PciKind::Pci64),
+            nic: NicModel::intel_82544(),
+            disk: DiskModel::raid_xeon(),
+            os: OsKind::FreeBsd54,
+            ram_bytes: 2 << 30,
+        }
+    }
+
+    /// snipe: Linux 2.6.11 on dual Xeon 3.06 GHz.
+    pub fn snipe() -> MachineSpec {
+        MachineSpec {
+            name: "snipe",
+            os: OsKind::Linux26,
+            ..MachineSpec::flamingo()
+        }
+    }
+
+    /// gen: the workload generator — a dual AMD Athlon MP 2000+ with a
+    /// PCI-64 bus and the Syskonnect fiber NIC (§3.3). Its transmit-side
+    /// behaviour lives in `pcs-pktgen`'s transmit models; the preset is
+    /// here for inventory completeness and for simulations that point a
+    /// capture stack at the generator machine itself.
+    pub fn gen() -> MachineSpec {
+        MachineSpec {
+            name: "gen",
+            cpu: CpuSpec {
+                arch: CpuArch::OpteronK8, // closest modelled microarch (K7 core)
+                clock_hz: 1_667_000_000,
+                l2_bytes: 256 * 1024,
+                sockets: 2,
+                hyperthreading: false,
+            },
+            memory: MemorySystem::opteron(),
+            pci: PciBus::new(PciKind::Pci64),
+            nic: NicModel::intel_82544(),
+            disk: DiskModel::raid_opteron(),
+            os: OsKind::Linux26,
+            ram_bytes: 1 << 30,
+        }
+    }
+
+    /// The four sniffers in the order the thesis plots them.
+    pub fn all_sniffers() -> [MachineSpec; 4] {
+        [
+            MachineSpec::swan(),
+            MachineSpec::snipe(),
+            MachineSpec::moorhen(),
+            MachineSpec::flamingo(),
+        ]
+    }
+
+    /// This machine restricted to one processor ("no SMP" mode).
+    pub fn single_cpu(mut self) -> MachineSpec {
+        self.cpu.sockets = 1;
+        self
+    }
+
+    /// Enable Hyperthreading (only meaningful on the Xeons).
+    pub fn with_hyperthreading(mut self) -> MachineSpec {
+        if self.cpu.arch == CpuArch::XeonNetburst {
+            self.cpu.hyperthreading = true;
+        }
+        self
+    }
+
+    /// Swap the installed OS (e.g. FreeBSD 5.2.1 for Fig. B.1).
+    pub fn with_os(mut self, os: OsKind) -> MachineSpec {
+        self.os = os;
+        self
+    }
+
+    /// The calibrated cost table for this machine.
+    pub fn costs(&self) -> OsCosts {
+        os_costs(self.os, self.cpu.arch)
+    }
+
+    /// A short OS/arch label, e.g. "Linux/AMD - swan".
+    pub fn label(&self) -> String {
+        let os = match self.os {
+            OsKind::Linux26 => "Linux",
+            OsKind::FreeBsd54 => "FreeBSD",
+            OsKind::FreeBsd521 => "FreeBSD-5.2.1",
+        };
+        let arch = match self.cpu.arch {
+            CpuArch::OpteronK8 => "AMD",
+            CpuArch::XeonNetburst => "Intel",
+        };
+        format!("{os}/{arch} - {}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_matches_fig_2_4() {
+        let swan = MachineSpec::swan();
+        assert_eq!(swan.cpu.arch, CpuArch::OpteronK8);
+        assert_eq!(swan.os, OsKind::Linux26);
+        let moorhen = MachineSpec::moorhen();
+        assert_eq!(moorhen.cpu.arch, CpuArch::OpteronK8);
+        assert_eq!(moorhen.os, OsKind::FreeBsd54);
+        let flamingo = MachineSpec::flamingo();
+        assert_eq!(flamingo.cpu.arch, CpuArch::XeonNetburst);
+        assert_eq!(flamingo.os, OsKind::FreeBsd54);
+        let snipe = MachineSpec::snipe();
+        assert_eq!(snipe.cpu.arch, CpuArch::XeonNetburst);
+        assert_eq!(snipe.os, OsKind::Linux26);
+        for m in MachineSpec::all_sniffers() {
+            assert_eq!(m.ram_bytes, 2 << 30);
+            assert_eq!(m.cpu.sockets, 2);
+            assert!(!m.cpu.hyperthreading);
+        }
+    }
+
+    #[test]
+    fn gen_preset() {
+        let g = MachineSpec::gen();
+        assert_eq!(g.name, "gen");
+        assert_eq!(g.cpu.sockets, 2);
+        assert_eq!(g.os, OsKind::Linux26);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MachineSpec::swan().label(), "Linux/AMD - swan");
+        assert_eq!(MachineSpec::flamingo().label(), "FreeBSD/Intel - flamingo");
+    }
+
+    #[test]
+    fn mode_switches() {
+        let m = MachineSpec::moorhen().single_cpu();
+        assert_eq!(m.cpu.logical_cpus(), 1);
+        let h = MachineSpec::snipe().with_hyperthreading();
+        assert_eq!(h.cpu.logical_cpus(), 4);
+        // HT is a no-op on Opterons.
+        let o = MachineSpec::swan().with_hyperthreading();
+        assert_eq!(o.cpu.logical_cpus(), 2);
+        let old = MachineSpec::moorhen().with_os(OsKind::FreeBsd521);
+        assert!(old.costs().rx_pkt_ns > MachineSpec::moorhen().costs().rx_pkt_ns);
+    }
+}

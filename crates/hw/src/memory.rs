@@ -1,0 +1,165 @@
+//! Memory-subsystem models: shared front-side bus vs per-socket
+//! controllers.
+//!
+//! §2.4: on the Xeon, "every memory access … must share the bandwidth of
+//! the front side bus with any inter-processor communication and the
+//! normal I/O of the system" — NIC DMA eats into the copy bandwidth the
+//! capture stack needs, and a second copying CPU halves it again. The
+//! Opteron's integrated controllers and HyperTransport links keep those
+//! flows apart.
+
+use serde::{Deserialize, Serialize};
+
+/// How the machine reaches its RAM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MemoryKind {
+    /// One bus shared by all CPUs and all DMA (Intel Xeon, §2.4 Fig.
+    /// 2.5a).
+    SharedFsb {
+        /// Total sustainable bus bandwidth in bytes/second.
+        bus_bytes_per_sec: u64,
+    },
+    /// A controller per socket; DMA rides HyperTransport (AMD Opteron,
+    /// Fig. 2.5b).
+    PerSocket {
+        /// Per-socket sustainable bandwidth in bytes/second.
+        socket_bytes_per_sec: u64,
+    },
+}
+
+/// The memory system plus cache behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemorySystem {
+    /// Bus organisation.
+    pub kind: MemoryKind,
+    /// Bandwidth multiplier for copies whose working set fits in L2
+    /// (copy-from-cache is substantially faster).
+    pub cached_factor: f64,
+}
+
+impl MemorySystem {
+    /// The Xeon testbed machines: ~3.2 GB/s FSB (533 MT/s × 8 B, derated
+    /// for protocol overhead). Netburst's L2 gives copies less of a boost
+    /// than K8's — the thesis' memcpy-load experiment (Fig. 6.10) has the
+    /// Opterons clearly ahead.
+    pub fn xeon() -> MemorySystem {
+        MemorySystem {
+            kind: MemoryKind::SharedFsb {
+                bus_bytes_per_sec: 3_200_000_000,
+            },
+            cached_factor: 2.26,
+        }
+    }
+
+    /// The Opteron testbed machines: ~2.7 GB/s sustained per socket
+    /// (dual-channel DDR333 derated).
+    pub fn opteron() -> MemorySystem {
+        MemorySystem {
+            kind: MemoryKind::PerSocket {
+                socket_bytes_per_sec: 2_700_000_000,
+            },
+            cached_factor: 3.4,
+        }
+    }
+
+    /// Effective bandwidth available to **one** CPU performing a copy,
+    /// given the current DMA byte rate into memory, how many *other* CPUs
+    /// are concurrently moving memory, and whether the source data is
+    /// expected L2-resident.
+    ///
+    /// A copy reads and writes every byte, so it costs 2× its size in bus
+    /// traffic; cached copies skip the read from DRAM.
+    pub fn copy_bandwidth(
+        &self,
+        dma_bytes_per_sec: u64,
+        other_active_copiers: u32,
+        cached: bool,
+    ) -> f64 {
+        let base = match self.kind {
+            MemoryKind::SharedFsb { bus_bytes_per_sec } => {
+                let avail =
+                    (bus_bytes_per_sec as f64 - dma_bytes_per_sec as f64).max(1e8);
+                // Copies move two bytes of bus traffic per payload byte,
+                // and concurrent copiers share the bus.
+                avail / 2.0 / (1 + other_active_copiers) as f64
+            }
+            MemoryKind::PerSocket {
+                socket_bytes_per_sec,
+            } => {
+                // DMA lands via HyperTransport without crossing this
+                // socket's controller; other sockets have their own.
+                socket_bytes_per_sec as f64 / 2.0
+            }
+        };
+        if cached {
+            base * self.cached_factor
+        } else {
+            base
+        }
+    }
+
+    /// Nanoseconds to copy `bytes` under the given contention conditions.
+    pub fn copy_ns(
+        &self,
+        bytes: u64,
+        dma_bytes_per_sec: u64,
+        other_active_copiers: u32,
+        cached: bool,
+    ) -> u64 {
+        let bw = self.copy_bandwidth(dma_bytes_per_sec, other_active_copiers, cached);
+        (bytes as f64 / bw * 1e9).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_steals_fsb_bandwidth_on_xeon_only() {
+        let x = MemorySystem::xeon();
+        let o = MemorySystem::opteron();
+        let quiet_x = x.copy_bandwidth(0, 0, false);
+        let busy_x = x.copy_bandwidth(120_000_000, 0, false);
+        assert!(busy_x < quiet_x);
+        let quiet_o = o.copy_bandwidth(0, 0, false);
+        let busy_o = o.copy_bandwidth(120_000_000, 0, false);
+        assert_eq!(quiet_o, busy_o, "Opteron DMA must not contend");
+    }
+
+    #[test]
+    fn concurrent_copiers_share_the_fsb() {
+        let x = MemorySystem::xeon();
+        let alone = x.copy_bandwidth(0, 0, false);
+        let shared = x.copy_bandwidth(0, 1, false);
+        assert!((alone / shared - 2.0).abs() < 1e-9);
+        // Opteron sockets are independent.
+        let o = MemorySystem::opteron();
+        assert_eq!(o.copy_bandwidth(0, 0, false), o.copy_bandwidth(0, 1, false));
+    }
+
+    #[test]
+    fn cached_copies_are_faster() {
+        for m in [MemorySystem::xeon(), MemorySystem::opteron()] {
+            assert!(m.copy_bandwidth(0, 0, true) > m.copy_bandwidth(0, 0, false));
+        }
+    }
+
+    #[test]
+    fn copy_ns_scales_linearly() {
+        let o = MemorySystem::opteron();
+        let t1 = o.copy_ns(1_000, 0, 0, false);
+        let t2 = o.copy_ns(2_000, 0, 0, false);
+        assert!((t2 as f64 / t1 as f64 - 2.0).abs() < 0.01);
+        // 1350 MB/s effective => ~741ns per KB.
+        assert!((700..800).contains(&t1), "t1={t1}");
+    }
+
+    #[test]
+    fn bandwidth_floor_under_extreme_dma() {
+        let x = MemorySystem::xeon();
+        // Even absurd DMA rates leave a minimum floor.
+        let bw = x.copy_bandwidth(u64::MAX, 0, false);
+        assert!(bw > 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Receive-side NIC model (Intel 82544EI and friends).
+//!
+//! The card verifies the checksum, strips the preamble, DMAs the frame
+//! into host memory through the PCI bus, and raises an interrupt (§2.1).
+//! The model carries the two loss points a real card has: the on-chip RX
+//! FIFO (overflow when the bus can't drain it) and the host descriptor
+//! ring (overflow when the kernel doesn't replenish buffers fast enough),
+//! plus the interrupt scheme — per-packet by default, since "every
+//! received packet generates one interrupt" (§2.2.1), with optional
+//! moderation as offered by the era's Intel/Syskonnect cards.
+
+use serde::{Deserialize, Serialize};
+
+/// Interrupt generation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InterruptScheme {
+    /// One interrupt per received packet (the thesis' baseline).
+    PerPacket,
+    /// Hardware interrupt moderation: at most one interrupt per
+    /// `min_gap_ns` nanoseconds; packets arriving in between are picked up
+    /// by the same interrupt ("gathering some interrupts before
+    /// originating one", §2.2.1).
+    Moderated {
+        /// Minimum spacing between interrupts.
+        min_gap_ns: u64,
+    },
+    /// Device polling (FreeBSD `polling(4)` / Linux NAPI, §2.2.1): the
+    /// kernel visits the ring every `interval_ns` instead of taking
+    /// receive interrupts, bounding the interrupt load at any packet rate
+    /// — the Mogul/Ramakrishnan livelock remedy. The per-visit entry cost
+    /// is a fraction of a full interrupt.
+    Polling {
+        /// Poll period.
+        interval_ns: u64,
+    },
+}
+
+/// Receive NIC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NicModel {
+    /// On-chip receive FIFO in bytes (64 kB on the 82544).
+    pub rx_fifo_bytes: u32,
+    /// Host descriptor ring slots (the e1000 default of 256).
+    pub rx_ring_slots: u32,
+    /// Interrupt policy.
+    pub interrupts: InterruptScheme,
+}
+
+impl NicModel {
+    /// The Intel 82544EI GBit fiber controller in the sniffers.
+    pub fn intel_82544() -> NicModel {
+        NicModel {
+            rx_fifo_bytes: 64 * 1024,
+            rx_ring_slots: 256,
+            interrupts: InterruptScheme::PerPacket,
+        }
+    }
+
+    /// The same card with hardware interrupt moderation enabled
+    /// (an extension measurement; not the thesis default).
+    pub fn intel_82544_moderated(min_gap_us: u64) -> NicModel {
+        NicModel {
+            interrupts: InterruptScheme::Moderated {
+                min_gap_ns: min_gap_us * 1000,
+            },
+            ..NicModel::intel_82544()
+        }
+    }
+
+    /// The card driven by device polling at the given period
+    /// (FreeBSD `kern.polling` / NAPI style, §2.2.1).
+    pub fn intel_82544_polling(interval_us: u64) -> NicModel {
+        NicModel {
+            interrupts: InterruptScheme::Polling {
+                interval_ns: interval_us.max(1) * 1000,
+            },
+            ..NicModel::intel_82544()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let n = NicModel::intel_82544();
+        assert_eq!(n.rx_fifo_bytes, 65536);
+        assert_eq!(n.rx_ring_slots, 256);
+        assert_eq!(n.interrupts, InterruptScheme::PerPacket);
+        let m = NicModel::intel_82544_moderated(100);
+        assert_eq!(
+            m.interrupts,
+            InterruptScheme::Moderated {
+                min_gap_ns: 100_000
+            }
+        );
+        let p = NicModel::intel_82544_polling(50);
+        assert_eq!(
+            p.interrupts,
+            InterruptScheme::Polling {
+                interval_ns: 50_000
+            }
+        );
+    }
+}

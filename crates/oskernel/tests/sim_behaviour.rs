@@ -1,0 +1,339 @@
+//! Behavioural tests for the machine simulator: conservation laws,
+//! determinism, and the qualitative mechanisms each capture stack must
+//! exhibit.
+
+use pcs_hw::MachineSpec;
+use pcs_oskernel::{AppConfig, BufferConfig, MachineSim, RunReport, SimConfig};
+use pcs_pktgen::{
+    DistConfig, Generator, PktgenConfig, SizeSource, TwoStageDist, TxModel,
+};
+
+/// A generator over the synthetic MWN distribution at a given rate.
+fn source(count: u64, rate_mbps: f64, seed: u64) -> impl Iterator<Item = (pcs_des::SimTime, pcs_wire::SimPacket)> {
+    let counts = pcs_pktgen::mwn_counts(1_000_000);
+    let dist = TwoStageDist::from_counts(
+        counts.iter().map(|(&s, &c)| (s, c)),
+        &DistConfig::default(),
+    )
+    .unwrap();
+    let mean = pcs_pktgen::mwn_mean(&counts) + 14.0;
+    let cfg = PktgenConfig {
+        count,
+        size: SizeSource::Distribution(dist),
+        ..PktgenConfig::default()
+    };
+    let mut g = Generator::new(cfg, TxModel::syskonnect(), seed);
+    g.set_target_rate(rate_mbps, mean);
+    g.set_burstiness(16);
+    g.map(|tp| (tp.time, tp.packet))
+}
+
+fn run(spec: MachineSpec, cfg: SimConfig, count: u64, rate: f64, seed: u64) -> RunReport {
+    MachineSim::new(spec, cfg).run(source(count, rate, seed))
+}
+
+#[test]
+fn low_rate_everyone_captures_everything() {
+    for spec in MachineSpec::all_sniffers() {
+        let r = run(spec, SimConfig::default(), 20_000, 100.0, 1);
+        assert_eq!(r.offered, 20_000, "{}", r.machine);
+        assert_eq!(
+            r.apps[0].received, 20_000,
+            "{} dropped at 100 Mbit/s: {:?}",
+            r.machine, r.apps[0].stats
+        );
+        assert_eq!(r.nic_ring_drops, 0, "{}", r.machine);
+    }
+}
+
+#[test]
+fn conservation_of_packets() {
+    for spec in MachineSpec::all_sniffers() {
+        for rate in [300.0, 950.0] {
+            let r = run(spec.single_cpu(), SimConfig::default(), 30_000, rate, 2);
+            let a = &r.apps[0];
+            let s = a.stats;
+            let total = a.received
+                + s.dropped_buffer
+                + s.dropped_pool
+                + s.rejected
+                + r.nic_ring_drops;
+            assert_eq!(
+                total, r.offered,
+                "{} at {rate}: received {} + drops must equal offered {}",
+                r.machine, a.received, r.offered
+            );
+            assert_eq!(s.accepted + s.rejected + r.nic_ring_drops, r.offered);
+            assert_eq!(s.delivered, a.received);
+        }
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let spec = MachineSpec::swan();
+    let a = run(spec, SimConfig::default(), 10_000, 500.0, 7);
+    let b = run(spec, SimConfig::default(), 10_000, 500.0, 7);
+    assert_eq!(a.apps[0].received, b.apps[0].received);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.final_acct, b.final_acct);
+    let c = run(spec, SimConfig::default(), 10_000, 500.0, 8);
+    // A different seed gives a different packet stream; byte totals
+    // virtually never coincide.
+    assert_ne!(a.apps[0].received_bytes, c.apps[0].received_bytes);
+}
+
+#[test]
+fn cpu_time_is_conserved() {
+    let r = run(MachineSpec::moorhen(), SimConfig::default(), 10_000, 400.0, 3);
+    for (i, acct) in r.final_acct.iter().enumerate() {
+        let total = acct.total();
+        let elapsed = r.elapsed.as_nanos();
+        // Accounting must cover the whole run within one work item of
+        // slack.
+        assert!(
+            total <= elapsed && total >= elapsed - elapsed / 20,
+            "cpu{i}: accounted {total} vs elapsed {elapsed}"
+        );
+    }
+}
+
+#[test]
+fn overload_degrades_capture_and_reports_busy_cpu() {
+    // flamingo single-CPU at the top rate is the thesis' canonical
+    // overload case (§6.3.1).
+    let spec = MachineSpec::flamingo().single_cpu();
+    let r = run(spec, SimConfig::default(), 60_000, 950.0, 4);
+    let rate = r.capture_rate(0);
+    assert!(rate < 0.9, "expected heavy loss, captured {rate}");
+    assert!(
+        r.load_cpu_usage() > 0.9,
+        "overloaded CPU should be pegged during load: {}",
+        r.load_cpu_usage()
+    );
+    // moorhen handles the same load single-CPU (the headline result).
+    let m = run(
+        MachineSpec::moorhen().single_cpu(),
+        SimConfig::default(),
+        60_000,
+        950.0,
+        4,
+    );
+    assert!(
+        m.capture_rate(0) > rate + 0.2,
+        "moorhen {} should clearly beat flamingo {rate}",
+        m.capture_rate(0)
+    );
+}
+
+#[test]
+fn second_cpu_helps() {
+    for spec in [MachineSpec::swan(), MachineSpec::flamingo()] {
+        let up = run(spec.single_cpu(), SimConfig::default(), 40_000, 950.0, 5);
+        let smp = run(spec, SimConfig::default(), 40_000, 950.0, 5);
+        assert!(
+            smp.capture_rate(0) >= up.capture_rate(0) - 0.02,
+            "{}: SMP {} must not be worse than UP {}",
+            spec.name,
+            smp.capture_rate(0),
+            up.capture_rate(0)
+        );
+    }
+}
+
+#[test]
+fn bigger_buffers_help_linux() {
+    // The default 110 kB rmem holds ~50 full-size packets; bursty trains
+    // overflow it long before the CPU runs out (§6.3.1). Rates near the
+    // knee make the contrast sharp without needing million-packet runs.
+    let spec = MachineSpec::swan().single_cpu();
+    let small = SimConfig {
+        buffers: BufferConfig::default_buffers(),
+        ..SimConfig::default()
+    };
+    let big = SimConfig {
+        buffers: BufferConfig::increased(),
+        ..SimConfig::default()
+    };
+    let r_small = run(spec, small, 150_000, 800.0, 6);
+    let r_big = run(spec, big, 150_000, 800.0, 6);
+    assert!(
+        r_big.capture_rate(0) > r_small.capture_rate(0),
+        "128MB ({}) must beat 108kB ({})",
+        r_big.capture_rate(0),
+        r_small.capture_rate(0)
+    );
+}
+
+#[test]
+fn reject_all_filter_captures_nothing_cheaply() {
+    let mut cfg = SimConfig::default();
+    cfg.apps[0].filter = Some(pcs_bpf::programs::reject_all());
+    let r = run(MachineSpec::moorhen(), cfg, 10_000, 500.0, 9);
+    assert_eq!(r.apps[0].received, 0);
+    assert_eq!(r.apps[0].stats.rejected, 10_000);
+}
+
+#[test]
+fn fig65_filter_accepts_all_generated_packets() {
+    let mut cfg = SimConfig::default();
+    cfg.apps[0].filter = Some(pcs_bpf::programs::fig65_program(65_535).unwrap());
+    let r = run(MachineSpec::moorhen(), cfg, 10_000, 300.0, 10);
+    assert_eq!(r.apps[0].stats.rejected, 0);
+    assert_eq!(r.apps[0].received, 10_000);
+}
+
+#[test]
+fn multiple_apps_each_get_their_own_stream() {
+    let mut cfg = SimConfig::default();
+    cfg.apps = vec![AppConfig::plain(), AppConfig::plain()];
+    for spec in [MachineSpec::moorhen(), MachineSpec::swan()] {
+        let r = run(spec, cfg.clone(), 15_000, 200.0, 11);
+        assert_eq!(r.apps.len(), 2);
+        for a in &r.apps {
+            assert_eq!(a.received, 15_000, "{} app starved", r.machine);
+        }
+    }
+}
+
+#[test]
+fn linux_collapses_with_many_apps_freebsd_degrades() {
+    let mut cfg = SimConfig::default();
+    cfg.apps = vec![AppConfig::plain(); 8];
+    let lin = run(MachineSpec::swan(), cfg.clone(), 300_000, 900.0, 12);
+    let bsd = run(MachineSpec::moorhen(), cfg, 300_000, 900.0, 12);
+    let (_, bsd_worst, bsd_best) = {
+        let (w, b) = bsd.worst_best();
+        (0, w, b)
+    };
+    assert!(
+        lin.mean_capture_rate() < bsd.mean_capture_rate() - 0.1,
+        "Linux mean {} must fall well below FreeBSD {}",
+        lin.mean_capture_rate(),
+        bsd.mean_capture_rate()
+    );
+    assert!(
+        lin.mean_capture_rate() < 0.45,
+        "Linux should approach collapse: {}",
+        lin.mean_capture_rate()
+    );
+    // FreeBSD shares evenly (§1.2: ~5% deviation).
+    assert!(
+        bsd_best - bsd_worst < 0.25,
+        "FreeBSD spread too wide: {bsd_worst}..{bsd_best}"
+    );
+}
+
+#[test]
+fn disk_writing_accounts_bytes() {
+    let mut cfg = SimConfig::default();
+    cfg.apps[0].disk_write_bytes = Some(76);
+    let r = run(MachineSpec::moorhen(), cfg, 20_000, 300.0, 13);
+    assert_eq!(r.apps[0].received, 20_000);
+    // 76 bytes per packet (or less for tiny packets).
+    assert!(r.disk_bytes > 19_000 * 70, "disk bytes {}", r.disk_bytes);
+    assert!(r.disk_bytes <= 20_000 * 76);
+}
+
+#[test]
+fn pipe_to_gzip_flows_and_terminates() {
+    let mut cfg = SimConfig::default();
+    cfg.apps[0].pipe_to_gzip = Some(3);
+    let r = run(MachineSpec::swan(), cfg, 15_000, 300.0, 14);
+    assert!(r.pipe_bytes > 0);
+    assert!(r.apps[0].received > 14_000, "received {}", r.apps[0].received);
+}
+
+#[test]
+fn mmap_beats_plain_linux_under_load() {
+    // Keep the buffer small relative to the run so steady-state
+    // throughput (not buffer absorption) decides the outcome.
+    let buffers = BufferConfig::symmetric(4 << 20);
+    let plain = SimConfig {
+        buffers,
+        ..SimConfig::default()
+    };
+    let mut mm = SimConfig {
+        buffers,
+        ..SimConfig::default()
+    };
+    mm.apps[0].mmap = true;
+    let spec = MachineSpec::snipe().single_cpu();
+    let r_plain = run(spec, plain, 80_000, 950.0, 15);
+    let r_mmap = run(spec, mm, 80_000, 950.0, 15);
+    assert!(
+        r_mmap.capture_rate(0) > r_plain.capture_rate(0) + 0.1,
+        "mmap {} must clearly beat plain {}",
+        r_mmap.capture_rate(0),
+        r_plain.capture_rate(0)
+    );
+}
+
+#[test]
+fn hyperthreading_runs_and_stays_close() {
+    let base = run(MachineSpec::snipe(), SimConfig::default(), 30_000, 800.0, 16);
+    let ht = run(
+        MachineSpec::snipe().with_hyperthreading(),
+        SimConfig::default(),
+        30_000,
+        800.0,
+        16,
+    );
+    let diff = (base.capture_rate(0) - ht.capture_rate(0)).abs();
+    assert!(diff < 0.15, "HT should neither help nor hurt much: {diff}");
+}
+
+#[test]
+fn samples_are_cumulative_and_cover_the_run() {
+    let r = run(MachineSpec::moorhen(), SimConfig::default(), 30_000, 300.0, 17);
+    assert!(!r.samples.is_empty());
+    for w in r.samples.windows(2) {
+        assert!(w[0].t < w[1].t);
+        for (a, b) in w[0].per_cpu.iter().zip(&w[1].per_cpu) {
+            assert!(b.total() >= a.total(), "accounting must be cumulative");
+        }
+    }
+}
+
+#[test]
+fn snaplen_limits_received_bytes() {
+    let mut cfg = SimConfig::default();
+    cfg.apps[0].snaplen = 76;
+    let r = run(MachineSpec::swan(), cfg, 10_000, 200.0, 18);
+    assert!(r.apps[0].received_bytes <= 76 * 10_000);
+    assert!(r.apps[0].received_bytes >= 40 * 10_000);
+}
+
+#[test]
+fn pci32_cannot_carry_a_loaded_gigabit_link() {
+    // §2.2.3: "even the PCI bus can be the bottleneck" — a machine on
+    // standard PCI drops frames before the kernel ever sees them, while
+    // the PCI-64 testbed machines do not.
+    use pcs_hw::{PciBus, PciKind};
+    let mut spec = MachineSpec::moorhen();
+    spec.pci = PciBus::new(PciKind::Pci32);
+    let r = run(spec, SimConfig::default(), 60_000, 900.0, 21);
+    assert!(
+        r.nic_ring_drops > 5_000,
+        "PCI32 must drop at the bus: {} drops",
+        r.nic_ring_drops
+    );
+    let ok = run(MachineSpec::moorhen(), SimConfig::default(), 60_000, 900.0, 21);
+    assert_eq!(ok.nic_ring_drops, 0, "PCI-64 carries the link");
+}
+
+#[test]
+fn interrupt_moderation_cuts_interrupt_overhead() {
+    use pcs_hw::NicModel;
+    let mut spec = MachineSpec::moorhen();
+    spec.nic = NicModel::intel_82544_moderated(100);
+    let moderated = run(spec, SimConfig::default(), 30_000, 300.0, 22);
+    let stock = run(MachineSpec::moorhen(), SimConfig::default(), 30_000, 300.0, 22);
+    assert_eq!(moderated.apps[0].received, 30_000);
+    let irq_mod: u64 = moderated.final_acct.iter().map(|a| a.irq).sum();
+    let irq_stock: u64 = stock.final_acct.iter().map(|a| a.irq).sum();
+    assert!(
+        irq_mod < irq_stock,
+        "moderation must amortize interrupt entry cost: {irq_mod} vs {irq_stock}"
+    );
+}

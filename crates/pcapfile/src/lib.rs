@@ -1,0 +1,32 @@
+//! # pcs-pcapfile — pcap savefile reading and writing
+//!
+//! The classic libpcap savefile format (as written by `tcpdump -w` and read
+//! by every analysis tool the thesis mentions), plus the trace-summary
+//! helper the `createDist` tool uses to turn traces into packet-size
+//! distributions (thesis §4.2.1, Appendix A.1).
+//!
+//! Both byte orders are read; files are written in the host-independent
+//! little-endian convention with microsecond timestamps, format version
+//! 2.4, LINKTYPE_ETHERNET.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reader;
+pub mod summary;
+pub mod writer;
+
+pub use reader::{PcapError, PcapReader, Record};
+pub use summary::SizeHistogram;
+pub use writer::PcapWriter;
+
+/// Magic for microsecond-timestamp pcap files.
+pub const MAGIC_USEC: u32 = 0xa1b2_c3d4;
+/// Magic for nanosecond-timestamp pcap files.
+pub const MAGIC_NSEC: u32 = 0xa1b2_3c4d;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// The global header length.
+pub const GLOBAL_HEADER_LEN: usize = 24;
+/// The per-record header length.
+pub const RECORD_HEADER_LEN: usize = 16;

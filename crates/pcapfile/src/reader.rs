@@ -1,0 +1,242 @@
+//! Reading pcap savefiles (both byte orders, µs and ns timestamps).
+
+use crate::{GLOBAL_HEADER_LEN, MAGIC_NSEC, MAGIC_USEC, RECORD_HEADER_LEN};
+
+/// One captured packet record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Capture timestamp in nanoseconds since the epoch.
+    pub ts_ns: u64,
+    /// Original length of the packet on the wire.
+    pub orig_len: u32,
+    /// The captured bytes (at most the file's snaplen).
+    pub data: Vec<u8>,
+}
+
+/// Reading failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcapError {
+    /// Not a pcap file (bad magic).
+    BadMagic(u32),
+    /// Header or record truncated.
+    Truncated,
+    /// A record claims more captured bytes than the file's snaplen allows.
+    OversizedRecord {
+        /// The record's included length.
+        incl_len: u32,
+        /// The file's snaplen.
+        snaplen: u32,
+    },
+}
+
+impl core::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PcapError::BadMagic(m) => write!(f, "bad pcap magic {m:#010x}"),
+            PcapError::Truncated => write!(f, "truncated pcap data"),
+            PcapError::OversizedRecord { incl_len, snaplen } => {
+                write!(f, "record incl_len {incl_len} exceeds snaplen {snaplen}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+/// An in-memory pcap reader; iterate with [`PcapReader::next_record`] or
+/// via [`IntoIterator`].
+pub struct PcapReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    big_endian: bool,
+    nanos: bool,
+    snaplen: u32,
+}
+
+impl<'a> PcapReader<'a> {
+    /// Parse the global header.
+    pub fn new(data: &'a [u8]) -> Result<PcapReader<'a>, PcapError> {
+        if data.len() < GLOBAL_HEADER_LEN {
+            return Err(PcapError::Truncated);
+        }
+        let magic_le = u32::from_le_bytes(data[0..4].try_into().expect("4"));
+        let magic_be = u32::from_be_bytes(data[0..4].try_into().expect("4"));
+        let (big_endian, nanos) = match (magic_le, magic_be) {
+            (MAGIC_USEC, _) => (false, false),
+            (MAGIC_NSEC, _) => (false, true),
+            (_, MAGIC_USEC) => (true, false),
+            (_, MAGIC_NSEC) => (true, true),
+            _ => return Err(PcapError::BadMagic(magic_le)),
+        };
+        let read_u32 = |off: usize| -> u32 {
+            let b: [u8; 4] = data[off..off + 4].try_into().expect("4");
+            if big_endian {
+                u32::from_be_bytes(b)
+            } else {
+                u32::from_le_bytes(b)
+            }
+        };
+        let snaplen = read_u32(16);
+        Ok(PcapReader {
+            data,
+            pos: GLOBAL_HEADER_LEN,
+            big_endian,
+            nanos,
+            snaplen,
+        })
+    }
+
+    /// The file's snapshot length.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    fn read_u32(&self, off: usize) -> u32 {
+        let b: [u8; 4] = self.data[off..off + 4].try_into().expect("4");
+        if self.big_endian {
+            u32::from_be_bytes(b)
+        } else {
+            u32::from_le_bytes(b)
+        }
+    }
+
+    /// Read the next record; `Ok(None)` at a clean end of file.
+    pub fn next_record(&mut self) -> Result<Option<Record>, PcapError> {
+        if self.pos == self.data.len() {
+            return Ok(None);
+        }
+        if self.pos + RECORD_HEADER_LEN > self.data.len() {
+            return Err(PcapError::Truncated);
+        }
+        let ts_sec = self.read_u32(self.pos) as u64;
+        let ts_frac = self.read_u32(self.pos + 4) as u64;
+        let incl_len = self.read_u32(self.pos + 8);
+        let orig_len = self.read_u32(self.pos + 12);
+        // Guard against corrupt headers producing huge allocations.
+        if incl_len > self.snaplen.max(65_535) {
+            return Err(PcapError::OversizedRecord {
+                incl_len,
+                snaplen: self.snaplen,
+            });
+        }
+        let start = self.pos + RECORD_HEADER_LEN;
+        let end = start + incl_len as usize;
+        if end > self.data.len() {
+            return Err(PcapError::Truncated);
+        }
+        self.pos = end;
+        let ts_ns = if self.nanos {
+            ts_sec * 1_000_000_000 + ts_frac
+        } else {
+            ts_sec * 1_000_000_000 + ts_frac * 1_000
+        };
+        Ok(Some(Record {
+            ts_ns,
+            orig_len,
+            data: self.data[start..end].to_vec(),
+        }))
+    }
+
+    /// Collect every record (failing on the first malformed one).
+    pub fn records(mut self) -> Result<Vec<Record>, PcapError> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_record()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::PcapWriter;
+
+    fn sample_file() -> Vec<u8> {
+        let mut w = PcapWriter::new(Vec::new(), 1514).unwrap();
+        w.write_packet(1_000_000, 60, &[1u8; 60]).unwrap();
+        w.write_packet(2_000_000, 1514, &[2u8; 1514]).unwrap();
+        w.write_packet(3_500_000, 200, &[3u8; 200]).unwrap();
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let file = sample_file();
+        let r = PcapReader::new(&file).unwrap();
+        assert_eq!(r.snaplen(), 1514);
+        let recs = r.records().unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].ts_ns, 1_000_000); // µs-rounded
+        assert_eq!(recs[0].orig_len, 60);
+        assert_eq!(recs[1].data.len(), 1514);
+        assert_eq!(recs[2].data, vec![3u8; 200]);
+    }
+
+    #[test]
+    fn big_endian_files_read_back() {
+        // Hand-build a big-endian file with one record.
+        let mut f = Vec::new();
+        f.extend_from_slice(&MAGIC_USEC.to_be_bytes());
+        f.extend_from_slice(&2u16.to_be_bytes());
+        f.extend_from_slice(&4u16.to_be_bytes());
+        f.extend_from_slice(&0u32.to_be_bytes());
+        f.extend_from_slice(&0u32.to_be_bytes());
+        f.extend_from_slice(&96u32.to_be_bytes());
+        f.extend_from_slice(&1u32.to_be_bytes());
+        f.extend_from_slice(&7u32.to_be_bytes()); // ts_sec
+        f.extend_from_slice(&5u32.to_be_bytes()); // ts_usec
+        f.extend_from_slice(&4u32.to_be_bytes()); // incl
+        f.extend_from_slice(&100u32.to_be_bytes()); // orig
+        f.extend_from_slice(&[9u8; 4]);
+        let recs = PcapReader::new(&f).unwrap().records().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].ts_ns, 7_000_005_000);
+        assert_eq!(recs[0].orig_len, 100);
+    }
+
+    #[test]
+    fn nanosecond_magic() {
+        let mut f = Vec::new();
+        f.extend_from_slice(&MAGIC_NSEC.to_le_bytes());
+        f.extend_from_slice(&[0u8; 12]);
+        f.extend_from_slice(&96u32.to_le_bytes());
+        f.extend_from_slice(&1u32.to_le_bytes());
+        f.extend_from_slice(&1u32.to_le_bytes());
+        f.extend_from_slice(&42u32.to_le_bytes()); // 42 ns
+        f.extend_from_slice(&0u32.to_le_bytes());
+        f.extend_from_slice(&0u32.to_le_bytes());
+        let recs = PcapReader::new(&f).unwrap().records().unwrap();
+        assert_eq!(recs[0].ts_ns, 1_000_000_042);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(matches!(
+            PcapReader::new(&[0u8; 24]),
+            Err(PcapError::BadMagic(_))
+        ));
+        assert!(matches!(
+            PcapReader::new(&[0u8; 10]),
+            Err(PcapError::Truncated)
+        ));
+        let mut file = sample_file();
+        file.truncate(file.len() - 5);
+        let r = PcapReader::new(&file).unwrap();
+        assert!(matches!(r.records(), Err(PcapError::Truncated)));
+    }
+
+    #[test]
+    fn rejects_oversized_records() {
+        let mut w = PcapWriter::new(Vec::new(), 64).unwrap();
+        w.write_packet(0, 64, &[0u8; 64]).unwrap();
+        let mut file = w.finish().unwrap();
+        // Corrupt incl_len to something absurd.
+        file[32..36].copy_from_slice(&0x7fff_ffffu32.to_le_bytes());
+        let r = PcapReader::new(&file).unwrap();
+        assert!(matches!(
+            r.records(),
+            Err(PcapError::OversizedRecord { .. })
+        ));
+    }
+}

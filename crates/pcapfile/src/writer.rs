@@ -1,0 +1,96 @@
+//! Writing pcap savefiles.
+
+use crate::{GLOBAL_HEADER_LEN, LINKTYPE_ETHERNET, MAGIC_USEC};
+use std::io::{self, Write};
+
+/// Streaming pcap writer over any [`Write`] sink.
+///
+/// Timestamps are taken in nanoseconds (the simulation's native unit) and
+/// stored with microsecond resolution, like the 2005-era libpcap did.
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    snaplen: u32,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Create a writer and emit the global header.
+    pub fn new(mut sink: W, snaplen: u32) -> io::Result<PcapWriter<W>> {
+        let mut hdr = Vec::with_capacity(GLOBAL_HEADER_LEN);
+        hdr.extend_from_slice(&MAGIC_USEC.to_le_bytes());
+        hdr.extend_from_slice(&2u16.to_le_bytes()); // version major
+        hdr.extend_from_slice(&4u16.to_le_bytes()); // version minor
+        hdr.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        hdr.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        hdr.extend_from_slice(&snaplen.to_le_bytes());
+        hdr.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        sink.write_all(&hdr)?;
+        Ok(PcapWriter {
+            sink,
+            snaplen,
+            packets: 0,
+        })
+    }
+
+    /// Append one packet. `data` is the captured bytes (already truncated
+    /// to at most the snaplen by the capture path; this writer truncates
+    /// again defensively), `orig_len` the original wire length.
+    pub fn write_packet(&mut self, ts_ns: u64, orig_len: u32, data: &[u8]) -> io::Result<()> {
+        let incl = (data.len() as u32).min(self.snaplen);
+        let mut rec = Vec::with_capacity(16 + incl as usize);
+        rec.extend_from_slice(&((ts_ns / 1_000_000_000) as u32).to_le_bytes());
+        rec.extend_from_slice(&(((ts_ns % 1_000_000_000) / 1_000) as u32).to_le_bytes());
+        rec.extend_from_slice(&incl.to_le_bytes());
+        rec.extend_from_slice(&orig_len.to_le_bytes());
+        self.sink.write_all(&rec)?;
+        self.sink.write_all(&data[..incl as usize])?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Number of packets written.
+    pub fn packet_count(&self) -> u64 {
+        self.packets
+    }
+
+    /// The configured snapshot length.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// Flush and return the underlying sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_global_header() {
+        let w = PcapWriter::new(Vec::new(), 96).unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(buf.len(), GLOBAL_HEADER_LEN);
+        assert_eq!(&buf[0..4], &MAGIC_USEC.to_le_bytes());
+        assert_eq!(u32::from_le_bytes(buf[16..20].try_into().unwrap()), 96);
+        assert_eq!(u32::from_le_bytes(buf[20..24].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn truncates_to_snaplen() {
+        let mut w = PcapWriter::new(Vec::new(), 8).unwrap();
+        w.write_packet(1_500_000_000, 100, &[0xaa; 100]).unwrap();
+        assert_eq!(w.packet_count(), 1);
+        let buf = w.finish().unwrap();
+        // 24 global + 16 record + 8 data
+        assert_eq!(buf.len(), 48);
+        // ts_sec = 1, ts_usec = 500000
+        assert_eq!(u32::from_le_bytes(buf[24..28].try_into().unwrap()), 1);
+        assert_eq!(u32::from_le_bytes(buf[28..32].try_into().unwrap()), 500_000);
+        assert_eq!(u32::from_le_bytes(buf[32..36].try_into().unwrap()), 8);
+        assert_eq!(u32::from_le_bytes(buf[36..40].try_into().unwrap()), 100);
+    }
+}

@@ -1,0 +1,288 @@
+//! The `createDist` tool pipeline (thesis Appendix A.1): conversions
+//! between packet-size representations.
+//!
+//! `createDist` accepts *sizes* (a raw list), *dist* (size–count lines),
+//! *trace* (a pcap file) or *live* input and produces *sizes*, *dist* or
+//! *procfs* (pgset command) output. This module is the library behind the
+//! `createdist` example binary; the capture-application role of the
+//! original tool lives in `pcs-capture`.
+
+use crate::dist::{DistConfig, DistError, TwoStageDist};
+use crate::procfs::PktgenControl;
+use pcs_des::Pcg32;
+use pcs_pcapfile::{PcapError, SizeHistogram};
+
+/// Input representations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// Whitespace-separated packet sizes.
+    Sizes,
+    /// `<size> <count>` lines.
+    Dist,
+    /// A pcap savefile.
+    Trace,
+}
+
+/// Output representations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputKind {
+    /// Whitespace-separated packet sizes drawn from the distribution.
+    Sizes {
+        /// How many sizes to draw (default 10 000 000 in the original).
+        count: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `<size> <count>` lines.
+    Dist,
+    /// pgset commands for the enhanced kernel packet generator,
+    /// optionally wrapped in `pgset "..."` (the `-s` flag).
+    Procfs {
+        /// Wrap each line in `pgset "…"`.
+        surround_pgset: bool,
+    },
+}
+
+/// Conversion failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CreateDistError {
+    /// Malformed textual input.
+    Parse(String),
+    /// Malformed pcap input.
+    Pcap(PcapError),
+    /// Distribution construction failed.
+    Dist(DistError),
+}
+
+impl core::fmt::Display for CreateDistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CreateDistError::Parse(s) => write!(f, "parse error: {s}"),
+            CreateDistError::Pcap(e) => write!(f, "pcap error: {e}"),
+            CreateDistError::Dist(e) => write!(f, "distribution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CreateDistError {}
+
+impl From<PcapError> for CreateDistError {
+    fn from(e: PcapError) -> Self {
+        CreateDistError::Pcap(e)
+    }
+}
+
+impl From<DistError> for CreateDistError {
+    fn from(e: DistError) -> Self {
+        CreateDistError::Dist(e)
+    }
+}
+
+/// Read any textual/binary input into a size histogram.
+pub fn read_input(
+    kind: InputKind,
+    data: &[u8],
+    field_sep: char,
+) -> Result<SizeHistogram, CreateDistError> {
+    match kind {
+        InputKind::Sizes => {
+            let text =
+                std::str::from_utf8(data).map_err(|e| CreateDistError::Parse(e.to_string()))?;
+            let mut h = SizeHistogram::new();
+            for tok in text.split_whitespace() {
+                let size: u32 = tok
+                    .parse()
+                    .map_err(|_| CreateDistError::Parse(format!("bad size '{tok}'")))?;
+                h.add(size);
+            }
+            Ok(h)
+        }
+        InputKind::Dist => {
+            let text =
+                std::str::from_utf8(data).map_err(|e| CreateDistError::Parse(e.to_string()))?;
+            SizeHistogram::from_dist_format(text, field_sep).map_err(CreateDistError::Parse)
+        }
+        InputKind::Trace => Ok(SizeHistogram::from_pcap(data)?),
+    }
+}
+
+/// Render a histogram in the requested output representation.
+pub fn write_output(
+    hist: &SizeHistogram,
+    kind: OutputKind,
+    cfg: &DistConfig,
+    field_sep: char,
+) -> Result<String, CreateDistError> {
+    match kind {
+        OutputKind::Dist => Ok(hist.to_dist_format(field_sep)),
+        OutputKind::Procfs { surround_pgset } => {
+            let dist = TwoStageDist::from_counts(hist.iter(), cfg)?;
+            let cmds = PktgenControl::render_dist_commands(&dist, cfg.precision);
+            let mut out = String::new();
+            for c in cmds {
+                if surround_pgset {
+                    out.push_str(&format!("pgset \"{c}\"\n"));
+                } else {
+                    out.push_str(&c);
+                    out.push('\n');
+                }
+            }
+            Ok(out)
+        }
+        OutputKind::Sizes { count, seed } => {
+            let dist = TwoStageDist::from_counts(hist.iter(), cfg)?;
+            let mut rng = Pcg32::new(seed, 0xd15f);
+            let mut out = String::new();
+            for i in 0..count {
+                out.push_str(&dist.sample(&mut rng).to_string());
+                out.push(if (i + 1) % 16 == 0 { '\n' } else { ' ' });
+            }
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// The full pipeline: parse input, convert, render output.
+pub fn convert(
+    input_kind: InputKind,
+    data: &[u8],
+    output_kind: OutputKind,
+    cfg: &DistConfig,
+    field_sep: char,
+) -> Result<String, CreateDistError> {
+    let hist = read_input(input_kind, data, field_sep)?;
+    write_output(&hist, output_kind, cfg, field_sep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_to_dist() {
+        let out = convert(
+            InputKind::Sizes,
+            b"40 40 40 1500 1500 576",
+            OutputKind::Dist,
+            &DistConfig::default(),
+            ' ',
+        )
+        .unwrap();
+        assert_eq!(out, "40 3\n576 1\n1500 2\n");
+    }
+
+    #[test]
+    fn dist_to_procfs() {
+        let out = convert(
+            InputKind::Dist,
+            b"40 600\n1500 400\n",
+            OutputKind::Procfs {
+                surround_pgset: false,
+            },
+            &DistConfig::default(),
+            ' ',
+        )
+        .unwrap();
+        assert!(out.starts_with("dist 1000 20 1500"));
+        assert!(out.contains("outl 40 600"));
+        assert!(out.contains("outl 1500 400"));
+        assert!(out.ends_with("flag PKTSIZE_REAL\n"));
+        // The emitted commands must be accepted by the control interface.
+        let mut c = PktgenControl::new();
+        for line in out.lines() {
+            c.pgset(line).unwrap();
+        }
+        assert!(c.pktsize_real());
+    }
+
+    #[test]
+    fn surround_pgset_wraps_lines() {
+        let out = convert(
+            InputKind::Dist,
+            b"40 1000\n",
+            OutputKind::Procfs {
+                surround_pgset: true,
+            },
+            &DistConfig::default(),
+            ' ',
+        )
+        .unwrap();
+        for line in out.lines() {
+            assert!(line.starts_with("pgset \"") && line.ends_with('"'), "{line}");
+        }
+    }
+
+    #[test]
+    fn dist_to_sizes_and_back() {
+        let out = convert(
+            InputKind::Dist,
+            b"40 700\n1500 300\n",
+            OutputKind::Sizes {
+                count: 10_000,
+                seed: 42,
+            },
+            &DistConfig::default(),
+            ' ',
+        )
+        .unwrap();
+        // Feed the sizes back in and check the distribution survives.
+        let h = read_input(InputKind::Sizes, out.as_bytes(), ' ').unwrap();
+        assert_eq!(h.total(), 10_000);
+        let f40 = h.count(40) as f64 / 10_000.0;
+        assert!((f40 - 0.7).abs() < 0.03, "f40 {f40}");
+    }
+
+    #[test]
+    fn trace_input() {
+        use pcs_pcapfile::PcapWriter;
+        use pcs_wire::{MacAddr, SimPacket};
+        use std::net::Ipv4Addr;
+        let mut w = PcapWriter::new(Vec::new(), 65535).unwrap();
+        for len in [60u32, 60, 1514] {
+            let p = SimPacket::build_udp(
+                0,
+                0,
+                len,
+                MacAddr::ZERO,
+                MacAddr::BROADCAST,
+                Ipv4Addr::new(1, 1, 1, 1),
+                Ipv4Addr::new(2, 2, 2, 2),
+                9,
+                9,
+            );
+            w.write_packet(0, len, &p.materialize(len)).unwrap();
+        }
+        let file = w.finish().unwrap();
+        let h = read_input(InputKind::Trace, &file, ' ').unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.count(46), 2); // IP total length
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(convert(
+            InputKind::Sizes,
+            b"40 nonsense",
+            OutputKind::Dist,
+            &DistConfig::default(),
+            ' '
+        )
+        .is_err());
+        assert!(read_input(InputKind::Trace, b"not a pcap", ' ').is_err());
+        assert!(matches!(
+            convert(
+                InputKind::Sizes,
+                b"",
+                OutputKind::Procfs {
+                    surround_pgset: false
+                },
+                &DistConfig::default(),
+                ' '
+            ),
+            Err(CreateDistError::Dist(DistError::Empty))
+        ));
+    }
+}

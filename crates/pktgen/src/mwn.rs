@@ -1,0 +1,155 @@
+//! A synthetic stand-in for the thesis' 24-hour MWN uplink trace.
+//!
+//! The real trace (captured at the Munich Scientific Network's G-WiN
+//! uplink) is not publicly available; this module reconstructs a packet
+//! size distribution with the properties the thesis reports about it:
+//!
+//! * dominant peaks at 40, 52 and 1500 bytes, visible peaks at 552, 576
+//!   and in the 1420–1500 range (Fig. 4.1);
+//! * the three most frequent sizes cover more than 55 % of all packets and
+//!   the top twenty more than 75 % (Fig. 4.2);
+//! * a mean packet size of about 645 bytes (§6.3.1 derives 645 B from the
+//!   distribution used for generation);
+//! * no jumbo frames (§4.2.1);
+//! * a long, roughly power-law tail over all other sizes (the log-scale
+//!   scatter of Fig. 4.1).
+
+use std::collections::BTreeMap;
+
+/// The named peaks: `(size, per-mille-of-total)`. The remaining mass forms
+/// the `1/size` tail.
+const PEAKS: &[(u32, u32)] = &[
+    (40, 250),   // TCP ACKs
+    (52, 130),   // ACKs with timestamp options
+    (1500, 220), // full MTU
+    (1460, 40),  // MSS data without options
+    (1480, 30),
+    (576, 40), // classic fragment/PMTU default
+    (552, 30),
+    (1420, 15),
+    (1452, 10),
+    (1454, 8),
+    (1440, 7),
+    (1492, 7), // PPPoE MTU
+    (44, 12),
+    (48, 12),
+    (57, 7),
+    (60, 10),
+    (64, 10),
+    (1400, 5),
+    (1300, 4),
+    (628, 3),
+];
+
+/// Per-mille of the total that belongs to the tail.
+const TAIL_PERMILLE: u32 = 1000 - {
+    // const-evaluated sum of the peak shares
+    let mut sum = 0u32;
+    let mut i = 0;
+    while i < PEAKS.len() {
+        sum += PEAKS[i].1;
+        i += 1;
+    }
+    sum
+};
+
+/// Smallest size in the distribution (an IPv4 header + TCP header).
+pub const MIN_SIZE: u32 = 40;
+/// Largest size (no jumbo frames).
+pub const MAX_SIZE: u32 = 1500;
+
+/// Build the synthetic MWN packet-size histogram, scaled to roughly
+/// `total` packets (a 24 h trace in the thesis has ~10⁹; tests use less).
+pub fn mwn_counts(total: u64) -> BTreeMap<u32, u64> {
+    assert!(total >= 1_000_000, "need at least 1e6 packets for fidelity");
+    let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+
+    // Tail: mass proportional to 1/size over [MIN_SIZE, MAX_SIZE].
+    let tail_total = total * TAIL_PERMILLE as u64 / 1000;
+    let norm: f64 = (MIN_SIZE..=MAX_SIZE).map(|s| 1.0 / s as f64).sum();
+    for s in MIN_SIZE..=MAX_SIZE {
+        let c = (tail_total as f64 * (1.0 / s as f64) / norm).round() as u64;
+        if c > 0 {
+            counts.insert(s, c);
+        }
+    }
+
+    // Peaks on top.
+    for &(size, permille) in PEAKS {
+        let c = total * permille as u64 / 1000;
+        *counts.entry(size).or_insert(0) += c;
+    }
+    counts
+}
+
+/// The mean packet size of the synthetic distribution.
+pub fn mwn_mean(counts: &BTreeMap<u32, u64>) -> f64 {
+    let total: u64 = counts.values().sum();
+    let weighted: u128 = counts.iter().map(|(&s, &c)| s as u128 * c as u128).sum();
+    weighted as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn top_fraction(counts: &BTreeMap<u32, u64>, n: usize) -> (Vec<u32>, f64) {
+        let total: u64 = counts.values().sum();
+        let mut v: Vec<(u32, u64)> = counts.iter().map(|(&s, &c)| (s, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        let top: u64 = v.iter().take(n).map(|&(_, c)| c).sum();
+        (
+            v.iter().take(n).map(|&(s, _)| s).collect(),
+            top as f64 / total as f64,
+        )
+    }
+
+    #[test]
+    fn top_three_are_40_52_1500_and_cover_majority() {
+        let counts = mwn_counts(100_000_000);
+        let (sizes, frac) = top_fraction(&counts, 3);
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![40, 52, 1500], "top sizes: {sizes:?}");
+        assert!(frac > 0.55, "top-3 fraction {frac}");
+    }
+
+    #[test]
+    fn top_twenty_cover_three_quarters() {
+        let counts = mwn_counts(100_000_000);
+        let (_, frac) = top_fraction(&counts, 20);
+        assert!(frac > 0.75, "top-20 fraction {frac}");
+    }
+
+    #[test]
+    fn mean_is_near_645() {
+        let counts = mwn_counts(100_000_000);
+        let mean = mwn_mean(&counts);
+        assert!(
+            (595.0..=695.0).contains(&mean),
+            "mean {mean} outside thesis band"
+        );
+    }
+
+    #[test]
+    fn no_jumbo_frames_and_no_tiny_fragments() {
+        let counts = mwn_counts(10_000_000);
+        assert!(counts.keys().all(|&s| (MIN_SIZE..=MAX_SIZE).contains(&s)));
+    }
+
+    #[test]
+    fn tail_is_broad() {
+        // The scatter plot shows essentially every size occupied.
+        let counts = mwn_counts(1_000_000_000);
+        assert!(counts.len() > 1200, "only {} distinct sizes", counts.len());
+    }
+
+    #[test]
+    fn scales_linearly() {
+        let a = mwn_counts(1_000_000);
+        let b = mwn_counts(10_000_000);
+        let fa = a[&40] as f64 / 1_000_000.0;
+        let fb = b[&40] as f64 / 10_000_000.0;
+        assert!((fa - fb).abs() < 0.01);
+    }
+}

@@ -1,0 +1,418 @@
+//! The `/proc` control interface of the (enhanced) Linux Kernel Packet
+//! Generator.
+//!
+//! The real pktgen is configured by writing `pgset` command strings into
+//! `/proc/net/pktgen/<dev>`; the thesis adds three commands — `dist`,
+//! `outl` and `hist` — plus the `PKTSIZE_REAL` / `DIST_READY` flags
+//! (Appendix A.2.2). This module parses the same command language into a
+//! [`PktgenConfig`] and enforces the same state machine: the distribution
+//! must be complete (`DIST_READY`) before `flag PKTSIZE_REAL` succeeds.
+
+use crate::dist::{DistError, TwoStageDist};
+use pcs_wire::MacAddr;
+use std::net::Ipv4Addr;
+
+/// How packet sizes are chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeSource {
+    /// Every packet has the same size (`pkt_size N`), like stock pktgen.
+    Fixed(u32),
+    /// Sizes follow a two-stage distribution (`flag PKTSIZE_REAL`).
+    Distribution(TwoStageDist),
+}
+
+/// Generator configuration, mirroring the pktgen procfs parameters used by
+/// the thesis' measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PktgenConfig {
+    /// Number of packets per run (`count`). The thesis uses 10⁶.
+    pub count: u64,
+    /// Artificial inter-packet gap in nanoseconds (`delay`).
+    pub delay_ns: u64,
+    /// Packet size source.
+    pub size: SizeSource,
+    /// Source IP (`src_min`).
+    pub src_ip: Ipv4Addr,
+    /// Destination IP (`dst`).
+    pub dst_ip: Ipv4Addr,
+    /// Source MAC base (`src_mac`).
+    pub src_mac: MacAddr,
+    /// Destination MAC (`dst_mac`).
+    pub dst_mac: MacAddr,
+    /// Cycle the source MAC through this many addresses starting at
+    /// `src_mac` (`src_mac_count`); the thesis cycles through 3.
+    pub src_mac_count: u64,
+    /// UDP source port.
+    pub udp_src_port: u16,
+    /// UDP destination port.
+    pub udp_dst_port: u16,
+}
+
+impl Default for PktgenConfig {
+    fn default() -> Self {
+        // The addressing used for the thesis measurements (§6.3.2).
+        PktgenConfig {
+            count: 1_000_000,
+            delay_ns: 0,
+            size: SizeSource::Fixed(1500),
+            src_ip: Ipv4Addr::new(192, 168, 10, 100),
+            dst_ip: Ipv4Addr::new(192, 168, 10, 12),
+            src_mac: MacAddr::ZERO,
+            dst_mac: MacAddr::new(0x00, 0x0e, 0x0c, 0x01, 0x02, 0x03),
+            src_mac_count: 3,
+            udp_src_port: 9,
+            udp_dst_port: 9,
+        }
+    }
+}
+
+/// In-flight distribution entry state (between `dist` and the final
+/// `outl`/`hist` line).
+#[derive(Debug, Clone, Default)]
+struct PendingDist {
+    precision: u32,
+    binsize: u32,
+    max_size: u32,
+    want_outl: usize,
+    want_hist: usize,
+    outl: Vec<(u32, u32)>,
+    hist: Vec<(u32, u32)>,
+}
+
+/// The procfs-style control endpoint: feed it `pgset` command strings.
+#[derive(Debug, Clone, Default)]
+pub struct PktgenControl {
+    /// The accumulated configuration.
+    pub config: PktgenConfig,
+    pending: Option<PendingDist>,
+    ready_dist: Option<TwoStageDist>,
+    dist_ready: bool,
+    pktsize_real: bool,
+}
+
+/// A command error, with the offending command echoed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdError {
+    /// The command that failed.
+    pub command: String,
+    /// Why.
+    pub message: String,
+}
+
+impl core::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pgset \"{}\": {}", self.command, self.message)
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+impl From<DistError> for CmdError {
+    fn from(e: DistError) -> Self {
+        CmdError {
+            command: String::new(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl PktgenControl {
+    /// A control endpoint with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the entered distribution is complete (the `DIST_READY`
+    /// flag of the thesis' enhancement).
+    pub fn dist_ready(&self) -> bool {
+        self.dist_ready
+    }
+
+    /// Whether distribution-based sizing is active (`PKTSIZE_REAL`).
+    pub fn pktsize_real(&self) -> bool {
+        self.pktsize_real
+    }
+
+    /// Apply one `pgset` command line.
+    pub fn pgset(&mut self, command: &str) -> Result<(), CmdError> {
+        let err = |msg: &str| CmdError {
+            command: command.to_string(),
+            message: msg.to_string(),
+        };
+        let mut parts = command.split_whitespace();
+        let verb = parts.next().ok_or_else(|| err("empty command"))?;
+        let args: Vec<&str> = parts.collect();
+        let num = |s: &str| -> Result<u64, CmdError> {
+            s.parse().map_err(|_| err(&format!("bad number '{s}'")))
+        };
+        match verb {
+            "count" => {
+                self.config.count = num(args.first().ok_or_else(|| err("missing count"))?)?;
+            }
+            "delay" => {
+                self.config.delay_ns = num(args.first().ok_or_else(|| err("missing delay"))?)?;
+            }
+            "pkt_size" => {
+                let n = num(args.first().ok_or_else(|| err("missing size"))?)? as u32;
+                if !(42..=1514).contains(&n) {
+                    return Err(err("pkt_size out of range (42..=1514)"));
+                }
+                self.config.size = SizeSource::Fixed(n);
+                self.pktsize_real = false;
+            }
+            "dst" => {
+                self.config.dst_ip = args
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad destination IP"))?;
+            }
+            "src_min" => {
+                self.config.src_ip = args
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad source IP"))?;
+            }
+            "dst_mac" => {
+                self.config.dst_mac = args
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad destination MAC"))?;
+            }
+            "src_mac" => {
+                self.config.src_mac = args
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad source MAC"))?;
+            }
+            "src_mac_count" => {
+                self.config.src_mac_count =
+                    num(args.first().ok_or_else(|| err("missing count"))?)?.max(1);
+            }
+            "udp_src_port" => {
+                self.config.udp_src_port =
+                    num(args.first().ok_or_else(|| err("missing port"))?)? as u16;
+            }
+            "udp_dst_port" => {
+                self.config.udp_dst_port =
+                    num(args.first().ok_or_else(|| err("missing port"))?)? as u16;
+            }
+            // --- the thesis' enhancement (Appendix A.2.2) ---
+            "dist" => {
+                if args.len() != 5 {
+                    return Err(err(
+                        "usage: dist <precision> <hist_width> <max_size> <num_outl> <num_hist>",
+                    ));
+                }
+                let precision = num(args[0])? as u32;
+                let binsize = num(args[1])? as u32;
+                let max_size = num(args[2])? as u32;
+                let want_outl = num(args[3])? as usize;
+                let want_hist = num(args[4])? as usize;
+                if precision == 0 || binsize == 0 || max_size == 0 {
+                    return Err(err("dist parameters must be positive"));
+                }
+                self.pending = Some(PendingDist {
+                    precision,
+                    binsize,
+                    max_size,
+                    want_outl,
+                    want_hist,
+                    outl: Vec::new(),
+                    hist: Vec::new(),
+                });
+                self.dist_ready = false;
+                self.pktsize_real = false;
+            }
+            "outl" | "hist" => {
+                if args.len() != 2 {
+                    return Err(err("usage: outl|hist <size> <cells>"));
+                }
+                let size = num(args[0])? as u32;
+                let cells = num(args[1])? as u32;
+                let pending = self
+                    .pending
+                    .as_mut()
+                    .ok_or_else(|| err("no 'dist' command in progress"))?;
+                if verb == "outl" {
+                    if pending.outl.len() >= pending.want_outl {
+                        return Err(err("more outl lines than announced"));
+                    }
+                    pending.outl.push((size, cells));
+                } else {
+                    if pending.hist.len() >= pending.want_hist {
+                        return Err(err("more hist lines than announced"));
+                    }
+                    pending.hist.push((size, cells));
+                }
+                self.check_dist_complete().map_err(|e| CmdError {
+                    command: command.to_string(),
+                    message: e.message,
+                })?;
+            }
+            "flag" => match args.first().copied() {
+                Some("PKTSIZE_REAL") => {
+                    // Only succeeds once the distribution is complete —
+                    // the DIST_READY gate of the thesis' module.
+                    if !self.dist_ready {
+                        return Err(err("distribution not ready (DIST_READY unset)"));
+                    }
+                    let d = self.ready_dist.clone().expect("ready implies built");
+                    self.config.size = SizeSource::Distribution(d);
+                    self.pktsize_real = true;
+                }
+                Some(other) => return Err(err(&format!("unknown flag '{other}'"))),
+                None => return Err(err("missing flag name")),
+            },
+            other => return Err(err(&format!("unknown command '{other}'"))),
+        }
+        Ok(())
+    }
+
+    /// The thesis' `check_dist_complete()`: once the announced number of
+    /// `outl` and `hist` lines has arrived, build the arrays and set
+    /// DIST_READY.
+    fn check_dist_complete(&mut self) -> Result<(), CmdError> {
+        let done = match &self.pending {
+            Some(p) => p.outl.len() == p.want_outl && p.hist.len() == p.want_hist,
+            None => false,
+        };
+        if !done {
+            return Ok(());
+        }
+        let p = self.pending.take().expect("checked above");
+        let dist =
+            TwoStageDist::from_entries(p.precision, p.binsize, p.max_size, &p.outl, &p.hist)
+                .map_err(|e| CmdError {
+                    command: String::new(),
+                    message: e.to_string(),
+                })?;
+        self.ready_dist = Some(dist);
+        self.dist_ready = true;
+        Ok(())
+    }
+
+    /// Render a complete distribution as the pgset command sequence that
+    /// reproduces it (what `createDist -O procfs` emits).
+    pub fn render_dist_commands(dist: &TwoStageDist, precision: u32) -> Vec<String> {
+        let outl = dist.outlier_entries();
+        let hist = dist.bin_entries();
+        let mut cmds = Vec::with_capacity(outl.len() + hist.len() + 2);
+        cmds.push(format!(
+            "dist {} {} {} {} {}",
+            precision,
+            dist.binsize(),
+            dist.max_size(),
+            outl.len(),
+            hist.len()
+        ));
+        for (size, cells) in outl {
+            cmds.push(format!("outl {size} {cells}"));
+        }
+        for (size, cells) in hist {
+            cmds.push(format!("hist {size} {cells}"));
+        }
+        cmds.push("flag PKTSIZE_REAL".to_string());
+        cmds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::DistConfig;
+
+    #[test]
+    fn basic_parameters() {
+        let mut c = PktgenControl::new();
+        c.pgset("count 500000").unwrap();
+        c.pgset("delay 1200").unwrap();
+        c.pgset("pkt_size 64").unwrap();
+        c.pgset("dst 192.168.10.12").unwrap();
+        c.pgset("src_min 192.168.10.100").unwrap();
+        c.pgset("dst_mac 00:0e:0c:01:02:03").unwrap();
+        c.pgset("src_mac 00:00:00:00:00:00").unwrap();
+        c.pgset("src_mac_count 3").unwrap();
+        assert_eq!(c.config.count, 500_000);
+        assert_eq!(c.config.delay_ns, 1200);
+        assert_eq!(c.config.size, SizeSource::Fixed(64));
+        assert_eq!(c.config.src_mac_count, 3);
+    }
+
+    #[test]
+    fn errors_reported_with_command() {
+        let mut c = PktgenControl::new();
+        let e = c.pgset("pkt_size banana").unwrap_err();
+        assert!(e.message.contains("bad number"));
+        assert!(c.pgset("pkt_size 9999").is_err());
+        assert!(c.pgset("frobnicate 1").is_err());
+        assert!(c.pgset("").is_err());
+        assert!(c.pgset("dst not.an.ip").is_err());
+    }
+
+    #[test]
+    fn distribution_state_machine() {
+        let mut c = PktgenControl::new();
+        // PKTSIZE_REAL before any distribution: refused.
+        assert!(c.pgset("flag PKTSIZE_REAL").is_err());
+
+        c.pgset("dist 1000 20 1500 2 1").unwrap();
+        assert!(!c.dist_ready());
+        // outl/hist before dist announcement done.
+        c.pgset("outl 40 600").unwrap();
+        assert!(!c.dist_ready());
+        c.pgset("outl 1500 300").unwrap();
+        assert!(!c.dist_ready());
+        c.pgset("hist 100 100").unwrap();
+        assert!(c.dist_ready());
+        c.pgset("flag PKTSIZE_REAL").unwrap();
+        assert!(c.pktsize_real());
+        assert!(matches!(c.config.size, SizeSource::Distribution(_)));
+    }
+
+    #[test]
+    fn too_many_entry_lines_rejected() {
+        let mut c = PktgenControl::new();
+        c.pgset("dist 1000 20 1500 1 1").unwrap();
+        c.pgset("outl 40 500").unwrap();
+        // The announcement said one outl line.
+        assert!(c.pgset("outl 52 100").is_err());
+    }
+
+    #[test]
+    fn entry_lines_require_dist() {
+        let mut c = PktgenControl::new();
+        assert!(c.pgset("outl 40 100").is_err());
+        assert!(c.pgset("hist 100 100").is_err());
+    }
+
+    #[test]
+    fn render_commands_roundtrip() {
+        let counts = vec![(40u32, 500u64), (1500, 300), (700, 100), (720, 100)];
+        let dist = TwoStageDist::from_counts(counts, &DistConfig::default()).unwrap();
+        let cmds = PktgenControl::render_dist_commands(&dist, 1000);
+        let mut c = PktgenControl::new();
+        for cmd in &cmds {
+            c.pgset(cmd).unwrap_or_else(|e| panic!("{e}"));
+        }
+        assert!(c.pktsize_real());
+        match &c.config.size {
+            SizeSource::Distribution(d) => {
+                assert_eq!(d.outlier_entries(), dist.outlier_entries());
+                assert_eq!(d.bin_entries(), dist.bin_entries());
+            }
+            _ => panic!("distribution not installed"),
+        }
+    }
+
+    #[test]
+    fn pkt_size_clears_pktsize_real() {
+        let mut c = PktgenControl::new();
+        c.pgset("dist 1000 20 1500 1 1").unwrap();
+        c.pgset("outl 40 500").unwrap();
+        c.pgset("hist 100 100").unwrap();
+        c.pgset("flag PKTSIZE_REAL").unwrap();
+        c.pgset("pkt_size 1500").unwrap();
+        assert!(!c.pktsize_real());
+        assert_eq!(c.config.size, SizeSource::Fixed(1500));
+    }
+}

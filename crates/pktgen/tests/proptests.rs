@@ -1,0 +1,125 @@
+//! Property tests for the distribution machinery and the generator.
+
+use pcs_des::Pcg32;
+use pcs_pktgen::{
+    DistConfig, Generator, PktgenConfig, PktgenControl, SizeSource, TwoStageDist, TxModel,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_counts() -> impl Strategy<Value = BTreeMap<u32, u64>> {
+    proptest::collection::btree_map(40u32..=1500, 1u64..100_000, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Samples always stay within the representable size range.
+    #[test]
+    fn samples_in_range(counts in arb_counts(), seed in any::<u64>()) {
+        let d = TwoStageDist::from_counts(
+            counts.iter().map(|(&s, &c)| (s, c)),
+            &DistConfig::default(),
+        ).unwrap();
+        let mut rng = Pcg32::new(seed, 3);
+        for _ in 0..2_000 {
+            let s = d.sample(&mut rng);
+            prop_assert!(s >= 1 && s <= 1500, "sample {s}");
+        }
+    }
+
+    /// Heavy outliers keep (approximately) their probability mass.
+    #[test]
+    fn outlier_mass_preserved(heavy_frac in 0.2f64..0.8, seed in any::<u64>()) {
+        let heavy = (heavy_frac * 100_000.0) as u64;
+        let rest = 100_000 - heavy;
+        let mut counts = BTreeMap::new();
+        counts.insert(1500u32, heavy);
+        // Spread the rest thinly (below the outlier bound).
+        for s in 100..1100u32 {
+            counts.insert(s, rest / 1000);
+        }
+        let d = TwoStageDist::from_counts(
+            counts.iter().map(|(&s, &c)| (s, c)),
+            &DistConfig::default(),
+        ).unwrap();
+        let mut rng = Pcg32::new(seed, 5);
+        let n = 30_000u32;
+        let hits = (0..n).filter(|_| d.sample(&mut rng) == 1500).count();
+        let measured = hits as f64 / n as f64;
+        prop_assert!(
+            (measured - heavy_frac).abs() < 0.05,
+            "mass {heavy_frac} vs measured {measured}"
+        );
+    }
+
+    /// The procfs entry serialization reproduces identical arrays.
+    #[test]
+    fn entries_roundtrip(counts in arb_counts()) {
+        let d = TwoStageDist::from_counts(
+            counts.iter().map(|(&s, &c)| (s, c)),
+            &DistConfig::default(),
+        ).unwrap();
+        let d2 = TwoStageDist::from_entries(
+            1000,
+            d.binsize(),
+            d.max_size(),
+            &d.outlier_entries(),
+            &d.bin_entries(),
+        ).unwrap();
+        let mut a = Pcg32::new(1, 1);
+        let mut b = Pcg32::new(1, 1);
+        for _ in 0..500 {
+            prop_assert_eq!(d.sample(&mut a), d2.sample(&mut b));
+        }
+    }
+
+    /// The full pgset command sequence emitted for any distribution is
+    /// accepted by the control interface.
+    #[test]
+    fn rendered_commands_accepted(counts in arb_counts()) {
+        let d = TwoStageDist::from_counts(
+            counts.iter().map(|(&s, &c)| (s, c)),
+            &DistConfig::default(),
+        ).unwrap();
+        let mut ctl = PktgenControl::new();
+        for cmd in PktgenControl::render_dist_commands(&d, 1000) {
+            ctl.pgset(&cmd).unwrap();
+        }
+        prop_assert!(ctl.pktsize_real());
+    }
+
+    /// Generator timestamps are strictly monotonic and the packet count
+    /// is exact, for any configuration.
+    #[test]
+    fn generator_monotonic(count in 1u64..2_000, rate in 50f64..900.0, burst in 1u32..64, seed in any::<u64>()) {
+        let cfg = PktgenConfig { count, ..PktgenConfig::default() };
+        let mut g = Generator::new(cfg, TxModel::syskonnect(), seed);
+        g.set_target_rate(rate, 659.0);
+        g.set_burstiness(burst);
+        let mut last = pcs_des::SimTime::ZERO;
+        let mut n = 0u64;
+        for tp in g {
+            prop_assert!(tp.time > last, "timestamps must increase");
+            last = tp.time;
+            n += 1;
+        }
+        prop_assert_eq!(n, count);
+    }
+
+    /// Paced generation achieves (long-run) at most the wire limit and
+    /// approximately the requested rate when feasible.
+    #[test]
+    fn pacing_rate_bounds(rate in 100f64..800.0, seed in any::<u64>()) {
+        let cfg = PktgenConfig { count: 20_000, size: SizeSource::Fixed(1514), ..PktgenConfig::default() };
+        let mut g = Generator::new(cfg, TxModel::syskonnect(), seed);
+        g.set_target_rate(rate, 1514.0);
+        let stats = g.run_stats();
+        prop_assert!(stats.rate_mbps <= 945.0, "over wire limit: {}", stats.rate_mbps);
+        prop_assert!(
+            (stats.rate_mbps - rate).abs() / rate < 0.05,
+            "target {rate} achieved {}",
+            stats.rate_mbps
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! The `trimusage.awk` postprocessor (thesis §5.2, Appendix A.4).
+//!
+//! cpusage output contains warm-up and cool-down rows; trimusage finds the
+//! **longest consecutive run of rows whose idle value is below a limit**
+//! (default 95 %) — the measurement's loaded window — and reports the
+//! per-state averages over exactly that run, correcting the raw cpusage
+//! averages.
+
+use crate::cpusage::UsageRow;
+
+/// Result of trimming: the selected window and its per-state averages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrimResult {
+    /// Start index (inclusive) of the longest under-limit run.
+    pub start: usize,
+    /// End index (exclusive).
+    pub end: usize,
+    /// Average percentages over the run, in cpusage state order.
+    pub avg: UsageRow,
+}
+
+/// Find the longest run of rows with `idle < limit` and average it.
+/// Returns `None` when no row is under the limit.
+pub fn trim(rows: &[UsageRow], limit: f64) -> Option<TrimResult> {
+    let mut best: Option<(usize, usize)> = None;
+    let mut cur_start = 0usize;
+    let mut in_run = false;
+    for (i, r) in rows.iter().enumerate() {
+        if r.idle < limit {
+            if !in_run {
+                cur_start = i;
+                in_run = true;
+            }
+            let len = i + 1 - cur_start;
+            if best.is_none_or(|(s, e)| len > e - s) {
+                best = Some((cur_start, i + 1));
+            }
+        } else {
+            in_run = false;
+        }
+    }
+    let (start, end) = best?;
+    let n = (end - start) as f64;
+    let mut avg = UsageRow {
+        t_secs: rows[end - 1].t_secs,
+        user: 0.0,
+        nice: 0.0,
+        system: 0.0,
+        iowait: 0.0,
+        irq: 0.0,
+        softirq: 0.0,
+        idle: 0.0,
+    };
+    for r in &rows[start..end] {
+        avg.user += r.user;
+        avg.nice += r.nice;
+        avg.system += r.system;
+        avg.iowait += r.iowait;
+        avg.irq += r.irq;
+        avg.softirq += r.softirq;
+        avg.idle += r.idle;
+    }
+    avg.user /= n;
+    avg.nice /= n;
+    avg.system /= n;
+    avg.iowait /= n;
+    avg.irq /= n;
+    avg.softirq /= n;
+    avg.idle /= n;
+    Some(TrimResult { start, end, avg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(idle: f64) -> UsageRow {
+        UsageRow {
+            t_secs: 0.0,
+            user: (100.0 - idle) / 2.0,
+            nice: 0.0,
+            system: (100.0 - idle) / 2.0,
+            iowait: 0.0,
+            irq: 0.0,
+            softirq: 0.0,
+            idle,
+        }
+    }
+
+    #[test]
+    fn finds_longest_run() {
+        // Runs under 95: [1..2] (len 1) and [4..7] (len 3).
+        let rows = vec![
+            row(99.0),
+            row(50.0),
+            row(99.0),
+            row(99.0),
+            row(40.0),
+            row(30.0),
+            row(20.0),
+            row(99.0),
+        ];
+        let t = trim(&rows, 95.0).unwrap();
+        assert_eq!((t.start, t.end), (4, 7));
+        assert!((t.avg.idle - 30.0).abs() < 1e-9);
+        assert!((t.avg.busy() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_at_the_end_counts() {
+        let rows = vec![row(99.0), row(10.0), row(10.0)];
+        let t = trim(&rows, 95.0).unwrap();
+        assert_eq!((t.start, t.end), (1, 3));
+    }
+
+    #[test]
+    fn whole_input_under_limit() {
+        let rows = vec![row(10.0); 5];
+        let t = trim(&rows, 95.0).unwrap();
+        assert_eq!((t.start, t.end), (0, 5));
+    }
+
+    #[test]
+    fn no_loaded_rows_yields_none() {
+        let rows = vec![row(99.0); 3];
+        assert!(trim(&rows, 95.0).is_none());
+        assert!(trim(&[], 95.0).is_none());
+    }
+
+    #[test]
+    fn first_of_equal_length_runs_wins() {
+        let rows = vec![row(10.0), row(10.0), row(99.0), row(20.0), row(20.0)];
+        let t = trim(&rows, 95.0).unwrap();
+        assert_eq!((t.start, t.end), (0, 2));
+    }
+}

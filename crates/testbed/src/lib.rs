@@ -1,0 +1,20 @@
+//! # pcs-testbed — the measurement methodology
+//!
+//! Chapter 3 of the thesis as a library: the passive [`splitter`] that
+//! feeds every sniffer the same packets, the monitoring [`switch`] whose
+//! SNMP counters verify the generated packet count, and the measurement
+//! [`cycle`] — start capture + profiling, generate, read counters, stop,
+//! repeat — with the §6.2.2 result calculation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycle;
+pub mod splitter;
+pub mod switch;
+
+pub use cycle::{
+    run_point, run_sniffers, run_sweep, standard_suts, CycleConfig, PointResult, Sut, SutPoint,
+};
+pub use splitter::OpticalSplitter;
+pub use switch::{IfCounters, MonitorSwitch};

@@ -1,0 +1,102 @@
+//! The passive optical splitter (thesis §2.3, §3.3).
+//!
+//! A passive splitter duplicates the light of one fiber onto several
+//! outputs; it has no buffers, no electronics and therefore no loss or
+//! reordering — which is exactly why the thesis uses one to feed all four
+//! sniffers the same packets. Its only physical effect is a reduced
+//! signal level per output: each two-way split costs ~3.5 dB, and the
+//! receivers need the level to stay above their sensitivity budget.
+
+/// A passive optical splitter with `ways` outputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpticalSplitter {
+    ways: u32,
+    /// Input signal budget above receiver sensitivity, in dB.
+    input_budget_db: f64,
+}
+
+/// Per-two-way-split insertion loss in dB (3 dB split + excess).
+const SPLIT_LOSS_DB: f64 = 3.5;
+
+impl OpticalSplitter {
+    /// A splitter with the given number of outputs and the short-cable
+    /// budget of the thesis testbed (~11 dB of headroom).
+    pub fn new(ways: u32) -> OpticalSplitter {
+        assert!(ways >= 1, "a splitter needs at least one output");
+        OpticalSplitter {
+            ways,
+            input_budget_db: 11.0,
+        }
+    }
+
+    /// Number of outputs.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Optical loss per output in dB.
+    pub fn loss_db(&self) -> f64 {
+        (self.ways as f64).log2().ceil() * SPLIT_LOSS_DB
+    }
+
+    /// Whether the receivers still see a usable signal. The thesis notes
+    /// the splitters "seem to be no problem, at least with the short
+    /// cables that are used" (§2.3) — four ways fit the budget; many more
+    /// would not.
+    pub fn signal_ok(&self) -> bool {
+        self.loss_db() <= self.input_budget_db
+    }
+
+    /// Duplicate one timed packet stream into `ways` identical vectors.
+    /// Passive and lossless: every output sees every packet at the same
+    /// time (the methodology's requirement that each sniffer gets the
+    /// same input).
+    pub fn split<I, T: Clone>(&self, input: I) -> Vec<Vec<T>>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        assert!(
+            self.signal_ok(),
+            "optical budget exceeded: {} dB loss over {} dB headroom",
+            self.loss_db(),
+            self.input_budget_db
+        );
+        let source: Vec<T> = input.into_iter().collect();
+        (0..self.ways).map(|_| source.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_way_split_is_within_budget() {
+        let s = OpticalSplitter::new(4);
+        assert_eq!(s.ways(), 4);
+        assert!((s.loss_db() - 7.0).abs() < 1e-9);
+        assert!(s.signal_ok());
+    }
+
+    #[test]
+    fn excessive_splitting_fails_the_budget() {
+        let s = OpticalSplitter::new(32);
+        assert!(!s.signal_ok());
+    }
+
+    #[test]
+    fn outputs_are_identical() {
+        let s = OpticalSplitter::new(3);
+        let outs = s.split(vec![1, 2, 3]);
+        assert_eq!(outs.len(), 3);
+        for o in &outs {
+            assert_eq!(o, &vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "optical budget exceeded")]
+    fn split_panics_when_signal_too_weak() {
+        OpticalSplitter::new(64).split(vec![1]);
+    }
+}

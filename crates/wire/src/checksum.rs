@@ -1,0 +1,132 @@
+//! The Internet checksum (RFC 1071) used by IPv4 and UDP headers.
+
+/// Incremental ones'-complement sum accumulator.
+///
+/// Feed byte slices with [`Checksum::add_bytes`] (and 16-bit words with
+/// [`Checksum::add_u16`]), then call [`Checksum::finish`] for the final
+/// folded, complemented checksum value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+    /// Set when an odd number of bytes has been consumed so far, so the next
+    /// byte pairs with the stored one.
+    pending: Option<u8>,
+}
+
+impl Checksum {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one big-endian 16-bit word.
+    pub fn add_u16(&mut self, v: u16) {
+        debug_assert!(self.pending.is_none(), "add_u16 after odd byte count");
+        self.sum += v as u32;
+    }
+
+    /// Add a run of bytes, treating them as big-endian 16-bit words.
+    /// Handles odd lengths across calls.
+    pub fn add_bytes(&mut self, mut bytes: &[u8]) {
+        if let Some(hi) = self.pending.take() {
+            if let Some((&lo, rest)) = bytes.split_first() {
+                self.sum += u16::from_be_bytes([hi, lo]) as u32;
+                bytes = rest;
+            } else {
+                self.pending = Some(hi);
+                return;
+            }
+        }
+        let mut chunks = bytes.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+        }
+        if let [last] = chunks.remainder() {
+            self.pending = Some(*last);
+        }
+    }
+
+    /// Fold and complement, yielding the wire checksum.
+    pub fn finish(mut self) -> u16 {
+        if let Some(hi) = self.pending.take() {
+            // Odd total length: pad with a zero byte.
+            self.sum += u16::from_be_bytes([hi, 0]) as u32;
+        }
+        let mut s = self.sum;
+        while s > 0xffff {
+            s = (s & 0xffff) + (s >> 16);
+        }
+        !(s as u16)
+    }
+}
+
+/// One-shot checksum over a byte slice.
+pub fn checksum(bytes: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(bytes);
+    c.finish()
+}
+
+/// Verify a region that embeds its own checksum field: the ones'-complement
+/// sum over the whole region (checksum field included) must fold to zero.
+pub fn verify(bytes: &[u8]) -> bool {
+    let mut c = Checksum::new();
+    c.add_bytes(bytes);
+    c.finish() == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum = 0001 + f203 + f4f5 + f6f7 = 2ddf0 -> fold = ddf2 -> !0xddf2
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length() {
+        // Odd length pads a trailing zero byte.
+        assert_eq!(checksum(&[0xab]), !0xab00);
+    }
+
+    #[test]
+    fn split_across_calls_matches_one_shot() {
+        let data: Vec<u8> = (0u8..=250).collect();
+        let whole = checksum(&data);
+        for split in [0usize, 1, 3, 100, 249, 250, 251] {
+            let split = split.min(data.len());
+            let mut c = Checksum::new();
+            c.add_bytes(&data[..split]);
+            c.add_bytes(&data[split..]);
+            assert_eq!(c.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn odd_then_odd_pairs_up() {
+        let mut c = Checksum::new();
+        c.add_bytes(&[0x12]);
+        c.add_bytes(&[0x34]);
+        assert_eq!(c.finish(), checksum(&[0x12, 0x34]));
+    }
+
+    #[test]
+    fn verify_self_checksummed_region() {
+        // Build a 20-byte pseudo header with its checksum at offset 10.
+        let mut hdr = [0u8; 20];
+        for (i, b) in hdr.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        hdr[10] = 0;
+        hdr[11] = 0;
+        let ck = checksum(&hdr);
+        hdr[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&hdr));
+        hdr[0] ^= 0xff;
+        assert!(!verify(&hdr));
+    }
+}

@@ -1,0 +1,192 @@
+//! Ethernet II framing.
+//!
+//! The capture systems under test read whole Ethernet frames with the
+//! preamble and CRC already stripped by the NIC (paper, Chapter 1). This
+//! module provides the frame layout plus the wire-overhead constants needed
+//! to convert between *frame* sizes and *on-the-wire* occupancy when pacing
+//! generated traffic.
+
+use crate::mac::MacAddr;
+
+/// Length of an Ethernet II header: dst + src + ethertype.
+pub const HEADER_LEN: usize = 14;
+/// Minimum frame length (without CRC) enforced by padding on transmit.
+pub const MIN_FRAME_LEN: usize = 60;
+/// Maximum standard frame length (without CRC); the paper's traces contain
+/// no jumbo frames (§4.2.1).
+pub const MAX_FRAME_LEN: usize = 1514;
+/// Bytes that occupy the wire per frame but are never seen by capture:
+/// preamble (7) + SFD (1) + FCS/CRC (4) + minimum inter-frame gap (12).
+pub const WIRE_OVERHEAD: usize = 24;
+
+/// Well-known EtherType values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// IPv6 (0x86dd).
+    Ipv6,
+    /// Anything else.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86dd => EtherType::Ipv6,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(t: EtherType) -> u16 {
+        match t {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// Immutable view over the bytes of an Ethernet frame.
+#[derive(Debug, Clone, Copy)]
+pub struct EthernetFrame<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> EthernetFrame<'a> {
+    /// Wrap a byte slice; fails when shorter than the Ethernet header.
+    pub fn parse(data: &'a [u8]) -> Result<Self, FrameError> {
+        if data.len() < HEADER_LEN {
+            return Err(FrameError::Truncated {
+                need: HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        Ok(EthernetFrame { data })
+    }
+
+    /// Destination hardware address.
+    pub fn dst(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.data[0..6]);
+        MacAddr(m)
+    }
+
+    /// Source hardware address.
+    pub fn src(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.data[6..12]);
+        MacAddr(m)
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        u16::from_be_bytes([self.data[12], self.data[13]]).into()
+    }
+
+    /// The encapsulated payload (network-layer packet).
+    pub fn payload(&self) -> &'a [u8] {
+        &self.data[HEADER_LEN..]
+    }
+
+    /// The complete frame bytes.
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.data
+    }
+}
+
+/// Serialize an Ethernet header into `buf` (which must be at least
+/// [`HEADER_LEN`] long); returns the header length.
+pub fn emit_header(buf: &mut [u8], dst: MacAddr, src: MacAddr, ethertype: EtherType) -> usize {
+    assert!(buf.len() >= HEADER_LEN);
+    buf[0..6].copy_from_slice(&dst.0);
+    buf[6..12].copy_from_slice(&src.0);
+    buf[12..14].copy_from_slice(&u16::from(ethertype).to_be_bytes());
+    HEADER_LEN
+}
+
+/// Wire occupancy in bytes for a frame of `frame_len` bytes: the frame plus
+/// preamble, SFD, CRC and the minimum inter-frame gap. Used to convert
+/// between frame data rates and link utilisation.
+pub fn wire_bytes(frame_len: usize) -> usize {
+    frame_len.max(MIN_FRAME_LEN) + WIRE_OVERHEAD
+}
+
+/// Errors from parsing frames and headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Input shorter than a required header.
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A length or version field is inconsistent with the data.
+    Malformed,
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Truncated { need, have } => {
+                write!(f, "truncated: need {need} bytes, have {have}")
+            }
+            FrameError::Malformed => write!(f, "malformed header"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let mut buf = [0u8; 64];
+        let dst = MacAddr::new(0, 1, 2, 3, 4, 5);
+        let src = MacAddr::new(9, 8, 7, 6, 5, 4);
+        let n = emit_header(&mut buf, dst, src, EtherType::Ipv4);
+        assert_eq!(n, HEADER_LEN);
+        let frame = EthernetFrame::parse(&buf).unwrap();
+        assert_eq!(frame.dst(), dst);
+        assert_eq!(frame.src(), src);
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        assert_eq!(frame.payload().len(), 64 - HEADER_LEN);
+    }
+
+    #[test]
+    fn parse_too_short() {
+        assert_eq!(
+            EthernetFrame::parse(&[0u8; 13]).unwrap_err(),
+            FrameError::Truncated { need: 14, have: 13 }
+        );
+    }
+
+    #[test]
+    fn ethertype_conversions() {
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from(0x86dd), EtherType::Ipv6);
+        assert_eq!(EtherType::from(0x1234), EtherType::Other(0x1234));
+        assert_eq!(u16::from(EtherType::Ipv4), 0x0800);
+    }
+
+    #[test]
+    fn wire_occupancy() {
+        // A 1514-byte frame occupies 1538 bytes of wire time.
+        assert_eq!(wire_bytes(1514), 1538);
+        // Tiny frames are padded to the 60-byte minimum.
+        assert_eq!(wire_bytes(40), 84);
+        assert_eq!(wire_bytes(60), 84);
+    }
+}

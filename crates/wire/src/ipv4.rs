@@ -1,0 +1,181 @@
+//! IPv4 header parsing and construction.
+
+use crate::checksum::{checksum, verify};
+use crate::ethernet::FrameError;
+use std::net::Ipv4Addr;
+
+/// Length of an IPv4 header without options.
+pub const HEADER_LEN: usize = 20;
+
+/// IP protocol numbers relevant to the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17) — the only protocol the kernel packet generator emits.
+    Udp,
+    /// Anything else.
+    Other(u8),
+}
+
+impl From<u8> for Protocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+impl From<Protocol> for u8 {
+    fn from(p: Protocol) -> u8 {
+        match p {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(v) => v,
+        }
+    }
+}
+
+/// The fields of an IPv4 header (options unsupported: generated traffic and
+/// the paper's traces use plain 20-byte headers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol.
+    pub protocol: Protocol,
+    /// Total length: header plus payload, in bytes.
+    pub total_len: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Identification field.
+    pub ident: u16,
+}
+
+impl Ipv4Header {
+    /// Parse from the start of `data`, verifying version, length and header
+    /// checksum.
+    pub fn parse(data: &[u8]) -> Result<Ipv4Header, FrameError> {
+        if data.len() < HEADER_LEN {
+            return Err(FrameError::Truncated {
+                need: HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        let version = data[0] >> 4;
+        let ihl = (data[0] & 0x0f) as usize * 4;
+        if version != 4 || ihl < HEADER_LEN || data.len() < ihl {
+            return Err(FrameError::Malformed);
+        }
+        if !verify(&data[..ihl]) {
+            return Err(FrameError::Malformed);
+        }
+        let total_len = u16::from_be_bytes([data[2], data[3]]);
+        if (total_len as usize) < ihl {
+            return Err(FrameError::Malformed);
+        }
+        Ok(Ipv4Header {
+            src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+            dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+            protocol: data[9].into(),
+            total_len,
+            ttl: data[8],
+            ident: u16::from_be_bytes([data[4], data[5]]),
+        })
+    }
+
+    /// Serialize into `buf` (at least [`HEADER_LEN`] bytes), computing the
+    /// header checksum. Returns the header length.
+    pub fn emit(&self, buf: &mut [u8]) -> usize {
+        assert!(buf.len() >= HEADER_LEN);
+        buf[0] = 0x45; // version 4, IHL 5
+        buf[1] = 0; // DSCP/ECN
+        buf[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        buf[6..8].copy_from_slice(&[0x40, 0x00]); // flags: DF, no fragment
+        buf[8] = self.ttl;
+        buf[9] = self.protocol.into();
+        buf[10..12].fill(0);
+        buf[12..16].copy_from_slice(&self.src.octets());
+        buf[16..20].copy_from_slice(&self.dst.octets());
+        let ck = checksum(&buf[..HEADER_LEN]);
+        buf[10..12].copy_from_slice(&ck.to_be_bytes());
+        HEADER_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header {
+            src: Ipv4Addr::new(192, 168, 10, 100),
+            dst: Ipv4Addr::new(192, 168, 10, 12),
+            protocol: Protocol::Udp,
+            total_len: 1486,
+            ttl: 32,
+            ident: 0xbeef,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let hdr = sample();
+        let mut buf = [0u8; HEADER_LEN];
+        hdr.emit(&mut buf);
+        let parsed = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(parsed, hdr);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut buf = [0u8; HEADER_LEN];
+        sample().emit(&mut buf);
+        buf[12] ^= 0x01;
+        assert_eq!(Ipv4Header::parse(&buf), Err(FrameError::Malformed));
+    }
+
+    #[test]
+    fn rejects_bad_version_and_short_input() {
+        let mut buf = [0u8; HEADER_LEN];
+        sample().emit(&mut buf);
+        let mut v6 = buf;
+        v6[0] = 0x65;
+        assert!(Ipv4Header::parse(&v6).is_err());
+        assert!(matches!(
+            Ipv4Header::parse(&buf[..10]),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_total_len_shorter_than_header() {
+        let mut buf = [0u8; HEADER_LEN];
+        let mut h = sample();
+        h.total_len = 10;
+        h.emit(&mut buf);
+        assert_eq!(Ipv4Header::parse(&buf), Err(FrameError::Malformed));
+    }
+
+    #[test]
+    fn protocol_conversions() {
+        for (num, proto) in [
+            (1u8, Protocol::Icmp),
+            (6, Protocol::Tcp),
+            (17, Protocol::Udp),
+            (89, Protocol::Other(89)),
+        ] {
+            assert_eq!(Protocol::from(num), proto);
+            assert_eq!(u8::from(proto), num);
+        }
+    }
+}

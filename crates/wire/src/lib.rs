@@ -1,0 +1,26 @@
+//! # pcs-wire — wire formats for the simulated capture testbed
+//!
+//! Ethernet II, IPv4 and UDP header construction/parsing (with real
+//! checksums), MAC address utilities, and [`packet::SimPacket`] — the
+//! header-accurate, payload-virtual packet representation that flows through
+//! the simulated testbed of the Schneider (2005) reproduction.
+//!
+//! The [`packet::PacketBytes`] trait decouples the BPF virtual machine from
+//! the packet representation: filters run unmodified over simulated packets
+//! and over raw byte buffers from pcap savefiles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod ethernet;
+pub mod ipv4;
+pub mod mac;
+pub mod packet;
+pub mod udp;
+
+pub use ethernet::{EtherType, EthernetFrame, FrameError};
+pub use ipv4::{Ipv4Header, Protocol};
+pub use mac::MacAddr;
+pub use packet::{PacketBytes, SimPacket, PKTGEN_MAGIC, STORED_HEADER_LEN};
+pub use udp::UdpHeader;

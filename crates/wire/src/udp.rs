@@ -1,0 +1,138 @@
+//! UDP header parsing and construction (with the IPv4 pseudo-header
+//! checksum).
+
+use crate::checksum::Checksum;
+use crate::ethernet::FrameError;
+use std::net::Ipv4Addr;
+
+/// Length of a UDP header.
+pub const HEADER_LEN: usize = 8;
+
+/// The fields of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Header plus payload length in bytes.
+    pub length: u16,
+}
+
+impl UdpHeader {
+    /// Parse from the start of `data` without checksum verification (use
+    /// [`verify_checksum`] for that; the generator may emit zero checksums,
+    /// which RFC 768 allows for IPv4).
+    pub fn parse(data: &[u8]) -> Result<UdpHeader, FrameError> {
+        if data.len() < HEADER_LEN {
+            return Err(FrameError::Truncated {
+                need: HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        let length = u16::from_be_bytes([data[4], data[5]]);
+        if (length as usize) < HEADER_LEN {
+            return Err(FrameError::Malformed);
+        }
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            length,
+        })
+    }
+
+    /// Serialize header plus checksum over `payload` into `buf`. Returns the
+    /// header length. `buf` must hold at least [`HEADER_LEN`] bytes.
+    pub fn emit(&self, buf: &mut [u8], src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> usize {
+        assert!(buf.len() >= HEADER_LEN);
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.length.to_be_bytes());
+        buf[6..8].fill(0);
+        let ck = pseudo_checksum(src, dst, &buf[..HEADER_LEN], payload);
+        // An all-zero computed checksum is transmitted as 0xffff (RFC 768).
+        let ck = if ck == 0 { 0xffff } else { ck };
+        buf[6..8].copy_from_slice(&ck.to_be_bytes());
+        HEADER_LEN
+    }
+}
+
+fn pseudo_checksum(src: Ipv4Addr, dst: Ipv4Addr, header: &[u8], payload: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(&src.octets());
+    c.add_bytes(&dst.octets());
+    c.add_u16(17); // zero byte + protocol
+    c.add_u16((header.len() + payload.len()) as u16);
+    c.add_bytes(header);
+    c.add_bytes(payload);
+    c.finish()
+}
+
+/// Verify the UDP checksum of `datagram` (header + payload). A zero stored
+/// checksum means "not computed" and passes.
+pub fn verify_checksum(src: Ipv4Addr, dst: Ipv4Addr, datagram: &[u8]) -> bool {
+    if datagram.len() < HEADER_LEN {
+        return false;
+    }
+    let stored = u16::from_be_bytes([datagram[6], datagram[7]]);
+    if stored == 0 {
+        return true;
+    }
+    let mut c = Checksum::new();
+    c.add_bytes(&src.octets());
+    c.add_bytes(&dst.octets());
+    c.add_u16(17);
+    c.add_u16(datagram.len() as u16);
+    c.add_bytes(datagram);
+    c.finish() == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 168, 10, 100);
+    const DST: Ipv4Addr = Ipv4Addr::new(192, 168, 10, 12);
+
+    #[test]
+    fn roundtrip_and_checksum() {
+        let payload = b"pktgen payload bytes";
+        let hdr = UdpHeader {
+            src_port: 9,
+            dst_port: 9,
+            length: (HEADER_LEN + payload.len()) as u16,
+        };
+        let mut buf = [0u8; 64];
+        hdr.emit(&mut buf, SRC, DST, payload);
+        let parsed = UdpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, hdr);
+
+        let mut datagram = Vec::new();
+        datagram.extend_from_slice(&buf[..HEADER_LEN]);
+        datagram.extend_from_slice(payload);
+        assert!(verify_checksum(SRC, DST, &datagram));
+        datagram[12] ^= 0xff;
+        assert!(!verify_checksum(SRC, DST, &datagram));
+    }
+
+    #[test]
+    fn zero_checksum_passes() {
+        let hdr = UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+            length: 8,
+        };
+        let mut buf = [0u8; 8];
+        hdr.emit(&mut buf, SRC, DST, &[]);
+        buf[6] = 0;
+        buf[7] = 0;
+        assert!(verify_checksum(SRC, DST, &buf));
+    }
+
+    #[test]
+    fn rejects_short_and_bad_length() {
+        assert!(UdpHeader::parse(&[0u8; 7]).is_err());
+        let bad = [0, 1, 0, 2, 0, 4, 0, 0]; // length 4 < 8
+        assert_eq!(UdpHeader::parse(&bad), Err(FrameError::Malformed));
+    }
+}

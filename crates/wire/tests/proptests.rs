@@ -1,0 +1,136 @@
+//! Property tests for wire formats: every emitted header must parse back
+//! to the same fields with a valid checksum, for arbitrary field values.
+
+use pcs_wire::{checksum, ethernet, ipv4, mac::MacAddr, packet::PacketBytes, udp, SimPacket};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mac_display_parse_roundtrip(bytes in any::<[u8; 6]>()) {
+        let m = MacAddr(bytes);
+        let parsed: MacAddr = m.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn mac_offset_is_additive(bytes in any::<[u8; 6]>(), a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let m = MacAddr(bytes);
+        prop_assert_eq!(m.offset(a).offset(b), m.offset(a + b));
+        prop_assert_eq!(m.offset(0), m);
+    }
+
+    #[test]
+    fn ipv4_header_roundtrip(
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+        proto in any::<u8>(),
+        total_len in 20u16..=1500,
+        ttl in any::<u8>(),
+        ident in any::<u16>(),
+    ) {
+        let hdr = ipv4::Ipv4Header {
+            src: Ipv4Addr::from(src),
+            dst: Ipv4Addr::from(dst),
+            protocol: proto.into(),
+            total_len,
+            ttl,
+            ident,
+        };
+        let mut buf = [0u8; ipv4::HEADER_LEN];
+        hdr.emit(&mut buf);
+        prop_assert_eq!(ipv4::Ipv4Header::parse(&buf).unwrap(), hdr);
+        // Any single-bit corruption of the header is detected.
+        prop_assert!(checksum::verify(&buf));
+    }
+
+    #[test]
+    fn ipv4_checksum_detects_single_byte_corruption(
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+        byte in 0usize..20,
+        flip in 1u8..=255,
+    ) {
+        let hdr = ipv4::Ipv4Header {
+            src: Ipv4Addr::from(src),
+            dst: Ipv4Addr::from(dst),
+            protocol: ipv4::Protocol::Udp,
+            total_len: 100,
+            ttl: 32,
+            ident: 7,
+        };
+        let mut buf = [0u8; ipv4::HEADER_LEN];
+        hdr.emit(&mut buf);
+        buf[byte] ^= flip;
+        // Either the parse fails, or (only when the corruption hits a
+        // field that compensates in the ones'-complement sum) the sum
+        // still folds — which single-byte flips cannot do.
+        prop_assert!(ipv4::Ipv4Header::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn udp_checksum_roundtrip(
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let s = Ipv4Addr::from(src);
+        let d = Ipv4Addr::from(dst);
+        let hdr = udp::UdpHeader {
+            src_port: sport,
+            dst_port: dport,
+            length: (udp::HEADER_LEN + payload.len()) as u16,
+        };
+        let mut buf = vec![0u8; udp::HEADER_LEN];
+        hdr.emit(&mut buf, s, d, &payload);
+        buf.extend_from_slice(&payload);
+        prop_assert!(udp::verify_checksum(s, d, &buf));
+        prop_assert_eq!(udp::UdpHeader::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn sim_packet_invariants(
+        seq in any::<u64>(),
+        frame_len in 42u32..=1514,
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+    ) {
+        let p = SimPacket::build_udp(
+            seq, seq.wrapping_mul(17), frame_len,
+            MacAddr::ZERO.offset(seq % 3), MacAddr::BROADCAST,
+            Ipv4Addr::from(src), Ipv4Addr::from(dst), 9, 9,
+        );
+        // Length bookkeeping.
+        prop_assert_eq!(PacketBytes::len(&p), frame_len);
+        prop_assert!(p.header_len as u32 <= frame_len);
+        prop_assert!(p.byte(frame_len).is_none());
+        prop_assert!(p.byte(frame_len - 1).is_some());
+        // The embedded IPv4 header is valid and consistent.
+        let ip = p.ipv4().expect("generated packets are IPv4");
+        prop_assert_eq!(ip.total_len as u32, frame_len - 14);
+        prop_assert_eq!(ip.src, Ipv4Addr::from(src));
+        // Wire occupancy adds exactly the Ethernet overhead.
+        prop_assert_eq!(
+            p.wire_bytes(),
+            (frame_len.max(60) + ethernet::WIRE_OVERHEAD as u32)
+        );
+        // Materialization is prefix-consistent with byte().
+        let m = p.materialize(frame_len);
+        for (i, &b) in m.iter().enumerate() {
+            prop_assert_eq!(p.byte(i as u32), Some(b));
+        }
+    }
+
+    #[test]
+    fn checksum_split_invariance(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut c = checksum::Checksum::new();
+        c.add_bytes(&data[..split]);
+        c.add_bytes(&data[split..]);
+        prop_assert_eq!(c.finish(), checksum::checksum(&data));
+    }
+}

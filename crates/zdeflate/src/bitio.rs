@@ -1,0 +1,200 @@
+//! LSB-first bit I/O as used by DEFLATE (RFC 1951 §3.1.1).
+
+/// Accumulates bits least-significant-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    bit_buf: u32,
+    bit_count: u32,
+}
+
+impl BitWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the low `count` bits of `bits` (LSB first).
+    pub fn write_bits(&mut self, bits: u32, count: u32) {
+        debug_assert!(count <= 24);
+        debug_assert!(count == 32 || bits < (1u32 << count));
+        self.bit_buf |= bits << self.bit_count;
+        self.bit_count += count;
+        while self.bit_count >= 8 {
+            self.out.push((self.bit_buf & 0xff) as u8);
+            self.bit_buf >>= 8;
+            self.bit_count -= 8;
+        }
+    }
+
+    /// Write a Huffman code: DEFLATE codes are packed most-significant bit
+    /// first, so the code's bits are reversed before writing.
+    pub fn write_code(&mut self, code: u32, len: u32) {
+        let mut rev = 0u32;
+        for i in 0..len {
+            rev |= ((code >> i) & 1) << (len - 1 - i);
+        }
+        self.write_bits(rev, len);
+    }
+
+    /// Pad to a byte boundary with zero bits.
+    pub fn align_byte(&mut self) {
+        if self.bit_count > 0 {
+            self.out.push((self.bit_buf & 0xff) as u8);
+            self.bit_buf = 0;
+            self.bit_count = 0;
+        }
+    }
+
+    /// Append raw bytes (must be byte-aligned).
+    pub fn write_bytes(&mut self, data: &[u8]) {
+        assert_eq!(self.bit_count, 0, "write_bytes requires byte alignment");
+        self.out.extend_from_slice(data);
+    }
+
+    /// Finish, flushing any partial byte, and return the output.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.out
+    }
+
+    /// Bytes emitted so far (not counting a partial byte).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty() && self.bit_count == 0
+    }
+}
+
+/// Reads bits least-significant-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit_buf: u32,
+    bit_count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            bit_buf: 0,
+            bit_count: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        while self.bit_count <= 24 && self.pos < self.data.len() {
+            self.bit_buf |= (self.data[self.pos] as u32) << self.bit_count;
+            self.pos += 1;
+            self.bit_count += 8;
+        }
+    }
+
+    /// Read `count` bits; `None` at end of input.
+    pub fn read_bits(&mut self, count: u32) -> Option<u32> {
+        debug_assert!(count <= 24);
+        if count == 0 {
+            return Some(0);
+        }
+        self.refill();
+        if self.bit_count < count {
+            return None;
+        }
+        let v = self.bit_buf & ((1u32 << count) - 1);
+        self.bit_buf >>= count;
+        self.bit_count -= count;
+        Some(v)
+    }
+
+    /// Read a single bit.
+    pub fn read_bit(&mut self) -> Option<u32> {
+        self.read_bits(1)
+    }
+
+    /// Discard bits to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        let drop = self.bit_count % 8;
+        self.bit_buf >>= drop;
+        self.bit_count -= drop;
+    }
+
+    /// Number of input bytes consumed so far; a partially-read byte
+    /// counts as consumed.
+    pub fn byte_position(&self) -> usize {
+        self.pos - (self.bit_count / 8) as usize
+    }
+
+    /// Read whole bytes (after alignment).
+    pub fn read_bytes(&mut self, n: usize) -> Option<Vec<u8>> {
+        self.align_byte();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.read_bits(8)? as u8);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0b11110000, 8);
+        w.write_bits(0x3fff, 14);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(8), Some(0b11110000));
+        assert_eq!(r.read_bits(14), Some(0x3fff));
+    }
+
+    #[test]
+    fn code_reversal() {
+        // Writing code 0b0111000 (7 bits, MSB-first) must put bits
+        // 0001110 into the stream LSB-first.
+        let mut w = BitWriter::new();
+        w.write_code(0b0111000, 7);
+        w.write_bits(0, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0000_1110]);
+    }
+
+    #[test]
+    fn byte_alignment() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.align_byte();
+        w.write_bytes(&[0xab, 0xcd]);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0x01, 0xab, 0xcd]);
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bit(), Some(1));
+        assert_eq!(r.read_bytes(2), Some(vec![0xab, 0xcd]));
+    }
+
+    #[test]
+    fn read_past_end() {
+        let mut r = BitReader::new(&[0xff]);
+        assert_eq!(r.read_bits(8), Some(0xff));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn zero_bit_reads() {
+        let mut r = BitReader::new(&[0x5a]);
+        assert_eq!(r.read_bits(0), Some(0));
+        assert_eq!(r.read_bits(8), Some(0x5a));
+    }
+}

@@ -1,0 +1,88 @@
+//! CRC-32 (IEEE 802.3, the polynomial used by gzip), table-driven.
+
+/// Streaming CRC-32 accumulator.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Start a new checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xffff_ffff }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut c = self.state;
+        for &b in data {
+            c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The checksum over everything fed so far.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+}
+
+/// One-shot CRC-32 of a buffer.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(10_000).collect();
+        let whole = crc32(&data);
+        let mut c = Crc32::new();
+        for chunk in data.chunks(77) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), whole);
+    }
+}

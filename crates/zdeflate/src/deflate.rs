@@ -1,0 +1,328 @@
+//! The DEFLATE compressor: LZ77 hash-chain matching + fixed-Huffman
+//! encoding (RFC 1951).
+//!
+//! Compression levels mirror zlib's: level 0 stores, levels 1–9 trade CPU
+//! effort (hash-chain depth, lazy matching) for ratio. The capture
+//! application uses levels 3 and 9 for the paper's "additional data
+//! compression" load experiments (Fig. 6.11, Fig. B.3).
+
+use crate::bitio::BitWriter;
+use crate::tables::*;
+
+/// Compression effort parameters, indexed by level (zlib-style).
+#[derive(Debug, Clone, Copy)]
+pub struct LevelParams {
+    /// Maximum hash-chain positions examined per match attempt.
+    pub max_chain: usize,
+    /// Stop searching once a match of this length is found.
+    pub good_len: usize,
+    /// Use lazy matching (try the next position before committing).
+    pub lazy: bool,
+}
+
+impl LevelParams {
+    /// Parameters for a zlib-style level 0..=9.
+    pub fn for_level(level: u8) -> LevelParams {
+        match level.min(9) {
+            0 => LevelParams {
+                max_chain: 0,
+                good_len: 0,
+                lazy: false,
+            },
+            1 => LevelParams {
+                max_chain: 4,
+                good_len: 8,
+                lazy: false,
+            },
+            2 => LevelParams {
+                max_chain: 8,
+                good_len: 16,
+                lazy: false,
+            },
+            3 => LevelParams {
+                max_chain: 32,
+                good_len: 32,
+                lazy: false,
+            },
+            4 => LevelParams {
+                max_chain: 16,
+                good_len: 16,
+                lazy: true,
+            },
+            5 => LevelParams {
+                max_chain: 32,
+                good_len: 32,
+                lazy: true,
+            },
+            6 => LevelParams {
+                max_chain: 128,
+                good_len: 128,
+                lazy: true,
+            },
+            7 => LevelParams {
+                max_chain: 256,
+                good_len: 128,
+                lazy: true,
+            },
+            8 => LevelParams {
+                max_chain: 1024,
+                good_len: 258,
+                lazy: true,
+            },
+            _ => LevelParams {
+                max_chain: 4096,
+                good_len: 258,
+                lazy: true,
+            },
+        }
+    }
+}
+
+const HASH_BITS: usize = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input` as one complete DEFLATE stream (final block set).
+/// Level 0 emits stored blocks; levels 1–9 emit a fixed-Huffman block.
+pub fn deflate(input: &[u8], level: u8) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    if level == 0 {
+        emit_stored(&mut w, input);
+        return w.finish();
+    }
+    let params = LevelParams::for_level(level);
+
+    // BFINAL=1, BTYPE=01 (fixed Huffman).
+    w.write_bits(1, 1);
+    w.write_bits(0b01, 2);
+
+    // Hash-chain LZ77.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; input.len()];
+    let n = input.len();
+    let mut i = 0usize;
+
+    let insert = |head: &mut [usize], prev: &mut [usize], data: &[u8], pos: usize| {
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash3(data, pos);
+            prev[pos] = head[h];
+            head[h] = pos;
+        }
+    };
+
+    let find_match = |head: &[usize], prev: &[usize], data: &[u8], pos: usize| -> (usize, usize) {
+        if pos + MIN_MATCH > data.len() {
+            return (0, 0);
+        }
+        let h = hash3(data, pos);
+        let mut cand = head[h];
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let max_len = (data.len() - pos).min(MAX_MATCH);
+        let mut chain = params.max_chain;
+        while cand != usize::MAX && chain > 0 {
+            let dist = pos - cand;
+            if dist > WINDOW_SIZE {
+                break;
+            }
+            // Quick reject using the byte past the current best.
+            if best_len == 0 || data[cand + best_len] == data[pos + best_len] {
+                let mut l = 0usize;
+                while l < max_len && data[cand + l] == data[pos + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l >= params.good_len || l == max_len {
+                        break;
+                    }
+                }
+            }
+            cand = prev[cand];
+            chain -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            (best_len, best_dist)
+        } else {
+            (0, 0)
+        }
+    };
+
+    let emit_literal = |w: &mut BitWriter, b: u8| {
+        let (code, bits) = fixed_litlen_code(b as usize);
+        w.write_code(code, bits);
+    };
+    let emit_match = |w: &mut BitWriter, len: usize, dist: usize| {
+        let (lidx, lextra, lebits) = length_code(len);
+        let (code, bits) = fixed_litlen_code(257 + lidx);
+        w.write_code(code, bits);
+        if lebits > 0 {
+            w.write_bits(lextra, lebits as u32);
+        }
+        let (dcode, dextra, debits) = dist_code(dist);
+        w.write_code(dcode as u32, 5);
+        if debits > 0 {
+            w.write_bits(dextra, debits as u32);
+        }
+    };
+
+    while i < n {
+        let (mut len, mut dist) = find_match(&head, &prev, input, i);
+        if len >= MIN_MATCH && params.lazy && i + 1 < n {
+            // Lazy evaluation: if the next position matches longer, emit a
+            // literal here instead.
+            insert(&mut head, &mut prev, input, i);
+            let (nlen, ndist) = find_match(&head, &prev, input, i + 1);
+            if nlen > len {
+                emit_literal(&mut w, input[i]);
+                i += 1;
+                len = nlen;
+                dist = ndist;
+            } else {
+                // Keep the original match; the i-th insert already happened.
+                emit_match(&mut w, len, dist);
+                let end = i + len;
+                i += 1; // inserted above
+                while i < end {
+                    insert(&mut head, &mut prev, input, i);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        if len >= MIN_MATCH {
+            emit_match(&mut w, len, dist);
+            let end = i + len;
+            while i < end {
+                insert(&mut head, &mut prev, input, i);
+                i += 1;
+            }
+        } else {
+            emit_literal(&mut w, input[i]);
+            insert(&mut head, &mut prev, input, i);
+            i += 1;
+        }
+    }
+
+    // End of block.
+    let (code, bits) = fixed_litlen_code(256);
+    w.write_code(code, bits);
+    w.finish()
+}
+
+/// Emit `input` as stored (uncompressed) blocks.
+fn emit_stored(w: &mut BitWriter, input: &[u8]) {
+    let mut chunks = input.chunks(0xffff).peekable();
+    if input.is_empty() {
+        w.write_bits(1, 1); // BFINAL
+        w.write_bits(0b00, 2); // stored
+        w.align_byte();
+        w.write_bytes(&0u16.to_le_bytes());
+        w.write_bytes(&0xffffu16.to_le_bytes());
+        return;
+    }
+    while let Some(chunk) = chunks.next() {
+        let is_final = chunks.peek().is_none();
+        w.write_bits(is_final as u32, 1);
+        w.write_bits(0b00, 2);
+        w.align_byte();
+        let len = chunk.len() as u16;
+        w.write_bytes(&len.to_le_bytes());
+        w.write_bytes(&(!len).to_le_bytes());
+        w.write_bytes(chunk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflate::inflate;
+
+    fn roundtrip(data: &[u8], level: u8) {
+        let compressed = deflate(data, level);
+        let back = inflate(&compressed).expect("inflate");
+        assert_eq!(back, data, "level {level}, len {}", data.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        for level in [0u8, 1, 3, 9] {
+            roundtrip(b"", level);
+        }
+    }
+
+    #[test]
+    fn short_inputs_all_levels() {
+        for level in 0..=9u8 {
+            roundtrip(b"a", level);
+            roundtrip(b"abc", level);
+            roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaa", level);
+            roundtrip(b"hello hello hello hello goodbye", level);
+        }
+    }
+
+    #[test]
+    fn compresses_repetitive_data() {
+        let data: Vec<u8> = b"0123456789".repeat(1000);
+        let c = deflate(&data, 6);
+        assert!(
+            c.len() < data.len() / 10,
+            "repetitive data should shrink well: {} -> {}",
+            data.len(),
+            c.len()
+        );
+        roundtrip(&data, 6);
+    }
+
+    #[test]
+    fn handles_incompressible_data() {
+        // A simple xorshift stream: no 3-byte matches to speak of.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        for level in [0u8, 3, 9] {
+            roundtrip(&data, level);
+        }
+    }
+
+    #[test]
+    fn long_matches_and_boundaries() {
+        // Exercise MAX_MATCH-length copies.
+        let mut data = vec![7u8; 1000];
+        data.extend_from_slice(b"tail");
+        roundtrip(&data, 9);
+        // Exactly window-sized repetition.
+        let data: Vec<u8> = b"xy".repeat(WINDOW_SIZE / 2 + 100);
+        roundtrip(&data, 5);
+    }
+
+    #[test]
+    fn stored_blocks_split_at_64k() {
+        let data = vec![0x42u8; 70_000];
+        let c = deflate(&data, 0);
+        // 70_000 + 2 block headers (5 bytes each) + 1 spare bit rounding.
+        assert!(c.len() >= 70_000 + 10);
+        roundtrip(&data, 0);
+    }
+
+    #[test]
+    fn higher_levels_do_not_expand_much() {
+        let text = b"The BSD Packet Filter: A New Architecture for User-level \
+                     Packet Capture. The BSD Packet Filter: A New Architecture."
+            .repeat(50);
+        let l1 = deflate(&text, 1).len();
+        let l9 = deflate(&text, 9).len();
+        assert!(l9 <= l1, "level 9 ({l9}) should not be worse than 1 ({l1})");
+    }
+}

@@ -1,0 +1,260 @@
+//! gzip framing (RFC 1952) with a zlib-like streaming API.
+//!
+//! The thesis' capture application calls `gzopen()` / `gzwrite()` /
+//! `gzclose()` on every packet to model analysis load (§6.3.4);
+//! [`GzWriter`] mirrors that interface.
+
+use crate::crc32::Crc32;
+use crate::deflate::deflate;
+use crate::inflate::InflateError;
+
+const GZ_MAGIC: [u8; 2] = [0x1f, 0x8b];
+const CM_DEFLATE: u8 = 8;
+
+/// Streaming gzip compressor.
+///
+/// Data written via [`GzWriter::write`] is buffered and compressed in
+/// chunks; [`GzWriter::finish`] emits the trailer and returns the complete
+/// member. Mirrors `gzopen`/`gzwrite`/`gzclose`.
+#[derive(Debug)]
+pub struct GzWriter {
+    level: u8,
+    crc: Crc32,
+    isize: u32,
+    buf: Vec<u8>,
+    out: Vec<u8>,
+    /// Compress (flush the internal buffer) whenever it exceeds this.
+    chunk: usize,
+    total_in: u64,
+    total_out: u64,
+}
+
+impl GzWriter {
+    /// Start a gzip stream at the given compression level (0–9).
+    pub fn new(level: u8) -> GzWriter {
+        let mut out = Vec::new();
+        out.extend_from_slice(&GZ_MAGIC);
+        out.push(CM_DEFLATE);
+        out.push(0); // FLG: no name, no comment
+        out.extend_from_slice(&[0, 0, 0, 0]); // MTIME
+        out.push(match level {
+            9 => 2,         // XFL: maximum compression
+            0..=1 => 4,     // XFL: fastest
+            _ => 0,
+        });
+        out.push(255); // OS: unknown
+        GzWriter {
+            level: level.min(9),
+            crc: Crc32::new(),
+            isize: 0,
+            buf: Vec::new(),
+            out,
+            chunk: 64 * 1024,
+            total_in: 0,
+            total_out: 0,
+        }
+    }
+
+    /// Append data to the stream (the `gzwrite` analogue).
+    pub fn write(&mut self, data: &[u8]) {
+        self.crc.update(data);
+        self.isize = self.isize.wrapping_add(data.len() as u32);
+        self.total_in += data.len() as u64;
+        self.buf.extend_from_slice(data);
+        // Note: each flush produces an independent DEFLATE stream; we mark
+        // every block non-final except the last by concatenating *members*
+        // instead. Simpler and still standard: buffer until finish, but cap
+        // memory by flushing whole members for very large streams.
+        if self.buf.len() >= self.chunk * 16 {
+            self.flush_member();
+        }
+    }
+
+    fn flush_member(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let body = deflate(&self.buf, self.level);
+        self.total_out += body.len() as u64;
+        self.out.extend_from_slice(&body);
+        self.out
+            .extend_from_slice(&self.crc.finish().to_le_bytes());
+        self.out.extend_from_slice(&self.isize.to_le_bytes());
+        // Start a new member for subsequent data.
+        self.buf.clear();
+        self.crc = Crc32::new();
+        self.isize = 0;
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(&GZ_MAGIC);
+        hdr.push(CM_DEFLATE);
+        hdr.push(0);
+        hdr.extend_from_slice(&[0, 0, 0, 0]);
+        hdr.push(0);
+        hdr.push(255);
+        self.out.extend_from_slice(&hdr);
+    }
+
+    /// Bytes consumed so far.
+    pub fn total_in(&self) -> u64 {
+        self.total_in
+    }
+
+    /// Finish the stream (the `gzclose` analogue) and return the complete
+    /// gzip bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        let body = deflate(&self.buf, self.level);
+        self.out.extend_from_slice(&body);
+        self.out
+            .extend_from_slice(&self.crc.finish().to_le_bytes());
+        self.out.extend_from_slice(&self.isize.to_le_bytes());
+        self.out
+    }
+}
+
+/// Errors from [`gunzip`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GzError {
+    /// Missing or wrong magic/method bytes.
+    BadHeader,
+    /// The DEFLATE body failed to decode.
+    Body(InflateError),
+    /// CRC or length trailer mismatch.
+    BadTrailer,
+}
+
+impl core::fmt::Display for GzError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GzError::BadHeader => write!(f, "bad gzip header"),
+            GzError::Body(e) => write!(f, "bad deflate body: {e}"),
+            GzError::BadTrailer => write!(f, "gzip trailer mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for GzError {}
+
+/// Decompress a gzip stream (possibly multiple concatenated members,
+/// as `gzip -c` and [`GzWriter`] produce).
+pub fn gunzip(mut data: &[u8]) -> Result<Vec<u8>, GzError> {
+    let mut out = Vec::new();
+    loop {
+        if data.len() < 10 || data[0..2] != GZ_MAGIC || data[2] != CM_DEFLATE {
+            return Err(GzError::BadHeader);
+        }
+        let flg = data[3];
+        let mut at = 10usize;
+        if flg & 0x04 != 0 {
+            // FEXTRA
+            if data.len() < at + 2 {
+                return Err(GzError::BadHeader);
+            }
+            let xlen = u16::from_le_bytes([data[at], data[at + 1]]) as usize;
+            at += 2 + xlen;
+        }
+        for flag in [0x08u8, 0x10] {
+            // FNAME / FCOMMENT: zero-terminated strings
+            if flg & flag != 0 {
+                while at < data.len() && data[at] != 0 {
+                    at += 1;
+                }
+                at += 1;
+            }
+        }
+        if flg & 0x02 != 0 {
+            at += 2; // FHCRC
+        }
+        if at > data.len() {
+            return Err(GzError::BadHeader);
+        }
+        let body = &data[at..];
+        let (decoded, consumed) =
+            crate::inflate::inflate_with_consumed(body).map_err(GzError::Body)?;
+        let trailer_at = at + consumed;
+        if data.len() < trailer_at + 8 {
+            return Err(GzError::BadTrailer);
+        }
+        let crc = u32::from_le_bytes(data[trailer_at..trailer_at + 4].try_into().expect("4"));
+        let isz = u32::from_le_bytes(
+            data[trailer_at + 4..trailer_at + 8]
+                .try_into()
+                .expect("4"),
+        );
+        if crc != crate::crc32::crc32(&decoded) || isz != decoded.len() as u32 {
+            return Err(GzError::BadTrailer);
+        }
+        out.extend_from_slice(&decoded);
+        data = &data[trailer_at + 8..];
+        if data.is_empty() {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut w = GzWriter::new(6);
+        w.write(b"hello gzip world, hello gzip world");
+        let gz = w.finish();
+        assert_eq!(&gz[0..2], &GZ_MAGIC);
+        assert_eq!(
+            gunzip(&gz).unwrap(),
+            b"hello gzip world, hello gzip world"
+        );
+    }
+
+    #[test]
+    fn roundtrip_incremental_writes() {
+        let mut w = GzWriter::new(3);
+        let mut expect = Vec::new();
+        for i in 0..100u32 {
+            let chunk = format!("packet payload number {i} with some repetition repetition\n");
+            w.write(chunk.as_bytes());
+            expect.extend_from_slice(chunk.as_bytes());
+        }
+        assert_eq!(w.total_in(), expect.len() as u64);
+        let gz = w.finish();
+        assert_eq!(gunzip(&gz).unwrap(), expect);
+        assert!(gz.len() < expect.len() / 2);
+    }
+
+    #[test]
+    fn roundtrip_all_levels_empty_and_binary() {
+        for level in 0..=9u8 {
+            let w = GzWriter::new(level);
+            let gz = w.finish();
+            assert_eq!(gunzip(&gz).unwrap(), b"");
+
+            let mut w = GzWriter::new(level);
+            let data: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+            w.write(&data);
+            assert_eq!(gunzip(&w.finish()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut w = GzWriter::new(6);
+        w.write(b"some important data some important data");
+        let mut gz = w.finish();
+        let n = gz.len();
+        gz[n - 5] ^= 0xff; // clobber CRC
+        assert!(gunzip(&gz).is_err());
+        assert_eq!(gunzip(b"not a gzip"), Err(GzError::BadHeader));
+    }
+
+    #[test]
+    fn multi_member_streams() {
+        let mut a = GzWriter::new(5);
+        a.write(b"first member ");
+        let mut gz = a.finish();
+        let mut b = GzWriter::new(5);
+        b.write(b"second member");
+        gz.extend_from_slice(&b.finish());
+        assert_eq!(gunzip(&gz).unwrap(), b"first member second member");
+    }
+}

@@ -1,0 +1,325 @@
+//! A complete DEFLATE decoder (RFC 1951): stored, fixed-Huffman and
+//! dynamic-Huffman blocks.
+
+use crate::bitio::BitReader;
+use crate::tables::{DIST_TABLE, LENGTH_TABLE};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InflateError {
+    /// Ran out of input bits.
+    UnexpectedEof,
+    /// Reserved block type 11.
+    BadBlockType,
+    /// Stored-block length check failed.
+    BadStoredLength,
+    /// An invalid Huffman code or symbol was encountered.
+    BadCode,
+    /// A back-reference pointed before the start of output.
+    BadDistance,
+    /// The code-length alphabet of a dynamic block is malformed.
+    BadCodeLengths,
+}
+
+impl core::fmt::Display for InflateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            InflateError::UnexpectedEof => "unexpected end of input",
+            InflateError::BadBlockType => "reserved block type",
+            InflateError::BadStoredLength => "stored block length mismatch",
+            InflateError::BadCode => "invalid Huffman code",
+            InflateError::BadDistance => "distance before start of output",
+            InflateError::BadCodeLengths => "malformed code lengths",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+/// A canonical Huffman decoding table (bit-by-bit decoder; simple and
+/// sufficient for the testbed's needs).
+struct Huffman {
+    /// counts[n] = number of codes of length n.
+    counts: [u16; 16],
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    /// Build from per-symbol code lengths (0 = unused).
+    fn new(lengths: &[u8]) -> Result<Huffman, InflateError> {
+        let mut counts = [0u16; 16];
+        for &l in lengths {
+            if l > 15 {
+                return Err(InflateError::BadCodeLengths);
+            }
+            counts[l as usize] += 1;
+        }
+        counts[0] = 0;
+        // Over-subscription check.
+        let mut left = 1i32;
+        for l in 1..16 {
+            left <<= 1;
+            left -= counts[l] as i32;
+            if left < 0 {
+                return Err(InflateError::BadCodeLengths);
+            }
+        }
+        let mut offsets = [0u16; 16];
+        for l in 1..15 {
+            offsets[l + 1] = offsets[l] + counts[l];
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l > 0).count()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[offsets[l as usize] as usize] = sym as u16;
+                offsets[l as usize] += 1;
+            }
+        }
+        Ok(Huffman { counts, symbols })
+    }
+
+    /// Decode one symbol.
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, InflateError> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..16 {
+            code |= r.read_bit().ok_or(InflateError::UnexpectedEof)? as i32;
+            let count = self.counts[len] as i32;
+            if code - first < count {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(InflateError::BadCode)
+    }
+}
+
+fn fixed_litlen_lengths() -> Vec<u8> {
+    let mut l = vec![0u8; 288];
+    l[0..144].fill(8);
+    l[144..256].fill(9);
+    l[256..280].fill(7);
+    l[280..288].fill(8);
+    l
+}
+
+/// Decompress a complete DEFLATE stream.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
+    inflate_with_consumed(data).map(|(out, _)| out)
+}
+
+/// Decompress a DEFLATE stream that may be followed by trailing bytes
+/// (e.g. a gzip trailer); returns the output and the number of compressed
+/// bytes consumed (rounded up to whole bytes).
+pub fn inflate_with_consumed(data: &[u8]) -> Result<(Vec<u8>, usize), InflateError> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::new();
+    loop {
+        let bfinal = r.read_bit().ok_or(InflateError::UnexpectedEof)?;
+        let btype = r.read_bits(2).ok_or(InflateError::UnexpectedEof)?;
+        match btype {
+            0b00 => {
+                r.align_byte();
+                let len_bytes = r.read_bytes(4).ok_or(InflateError::UnexpectedEof)?;
+                let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]);
+                let nlen = u16::from_le_bytes([len_bytes[2], len_bytes[3]]);
+                if len != !nlen {
+                    return Err(InflateError::BadStoredLength);
+                }
+                let body = r
+                    .read_bytes(len as usize)
+                    .ok_or(InflateError::UnexpectedEof)?;
+                out.extend_from_slice(&body);
+            }
+            0b01 => {
+                let lit = Huffman::new(&fixed_litlen_lengths()).expect("fixed table valid");
+                let dist = Huffman::new(&[5u8; 30]).expect("fixed dist valid");
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            0b10 => {
+                let (lit, dist) = read_dynamic_tables(&mut r)?;
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            _ => return Err(InflateError::BadBlockType),
+        }
+        if bfinal == 1 {
+            let consumed = r.byte_position();
+            return Ok((out, consumed));
+        }
+    }
+}
+
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Huffman, Huffman), InflateError> {
+    let hlit = r.read_bits(5).ok_or(InflateError::UnexpectedEof)? as usize + 257;
+    let hdist = r.read_bits(5).ok_or(InflateError::UnexpectedEof)? as usize + 1;
+    let hclen = r.read_bits(4).ok_or(InflateError::UnexpectedEof)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(InflateError::BadCodeLengths);
+    }
+    const ORDER: [usize; 19] = [
+        16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+    ];
+    let mut cl_lengths = [0u8; 19];
+    for &pos in ORDER.iter().take(hclen) {
+        cl_lengths[pos] = r.read_bits(3).ok_or(InflateError::UnexpectedEof)? as u8;
+    }
+    let cl = Huffman::new(&cl_lengths)?;
+
+    let mut lengths = Vec::with_capacity(hlit + hdist);
+    while lengths.len() < hlit + hdist {
+        let sym = cl.decode(r)?;
+        match sym {
+            0..=15 => lengths.push(sym as u8),
+            16 => {
+                let prev = *lengths.last().ok_or(InflateError::BadCodeLengths)?;
+                let n = 3 + r.read_bits(2).ok_or(InflateError::UnexpectedEof)?;
+                for _ in 0..n {
+                    lengths.push(prev);
+                }
+            }
+            17 => {
+                let n = 3 + r.read_bits(3).ok_or(InflateError::UnexpectedEof)?;
+                for _ in 0..n {
+                    lengths.push(0);
+                }
+            }
+            18 => {
+                let n = 11 + r.read_bits(7).ok_or(InflateError::UnexpectedEof)?;
+                for _ in 0..n {
+                    lengths.push(0);
+                }
+            }
+            _ => return Err(InflateError::BadCodeLengths),
+        }
+    }
+    if lengths.len() != hlit + hdist {
+        return Err(InflateError::BadCodeLengths);
+    }
+    let lit = Huffman::new(&lengths[..hlit])?;
+    let dist = Huffman::new(&lengths[hlit..])?;
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    lit: &Huffman,
+    dist: &Huffman,
+    out: &mut Vec<u8>,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = lit.decode(r)? as usize;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let (base, extra) = LENGTH_TABLE[sym - 257];
+                let len = base as usize
+                    + r.read_bits(extra as u32).ok_or(InflateError::UnexpectedEof)? as usize;
+                let dsym = dist.decode(r)? as usize;
+                if dsym >= 30 {
+                    return Err(InflateError::BadCode);
+                }
+                let (dbase, dextra) = DIST_TABLE[dsym];
+                let d = dbase as usize
+                    + r.read_bits(dextra as u32)
+                        .ok_or(InflateError::UnexpectedEof)? as usize;
+                if d > out.len() {
+                    return Err(InflateError::BadDistance);
+                }
+                let start = out.len() - d;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            _ => return Err(InflateError::BadCode),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_stored_block() {
+        // BFINAL=1 BTYPE=00, aligned, LEN=5, NLEN=!5, "hello"
+        let mut data = vec![0b0000_0001];
+        data.extend_from_slice(&5u16.to_le_bytes());
+        data.extend_from_slice(&(!5u16).to_le_bytes());
+        data.extend_from_slice(b"hello");
+        assert_eq!(inflate(&data).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn rejects_bad_stored_length() {
+        let mut data = vec![0b0000_0001];
+        data.extend_from_slice(&5u16.to_le_bytes());
+        data.extend_from_slice(&5u16.to_le_bytes()); // wrong complement
+        data.extend_from_slice(b"hello");
+        assert_eq!(inflate(&data), Err(InflateError::BadStoredLength));
+    }
+
+    #[test]
+    fn rejects_reserved_block_type() {
+        assert_eq!(inflate(&[0b0000_0111]), Err(InflateError::BadBlockType));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        assert_eq!(inflate(&[]), Err(InflateError::UnexpectedEof));
+        let mut data = vec![0b0000_0001];
+        data.extend_from_slice(&100u16.to_le_bytes());
+        data.extend_from_slice(&(!100u16).to_le_bytes());
+        data.extend_from_slice(b"short");
+        assert_eq!(inflate(&data), Err(InflateError::UnexpectedEof));
+    }
+
+    #[test]
+    fn rejects_distance_too_far() {
+        // Fixed block: a match with distance 1 as the very first symbol.
+        use crate::bitio::BitWriter;
+        use crate::tables::fixed_litlen_code;
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b01, 2);
+        let (code, bits) = fixed_litlen_code(257); // length 3
+        w.write_code(code, bits);
+        w.write_code(0, 5); // distance code 0 => distance 1
+        let (code, bits) = fixed_litlen_code(256);
+        w.write_code(code, bits);
+        let data = w.finish();
+        assert_eq!(inflate(&data), Err(InflateError::BadDistance));
+    }
+
+    #[test]
+    fn huffman_oversubscription_rejected() {
+        // Three codes of length 1 is impossible.
+        assert!(Huffman::new(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn overlapping_copy_semantics() {
+        // "aaaa...": literal 'a' then a match with distance 1, length 10.
+        use crate::bitio::BitWriter;
+        use crate::tables::fixed_litlen_code;
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b01, 2);
+        let (code, bits) = fixed_litlen_code(b'a' as usize);
+        w.write_code(code, bits);
+        // length 10 = code 264 (base 10, 0 extra)
+        let (code, bits) = fixed_litlen_code(264);
+        w.write_code(code, bits);
+        w.write_code(0, 5); // distance 1
+        let (code, bits) = fixed_litlen_code(256);
+        w.write_code(code, bits);
+        let data = w.finish();
+        assert_eq!(inflate(&data).unwrap(), b"aaaaaaaaaaa");
+    }
+}

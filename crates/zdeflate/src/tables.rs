@@ -1,0 +1,162 @@
+//! The DEFLATE length/distance code tables (RFC 1951 §3.2.5) and the fixed
+//! Huffman code (§3.2.6).
+
+/// (base length, extra bits) for length codes 257..=285.
+pub const LENGTH_TABLE: [(u16, u8); 29] = [
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
+    (258, 0),
+];
+
+/// (base distance, extra bits) for distance codes 0..=29.
+pub const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
+];
+
+/// Smallest representable match length.
+pub const MIN_MATCH: usize = 3;
+/// Largest representable match length.
+pub const MAX_MATCH: usize = 258;
+/// LZ77 window size.
+pub const WINDOW_SIZE: usize = 32 * 1024;
+
+/// Find the length code for a match length in `[3, 258]`.
+/// Returns (code index 0..29 relative to 257, extra bits value, extra bit
+/// count).
+pub fn length_code(len: usize) -> (usize, u32, u8) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    // The table is sorted by base; find the last entry with base <= len.
+    let mut idx = LENGTH_TABLE
+        .partition_point(|&(base, _)| base as usize <= len)
+        .saturating_sub(1);
+    // Length 258 has its own code (entry 28) even though entry 27's range
+    // (227 + 5 extra bits = up to 258) overlaps it.
+    if len == 258 {
+        idx = 28;
+    }
+    let (base, extra) = LENGTH_TABLE[idx];
+    (idx, (len - base as usize) as u32, extra)
+}
+
+/// Find the distance code for a distance in `[1, 32768]`.
+/// Returns (code 0..29, extra bits value, extra bit count).
+pub fn dist_code(dist: usize) -> (usize, u32, u8) {
+    debug_assert!((1..=WINDOW_SIZE).contains(&dist));
+    let idx = DIST_TABLE
+        .partition_point(|&(base, _)| base as usize <= dist)
+        .saturating_sub(1);
+    let (base, extra) = DIST_TABLE[idx];
+    (idx, (dist - base as usize) as u32, extra)
+}
+
+/// Fixed-Huffman code and bit length for a literal/length symbol (0..=287).
+pub fn fixed_litlen_code(sym: usize) -> (u32, u32) {
+    match sym {
+        0..=143 => ((0b0011_0000 + sym) as u32, 8),
+        144..=255 => ((0b1_1001_0000 + (sym - 144)) as u32, 9),
+        256..=279 => ((sym - 256) as u32, 7),
+        280..=287 => ((0b1100_0000 + (sym - 280)) as u32, 8),
+        _ => unreachable!("symbol out of range"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_codes_cover_all_lengths() {
+        for len in MIN_MATCH..=MAX_MATCH {
+            let (idx, extra_val, extra_bits) = length_code(len);
+            let (base, eb) = LENGTH_TABLE[idx];
+            assert_eq!(eb, extra_bits);
+            assert_eq!(base as usize + extra_val as usize, len, "len {len}");
+            assert!(extra_val < (1 << extra_bits).max(1), "len {len}");
+        }
+    }
+
+    #[test]
+    fn length_258_uses_code_285() {
+        let (idx, extra, bits) = length_code(258);
+        assert_eq!(idx, 28); // code 285
+        assert_eq!(extra, 0);
+        assert_eq!(bits, 0);
+    }
+
+    #[test]
+    fn dist_codes_cover_all_distances() {
+        for dist in 1..=WINDOW_SIZE {
+            let (idx, extra_val, extra_bits) = dist_code(dist);
+            let (base, eb) = DIST_TABLE[idx];
+            assert_eq!(eb, extra_bits);
+            assert_eq!(base as usize + extra_val as usize, dist, "dist {dist}");
+        }
+    }
+
+    #[test]
+    fn fixed_code_shape() {
+        assert_eq!(fixed_litlen_code(0), (0x30, 8));
+        assert_eq!(fixed_litlen_code(143), (0xbf, 8));
+        assert_eq!(fixed_litlen_code(144), (0x190, 9));
+        assert_eq!(fixed_litlen_code(255), (0x1ff, 9));
+        assert_eq!(fixed_litlen_code(256), (0, 7)); // end of block
+        assert_eq!(fixed_litlen_code(279), (0x17, 7));
+        assert_eq!(fixed_litlen_code(280), (0xc0, 8));
+        assert_eq!(fixed_litlen_code(287), (0xc7, 8));
+    }
+}

@@ -1,0 +1,75 @@
+//! The headline comparison: all four sniffers side by side across the
+//! rate ladder — a compact rerun of the thesis' Figure 6.3.
+//!
+//! ```text
+//! cargo run --release --example capture_shootout [-- single]
+//! ```
+//!
+//! Pass `single` to disable the second processor (the "no SMP" mode).
+
+use pcapbench::prelude::*;
+
+fn main() {
+    let single = std::env::args().any(|a| a == "single");
+    let suts: Vec<Sut> = standard_suts(SimConfig::default())
+        .into_iter()
+        .map(|mut s| {
+            if single {
+                s.spec = s.spec.single_cpu();
+            }
+            s
+        })
+        .collect();
+
+    let mut cycle = CycleConfig::mwn(150_000, 42);
+    cycle.repeats = 1;
+    let rates: Vec<Option<f64>> = vec![
+        Some(100.0),
+        Some(300.0),
+        Some(500.0),
+        Some(700.0),
+        Some(900.0),
+        None, // no inter-packet gap
+    ];
+
+    println!(
+        "capture shootout — {} processor mode",
+        if single { "single" } else { "dual" }
+    );
+    print!("{:>12}", "rate[Mbit/s]");
+    for s in &suts {
+        print!("  {:>22}", s.spec.label());
+    }
+    println!();
+
+    let points = run_sweep(&suts, &cycle, &rates);
+    for p in &points {
+        print!("{:>12.0}", p.achieved_mbps);
+        for s in &p.suts {
+            print!(
+                "  {:>13.1}% cpu {:>3.0}",
+                s.capture * 100.0,
+                s.cpu_busy
+            );
+        }
+        println!();
+    }
+
+    // The thesis' conclusion (§7.1): FreeBSD/Opteron wins.
+    let last = points.last().expect("points");
+    let moorhen = last
+        .suts
+        .iter()
+        .find(|s| s.label.contains("moorhen"))
+        .expect("moorhen present");
+    let best = last
+        .suts
+        .iter()
+        .map(|s| s.capture)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "\nat full speed moorhen captures {:.1}% — best of the field: {:.1}%",
+        moorhen.capture * 100.0,
+        best * 100.0
+    );
+}

@@ -1,0 +1,142 @@
+//! `createdist` — a faithful port of the thesis' `createDist` tool
+//! (Appendix A.1): convert between packet-size representations and emit
+//! input for the enhanced kernel packet generator.
+//!
+//! ```text
+//! cargo run --release --example createdist -- -I sizes -O dist -i sizes.txt
+//! cargo run --release --example createdist -- -I trace -O procfs -i trace.pcap -s
+//! cargo run --release --example createdist -- -I dist -O sizes -n 1000 -i dist.txt
+//! ```
+//!
+//! Options follow the original (Appendix A.1.3):
+//! `-i`/`-o` input/output files (default stdin/stdout), `-I`/`-O` types
+//! (`sizes`, `dist`, `procfs`, `trace`), `-fs` field separator, `-n`
+//! sample count for `-O sizes`, `-s` surround procfs output with
+//! `pgset "…"`, and the distribution parameters `-max`, `-prec`,
+//! `-hwidth`, `-outlb`.
+
+use pcapbench::pktgen::{convert, DistConfig, InputKind, OutputKind};
+use std::io::{Read, Write};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("createdist: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input_kind = InputKind::Dist;
+    let mut output_kind_name = "procfs".to_string();
+    let mut in_file: Option<String> = None;
+    let mut out_file: Option<String> = None;
+    let mut field_sep = ' ';
+    let mut count: u64 = 10_000_000;
+    let mut surround = false;
+    let mut cfg = DistConfig::default();
+    let mut seed = 2005u64;
+
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> &String {
+            args.get(i + 1)
+                .unwrap_or_else(|| fail(&format!("{} needs an argument", args[i])))
+        };
+        match args[i].as_str() {
+            "-I" => {
+                input_kind = match need(i).as_str() {
+                    "sizes" => InputKind::Sizes,
+                    "dist" => InputKind::Dist,
+                    "trace" => InputKind::Trace,
+                    other => fail(&format!("unsupported input type '{other}'")),
+                };
+                i += 1;
+            }
+            "-O" => {
+                output_kind_name = need(i).clone();
+                i += 1;
+            }
+            "-i" => {
+                in_file = Some(need(i).clone());
+                i += 1;
+            }
+            "-o" => {
+                out_file = Some(need(i).clone());
+                i += 1;
+            }
+            "-fs" => {
+                field_sep = need(i).chars().next().unwrap_or(' ');
+                i += 1;
+            }
+            "-n" => {
+                count = need(i).parse().unwrap_or_else(|_| fail("bad -n"));
+                i += 1;
+            }
+            "-max" => {
+                cfg.max_size = need(i).parse().unwrap_or_else(|_| fail("bad -max"));
+                i += 1;
+            }
+            "-prec" => {
+                cfg.precision = need(i).parse().unwrap_or_else(|_| fail("bad -prec"));
+                i += 1;
+            }
+            "-hwidth" => {
+                cfg.binsize = need(i).parse().unwrap_or_else(|_| fail("bad -hwidth"));
+                i += 1;
+            }
+            "-outlb" => {
+                cfg.outlier_bound = need(i).parse().unwrap_or_else(|_| fail("bad -outlb"));
+                i += 1;
+            }
+            "-seed" => {
+                seed = need(i).parse().unwrap_or_else(|_| fail("bad -seed"));
+                i += 1;
+            }
+            "-s" => surround = true,
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: createdist [-I sizes|dist|trace] [-O sizes|dist|procfs] \
+                     [-i FILE] [-o FILE] [-fs C] [-n N] [-s] \
+                     [-max N] [-prec N] [-hwidth N] [-outlb F] [-seed N]"
+                );
+                return;
+            }
+            other => fail(&format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+
+    let output_kind = match output_kind_name.as_str() {
+        "sizes" => OutputKind::Sizes { count, seed },
+        "dist" => OutputKind::Dist,
+        "procfs" => OutputKind::Procfs {
+            surround_pgset: surround,
+        },
+        other => fail(&format!("unsupported output type '{other}'")),
+    };
+
+    let mut data = Vec::new();
+    match &in_file {
+        Some(path) => {
+            data = std::fs::read(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+        }
+        None => {
+            std::io::stdin()
+                .read_to_end(&mut data)
+                .unwrap_or_else(|e| fail(&format!("cannot read stdin: {e}")));
+        }
+    }
+
+    let out = convert(input_kind, &data, output_kind, &cfg, field_sep)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+
+    match &out_file {
+        Some(path) => std::fs::write(path, out)
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}"))),
+        None => {
+            std::io::stdout()
+                .write_all(out.as_bytes())
+                .unwrap_or_else(|e| fail(&format!("cannot write stdout: {e}")));
+        }
+    }
+}
