@@ -3,7 +3,7 @@
 //! "does every figure still run end to end" canary.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pcs_core::{all_experiments, Scale};
+use pcs_core::{all_experiments, ExecConfig, Scale};
 
 /// A miniature scale so a single iteration stays in the tens of
 /// milliseconds.
@@ -22,7 +22,10 @@ fn bench_figures(c: &mut Criterion) {
     for (id, _desc, run) in all_experiments() {
         g.bench_with_input(BenchmarkId::from_parameter(id), &run, |b, run| {
             b.iter(|| {
-                let e = run(&scale);
+                // Clear the process-wide run cache so every iteration times
+                // the real simulation, not a cache lookup.
+                pcs_testbed::RunCache::global().clear();
+                let e = run(&scale, &ExecConfig::serial());
                 assert!(!e.series.is_empty(), "{id} produced no series");
                 e
             })

@@ -39,21 +39,16 @@ fn bench_bpf(c: &mut Criterion) {
 fn bench_pktgen(c: &mut Criterion) {
     let mut g = c.benchmark_group("pktgen");
     let counts = pcs_pktgen::mwn_counts(1_000_000);
-    let dist = TwoStageDist::from_counts(
-        counts.iter().map(|(&s, &c)| (s, c)),
-        &DistConfig::default(),
-    )
-    .unwrap();
+    let dist =
+        TwoStageDist::from_counts(counts.iter().map(|(&s, &c)| (s, c)), &DistConfig::default())
+            .unwrap();
     let mut rng = Pcg32::new(42, 1);
     g.throughput(Throughput::Elements(1));
     g.bench_function("dist_sample", |b| b.iter(|| dist.sample(&mut rng)));
     g.bench_function("build_mwn_dist", |b| {
         b.iter(|| {
-            TwoStageDist::from_counts(
-                counts.iter().map(|(&s, &c)| (s, c)),
-                &DistConfig::default(),
-            )
-            .unwrap()
+            TwoStageDist::from_counts(counts.iter().map(|(&s, &c)| (s, c)), &DistConfig::default())
+                .unwrap()
         })
     });
     g.throughput(Throughput::Elements(1_000));
@@ -74,9 +69,7 @@ fn bench_pktgen(c: &mut Criterion) {
 fn bench_zdeflate(c: &mut Criterion) {
     let mut g = c.benchmark_group("zdeflate");
     // A packet-like buffer: headers + semi-repetitive payload.
-    let data: Vec<u8> = (0..1500u32)
-        .map(|i| ((i / 7) % 251) as u8)
-        .collect();
+    let data: Vec<u8> = (0..1500u32).map(|i| ((i / 7) % 251) as u8).collect();
     g.throughput(Throughput::Bytes(data.len() as u64));
     for level in [1u8, 3, 6, 9] {
         g.bench_with_input(BenchmarkId::new("deflate_1500B", level), &level, |b, &l| {
@@ -90,7 +83,9 @@ fn bench_zdeflate(c: &mut Criterion) {
         w.finish()
     };
     g.throughput(Throughput::Bytes((data.len() * 16) as u64));
-    g.bench_function("gunzip_24kB", |b| b.iter(|| gunzip(black_box(&gz)).unwrap()));
+    g.bench_function("gunzip_24kB", |b| {
+        b.iter(|| gunzip(black_box(&gz)).unwrap())
+    });
     g.finish();
 }
 
@@ -114,11 +109,9 @@ fn bench_machine_sim(c: &mut Criterion) {
     use pcs_oskernel::{MachineSim, SimConfig};
     let mut g = c.benchmark_group("machine_sim");
     let counts = pcs_pktgen::mwn_counts(1_000_000);
-    let dist = TwoStageDist::from_counts(
-        counts.iter().map(|(&s, &c)| (s, c)),
-        &DistConfig::default(),
-    )
-    .unwrap();
+    let dist =
+        TwoStageDist::from_counts(counts.iter().map(|(&s, &c)| (s, c)), &DistConfig::default())
+            .unwrap();
     let mean = pcs_pktgen::mwn_mean(&counts) + 14.0;
     let make_stream = |count: u64| -> Vec<(pcs_des::SimTime, pcs_wire::SimPacket)> {
         let cfg = PktgenConfig {

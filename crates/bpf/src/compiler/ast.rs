@@ -208,8 +208,8 @@ mod tests {
 
     #[test]
     fn builders() {
-        let e = Expr::Prim(Primitive::EtherProto(0x800))
-            .and(Expr::Prim(Primitive::IpProto(6)).not());
+        let e =
+            Expr::Prim(Primitive::EtherProto(0x800)).and(Expr::Prim(Primitive::IpProto(6)).not());
         match e {
             Expr::And(l, r) => {
                 assert!(matches!(*l, Expr::Prim(Primitive::EtherProto(0x800))));

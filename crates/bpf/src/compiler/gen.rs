@@ -279,7 +279,11 @@ impl Gen {
                 let a = u32::from_be_bytes(addr.octets());
                 match dir {
                     Dir::Src | Dir::Dst => {
-                        let off = if *dir == Dir::Src { OFF_IPSRC } else { OFF_IPDST };
+                        let off = if *dir == Dir::Src {
+                            OFF_IPSRC
+                        } else {
+                            OFF_IPDST
+                        };
                         self.ensure_a(&mut st, AVal::Abs { size: insn::W, off });
                         self.cond(insn::JMP | insn::JEQ | insn::K, a, t, f);
                         Ok((st.clone(), St::meet(&[entry, st])))
@@ -304,10 +308,7 @@ impl Gen {
                             },
                         );
                         self.cond(insn::JMP | insn::JEQ | insn::K, a, t, f);
-                        Ok((
-                            St::meet(&[src_checked, st.clone()]),
-                            St::meet(&[entry, st]),
-                        ))
+                        Ok((St::meet(&[src_checked, st.clone()]), St::meet(&[entry, st])))
                     }
                 }
             }
@@ -338,7 +339,11 @@ impl Gen {
                 };
                 match dir {
                     Dir::Src | Dir::Dst => {
-                        let off = if *dir == Dir::Src { OFF_IPSRC } else { OFF_IPDST };
+                        let off = if *dir == Dir::Src {
+                            OFF_IPSRC
+                        } else {
+                            OFF_IPDST
+                        };
                         let s = check(self, st, off, t, f);
                         Ok((s.clone(), St::meet(&[entry, s])))
                     }
@@ -675,10 +680,7 @@ impl Gen {
                         self.mark(cont);
                         if let Some(off) = offset.const_value() {
                             self.stmt(Insn::stmt(insn::LDX | insn::B | insn::MSH, IP_BASE));
-                            self.stmt(Insn::stmt(
-                                insn::LD | size_bits | insn::IND,
-                                IP_BASE + off,
-                            ));
+                            self.stmt(Insn::stmt(insn::LD | size_bits | insn::IND, IP_BASE + off));
                         } else {
                             if contains_transport_load(offset) {
                                 return Err(GenError::NestedTransportLoad);

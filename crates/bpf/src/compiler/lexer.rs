@@ -360,7 +360,11 @@ mod tests {
     fn numbers() {
         assert_eq!(
             lex("42 0x2a 0xFFFF").unwrap(),
-            vec![Token::Number(42), Token::Number(0x2a), Token::Number(0xffff)]
+            vec![
+                Token::Number(42),
+                Token::Number(0x2a),
+                Token::Number(0xffff)
+            ]
         );
     }
 

@@ -65,8 +65,7 @@ pub fn compile(expression: &str, snaplen: u32) -> Result<Vec<Insn>, CompileError
     let ast = parser::parse(expression)?;
     let prog = gen::generate(ast.as_ref(), snaplen)?;
     let prog = crate::opt::optimize(&prog);
-    crate::validate::validate(&prog)
-        .map_err(|e| CompileError::Gen(GenError::Invalid(e)))?;
+    crate::validate::validate(&prog).map_err(|e| CompileError::Gen(GenError::Invalid(e)))?;
     Ok(prog)
 }
 
@@ -134,7 +133,10 @@ mod tests {
         assert!(matches("host 192.168.10.100", &p));
         assert!(matches("host 192.168.10.12", &p));
         assert!(!matches("host 10.0.0.1", &p));
-        assert!(matches("src host 192.168.10.100 and dst host 192.168.10.12", &p));
+        assert!(matches(
+            "src host 192.168.10.100 and dst host 192.168.10.12",
+            &p
+        ));
     }
 
     #[test]
@@ -171,12 +173,7 @@ mod tests {
 
     #[test]
     fn ether_host_matching() {
-        let p = udp_packet(
-            Ipv4Addr::new(1, 1, 1, 1),
-            Ipv4Addr::new(2, 2, 2, 2),
-            1,
-            2,
-        );
+        let p = udp_packet(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 1, 2);
         assert!(matches("ether src 00:00:00:00:00:00", &p));
         assert!(!matches("ether src 00:00:00:00:00:01", &p));
         assert!(matches("ether dst 00:0e:0c:01:02:03", &p));
@@ -186,12 +183,7 @@ mod tests {
 
     #[test]
     fn length_primitives_and_relations() {
-        let p = udp_packet(
-            Ipv4Addr::new(1, 1, 1, 1),
-            Ipv4Addr::new(2, 2, 2, 2),
-            1,
-            2,
-        );
+        let p = udp_packet(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 1, 2);
         // frame_len is 200
         assert!(matches("greater 100", &p));
         assert!(!matches("greater 201", &p));
@@ -205,12 +197,7 @@ mod tests {
 
     #[test]
     fn accessor_relations() {
-        let p = udp_packet(
-            Ipv4Addr::new(1, 1, 1, 1),
-            Ipv4Addr::new(2, 2, 2, 2),
-            1,
-            2,
-        );
+        let p = udp_packet(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 1, 2);
         assert!(matches("ether[6:4]=0x00000000", &p));
         assert!(matches("ether[12:2]=0x0800", &p));
         // IP version/IHL byte.
@@ -227,31 +214,18 @@ mod tests {
 
     #[test]
     fn boolean_composition() {
-        let p = udp_packet(
-            Ipv4Addr::new(10, 0, 0, 1),
-            Ipv4Addr::new(10, 0, 0, 2),
-            5,
-            6,
-        );
+        let p = udp_packet(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 5, 6);
         assert!(matches("ip and udp", &p));
         assert!(matches("tcp or udp", &p));
         assert!(!matches("tcp and udp", &p));
         assert!(matches("not (tcp or arp)", &p));
-        assert!(matches(
-            "(ip src 10.0.0.1 or ip src 10.0.0.9) and udp",
-            &p
-        ));
+        assert!(matches("(ip src 10.0.0.1 or ip src 10.0.0.9) and udp", &p));
         assert!(!matches("ip src 10.0.0.1 and not udp", &p));
     }
 
     #[test]
     fn computed_vs_computed_relation() {
-        let p = udp_packet(
-            Ipv4Addr::new(1, 1, 1, 1),
-            Ipv4Addr::new(2, 2, 2, 2),
-            7,
-            7,
-        );
+        let p = udp_packet(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 7, 7);
         // src port equals dst port.
         assert!(matches("udp[0:2] = udp[2:2]", &p));
         // frame length equals ip total length + 14.
@@ -260,12 +234,7 @@ mod tests {
 
     #[test]
     fn computed_offset_loads() {
-        let p = udp_packet(
-            Ipv4Addr::new(1, 1, 1, 1),
-            Ipv4Addr::new(2, 2, 2, 2),
-            7,
-            7,
-        );
+        let p = udp_packet(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 7, 7);
         // ether[12+0] via computed offset: high EtherType byte.
         assert!(matches("ether[ip[0] & 0 + 12] = 0x08", &p));
     }

@@ -545,9 +545,15 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         let e = p("len > 100");
-        assert!(matches!(e, Expr::Rel(RelOp::Gt, Arith::PktLen, Arith::Num(100))));
+        assert!(matches!(
+            e,
+            Expr::Rel(RelOp::Gt, Arith::PktLen, Arith::Num(100))
+        ));
         let e = p("ip[0] & 0xf != 5");
-        assert!(matches!(e, Expr::Rel(RelOp::Ne, Arith::Bin(ArithOp::And, _, _), _)));
+        assert!(matches!(
+            e,
+            Expr::Rel(RelOp::Ne, Arith::Bin(ArithOp::And, _, _), _)
+        ));
     }
 
     #[test]

@@ -459,8 +459,7 @@ impl Graph {
                         // Collapse decided conditionals to a direct jump.
                         if let Some(taken) = st.knowledge_of(v).decide(op, k) {
                             let target = self.nodes[i].succ[if taken { 0 } else { 1 }];
-                            if self.nodes[i].kind != Kind::Ja || self.nodes[i].succ != [target; 2]
-                            {
+                            if self.nodes[i].kind != Kind::Ja || self.nodes[i].succ != [target; 2] {
                                 self.nodes[i].kind = Kind::Ja;
                                 self.nodes[i].succ = [target, target];
                                 changed = true;
@@ -505,8 +504,7 @@ impl Graph {
         let mut best = start;
         let mut w = start;
         let mut steps = 0usize;
-        let matches_real =
-            |sim: Option<AVal>| -> bool { sim.is_some() && sim == real_a };
+        let matches_real = |sim: Option<AVal>| -> bool { sim.is_some() && sim == real_a };
 
         loop {
             if w == NONE || w >= self.nodes.len() {
@@ -579,7 +577,11 @@ impl Graph {
                 Kind::OpaqueWrite { reads_a } | Kind::SideEffect { reads_a } => {
                     // Must execute from here on; landable unless it reads
                     // a stale A.
-                    return if !reads_a || matches_real(sim_a) { w } else { best };
+                    return if !reads_a || matches_real(sim_a) {
+                        w
+                    } else {
+                        best
+                    };
                 }
             }
         }
@@ -595,8 +597,8 @@ impl Graph {
         let label_of = |i: usize| -> Label { i as Label };
         let mut emitted_any = false;
         let mut last_emitted: Option<usize> = None;
-        for i in 0..n {
-            if !reachable[i] {
+        for (i, &live) in reachable.iter().enumerate() {
+            if !live {
                 continue;
             }
             // If the previously emitted node falls through to something

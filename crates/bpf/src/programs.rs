@@ -29,20 +29,12 @@ pub fn fig65_expression() -> String {
     ];
     for i in 0..19u32 {
         // 10.11.12.13, 20.11.12.14, ... 190.11.12.31 (the thesis listing).
-        parts.push(format!(
-            "not ip src {}.11.12.{}",
-            (i + 1) * 10,
-            13 + i
-        ));
+        parts.push(format!("not ip src {}.11.12.{}", (i + 1) * 10, 13 + i));
     }
     for i in 0..19u32 {
         // 10.99.12.13 ... 190.99.12.31, with the thesis' typo at index 10
         // ("990.99.12.23") corrected to 110.99.12.23.
-        parts.push(format!(
-            "not ip dst {}.99.12.{}",
-            (i + 1) * 10,
-            13 + i
-        ));
+        parts.push(format!("not ip dst {}.99.12.{}", (i + 1) * 10, 13 + i));
     }
     parts.join(" and ")
 }

@@ -165,10 +165,7 @@ mod tests {
 
     #[test]
     fn rejects_missing_ret() {
-        assert_eq!(
-            validate(&[ld_imm(1)]),
-            Err(ValidateError::NoTrailingRet)
-        );
+        assert_eq!(validate(&[ld_imm(1)]), Err(ValidateError::NoTrailingRet));
     }
 
     #[test]

@@ -41,7 +41,8 @@ impl<'a, W: Write> Dumper<'a, W> {
             None => return Ok(false),
         };
         let data = pkt.materialize(cap.caplen);
-        self.writer.write_packet(cap.recv_ns, cap.frame_len, &data)?;
+        self.writer
+            .write_packet(cap.recv_ns, cap.frame_len, &data)?;
         Ok(true)
     }
 

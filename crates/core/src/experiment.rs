@@ -106,7 +106,12 @@ impl Experiment {
             out.push_str(&format!("  {:>13} {:>8}", self.ylabel, "cpu[%]"));
         }
         out.push('\n');
-        let nrows = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let nrows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
         for i in 0..nrows {
             let x = self
                 .series
@@ -116,9 +121,7 @@ impl Experiment {
             out.push_str(&format!("{x:>12.0}"));
             for s in &self.series {
                 match s.points.get(i) {
-                    Some(p) => {
-                        out.push_str(&format!("  {:>13.1} {:>8.0}", p.capture, p.cpu))
-                    }
+                    Some(p) => out.push_str(&format!("  {:>13.1} {:>8.0}", p.capture, p.cpu)),
                     None => out.push_str(&format!("  {:>13} {:>8}", "-", "-")),
                 }
             }
@@ -187,10 +190,14 @@ impl Experiment {
 
 fn truncate(s: &str, n: usize) -> &str {
     if s.len() <= n {
-        s
-    } else {
-        &s[..n]
+        return s;
     }
+    // `n` may fall inside a multi-byte character; back off to a boundary.
+    let mut end = n;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
 }
 
 #[cfg(test)]
@@ -255,5 +262,22 @@ mod tests {
         assert!(qc.contains("\"swan, default buffers\""));
         assert_eq!(c.lines().count(), 3);
         assert!(c.contains("t1,Linux/AMD - swan,870.0,60.00,50.00,70.00,100.0"));
+    }
+
+    #[test]
+    fn truncate_respects_char_boundaries() {
+        // ASCII: exact byte cut.
+        assert_eq!(truncate("abcdef", 4), "abcd");
+        assert_eq!(truncate("abc", 22), "abc");
+        // Multi-byte labels must not panic mid-character: "müllerstraße"
+        // has 'ü' spanning bytes 1..3 and 'ß' spanning bytes 10..12.
+        assert_eq!(truncate("müllerstraße", 2), "m");
+        assert_eq!(truncate("müllerstraße", 3), "mü");
+        assert_eq!(truncate("ドイツ語ラベル", 5), "ド");
+        // A table with a long non-ASCII series label renders fine.
+        let mut e = Experiment::from_sweep("t1", "Fig X", "test", &fake_points());
+        e.series[0].label = "Überlange Maschinenbezeichnung — München".into();
+        let t = e.to_table();
+        assert!(t.contains("Überlange"));
     }
 }

@@ -7,7 +7,7 @@ use pcs_capture::MeasurementApp;
 use pcs_hw::{MachineSpec, PciBus, PciKind};
 use pcs_oskernel::SimConfig;
 use pcs_pktgen::TxModel;
-use pcs_testbed::{run_sweep, CycleConfig, Sut};
+use pcs_testbed::{run_sweep_exec, CycleConfig, ExecConfig, Sut};
 
 fn seed_of(id: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -27,7 +27,7 @@ fn seed_of(id: &str) -> u64 {
 /// shapes confirm the thesis' prediction: the bus alone caps PCI-64 at a
 /// fraction of the link, and even with PCI-X every system is
 /// interrupt/CPU-bound far below line rate.
-pub fn ext_10gige(scale: &Scale) -> Experiment {
+pub fn ext_10gige(scale: &Scale, exec: &ExecConfig) -> Experiment {
     let mut cycle = CycleConfig::mwn(scale.count, seed_of("ext-10gige"));
     cycle.repeats = scale.repeats;
     // A 10 GigE generator NIC: same per-packet cost, ten times the wire.
@@ -62,7 +62,7 @@ pub fn ext_10gige(scale: &Scale) -> Experiment {
         Some(8_000.0),
         None,
     ];
-    let points = run_sweep(&suts, &cycle, &rates);
+    let points = run_sweep_exec(&suts, &cycle, &rates, exec);
     let mut e = Experiment::from_sweep(
         "ext-10gige",
         "§7.2 future work: capturing on 10 Gigabit Ethernet",
@@ -85,7 +85,7 @@ pub fn ext_10gige(scale: &Scale) -> Experiment {
 /// `greater 701`) split the stream, against one application taking
 /// everything — with a heavy per-packet analysis load where splitting can
 /// actually pay (both halves run on different CPUs).
-pub fn ext_split_analysis(scale: &Scale) -> Experiment {
+pub fn ext_split_analysis(scale: &Scale, exec: &ExecConfig) -> Experiment {
     let mut cycle = CycleConfig::mwn(scale.count, seed_of("ext-split"));
     cycle.repeats = scale.repeats;
     let load = |app: MeasurementApp| app.compress(3);
@@ -118,7 +118,7 @@ pub fn ext_split_analysis(scale: &Scale) -> Experiment {
             sim: split.clone(),
         });
     }
-    let points = run_sweep(&suts, &cycle, &scale.rates);
+    let points = run_sweep_exec(&suts, &cycle, &scale.rates, exec);
     // For the split variant the interesting number is the *combined*
     // coverage: each app owns a disjoint half, so coverage = sum of the
     // per-app accepted fractions ≈ mean × 2.
@@ -168,7 +168,7 @@ pub fn ext_split_analysis(scale: &Scale) -> Experiment {
 /// argument says self-similar traffic defeats any finite buffer; with
 /// perfectly paced arrivals (`burst = 1`) the default 110 kB Linux buffer
 /// looks far healthier than it did in the lab.
-pub fn ext_burst_ablation(scale: &Scale) -> Experiment {
+pub fn ext_burst_ablation(scale: &Scale, exec: &ExecConfig) -> Experiment {
     let mut series = Vec::new();
     for burst in [1u32, 16, 64, 256] {
         let mut cycle = CycleConfig::mwn(scale.count, seed_of("ext-burst"));
@@ -181,7 +181,7 @@ pub fn ext_burst_ablation(scale: &Scale) -> Experiment {
                 ..SimConfig::default()
             },
         }];
-        let points = run_sweep(&suts, &cycle, &scale.rates);
+        let points = run_sweep_exec(&suts, &cycle, &scale.rates, exec);
         series.push(Series {
             label: format!("swan, default buffers, mean burst {burst}"),
             points: points
@@ -216,7 +216,7 @@ pub fn ext_burst_ablation(scale: &Scale) -> Experiment {
 /// §2.2.1: Mogul & Ramakrishnan's receive-livelock remedies — device
 /// polling and interrupt moderation — applied to the thesis' weakest
 /// system (flamingo, single CPU), where per-packet interrupts hurt most.
-pub fn ext_polling(scale: &Scale) -> Experiment {
+pub fn ext_polling(scale: &Scale, exec: &ExecConfig) -> Experiment {
     use pcs_hw::NicModel;
     let mut cycle = CycleConfig::mwn(scale.count, seed_of("ext-polling"));
     cycle.repeats = scale.repeats;
@@ -238,7 +238,7 @@ pub fn ext_polling(scale: &Scale) -> Experiment {
             sim: SimConfig::default(),
         });
     }
-    let points = run_sweep(&suts, &cycle, &scale.rates);
+    let points = run_sweep_exec(&suts, &cycle, &scale.rates, exec);
     let mut e = Experiment::from_sweep(
         "ext-polling",
         "§2.2.1: receive-livelock mitigation (interrupt moderation / device polling)",
@@ -266,7 +266,7 @@ mod tests {
 
     #[test]
     fn ten_gige_is_bus_and_cpu_bound() {
-        let e = ext_10gige(&tiny());
+        let e = ext_10gige(&tiny(), &ExecConfig::serial());
         assert_eq!(e.series.len(), 4);
         // At the top rate nobody comes close to line rate.
         for s in &e.series {
@@ -287,7 +287,7 @@ mod tests {
 
     #[test]
     fn split_analysis_runs_and_halves_are_disjoint() {
-        let e = ext_split_analysis(&tiny());
+        let e = ext_split_analysis(&tiny(), &ExecConfig::parallel());
         assert_eq!(e.series.len(), 4);
         for s in &e.series {
             for p in &s.points {
@@ -303,7 +303,7 @@ mod tests {
             repeats: 1,
             rates: vec![None],
         };
-        let e = ext_polling(&s);
+        let e = ext_polling(&s, &ExecConfig::serial());
         let stock = e.series[0].points.last().unwrap().capture;
         let poll = e.series[2].points.last().unwrap().capture;
         assert!(
@@ -319,7 +319,7 @@ mod tests {
             repeats: 1,
             rates: vec![Some(500.0)],
         };
-        let e = ext_burst_ablation(&s);
+        let e = ext_burst_ablation(&s, &ExecConfig::serial());
         let smooth = e.series[0].points[0].capture; // burst 1
         let bursty = e.series[3].points[0].capture; // burst 256
         assert!(

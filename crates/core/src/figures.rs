@@ -1,9 +1,11 @@
 //! One function per thesis figure/table: the regeneration code.
 //!
 //! Each function builds the SUT set and workload the figure used, runs
-//! the measurement cycle at the requested [`Scale`], and returns an
-//! [`Experiment`]. The registry ([`all_experiments`]) is what the
-//! `experiments` CLI and the benchmark harness enumerate.
+//! the measurement cycle at the requested [`Scale`] on the parallel
+//! sweep engine (its [`ExecConfig`] decides how many cells run
+//! concurrently; results are bit-identical at any job count), and
+//! returns an [`Experiment`]. The registry ([`all_experiments`]) is what
+//! the `experiments` CLI and the benchmark harness enumerate.
 
 use crate::experiment::{Experiment, Series, SeriesPoint};
 use crate::scale::Scale;
@@ -11,7 +13,7 @@ use pcs_capture::MeasurementApp;
 use pcs_hw::{write_benchmark, MachineSpec, OsKind};
 use pcs_oskernel::{AppConfig, BufferConfig, SimConfig};
 use pcs_pktgen::{mwn_counts, mwn_mean, TxModel};
-use pcs_testbed::{run_sweep, standard_suts, CycleConfig, Sut};
+use pcs_testbed::{run_sweep_exec, standard_suts, CycleConfig, ExecConfig, Sut};
 
 /// Derive a deterministic seed from an experiment id.
 fn seed_of(id: &str) -> u64 {
@@ -49,15 +51,19 @@ fn suts_with(smp: bool, sim: SimConfig) -> Vec<Sut> {
         .collect()
 }
 
+/// The signature every registry entry shares.
+pub type ExperimentFn = fn(&Scale, &ExecConfig) -> Experiment;
+
 fn sweep_experiment(
     id: &str,
     thesis_ref: &str,
     title: &str,
     scale: &Scale,
+    exec: &ExecConfig,
     suts: Vec<Sut>,
 ) -> Experiment {
     let cycle = cycle_for(scale, id);
-    let points = run_sweep(&suts, &cycle, &scale.rates);
+    let points = run_sweep_exec(&suts, &cycle, &scale.rates, exec);
     Experiment::from_sweep(id, thesis_ref, title, &points)
 }
 
@@ -66,7 +72,7 @@ fn sweep_experiment(
 // ---------------------------------------------------------------------
 
 /// Fig. 4.1: the packet-size scatter of the (synthetic) 24 h trace.
-pub fn fig4_1(_scale: &Scale) -> Experiment {
+pub fn fig4_1(_scale: &Scale, _exec: &ExecConfig) -> Experiment {
     let counts = mwn_counts(1_000_000_000);
     let total: u64 = counts.values().sum();
     let series = vec![Series {
@@ -99,11 +105,11 @@ pub fn fig4_1(_scale: &Scale) -> Experiment {
 }
 
 /// Fig. 4.2: the top-20 histogram with cumulative percentages.
-pub fn fig4_2(_scale: &Scale) -> Experiment {
+pub fn fig4_2(_scale: &Scale, _exec: &ExecConfig) -> Experiment {
     let counts = mwn_counts(1_000_000_000);
     let total: u64 = counts.values().sum();
     let mut by_count: Vec<(u32, u64)> = counts.iter().map(|(&s, &c)| (s, c)).collect();
-    by_count.sort_by(|a, b| b.1.cmp(&a.1));
+    by_count.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     let mut cumulative = 0.0;
     let mut points = Vec::new();
     for (rank, &(size, c)) in by_count.iter().take(20).enumerate() {
@@ -139,7 +145,7 @@ pub fn fig4_2(_scale: &Scale) -> Experiment {
 
 /// §4.3.1: the enhanced pktgen's achievable rates per NIC and per frame
 /// size, plus the distribution fidelity check.
-pub fn val_pktgen(scale: &Scale) -> Experiment {
+pub fn val_pktgen(scale: &Scale, _exec: &ExecConfig) -> Experiment {
     let mut series = Vec::new();
     for (label, tx) in [
         ("Syskonnect SK-98xx", TxModel::syskonnect()),
@@ -208,7 +214,7 @@ pub fn val_pktgen(scale: &Scale) -> Experiment {
 // ---------------------------------------------------------------------
 
 /// Fig. 6.2 (referenced baseline): default OS buffers.
-pub fn fig6_2_default_buffers(scale: &Scale, smp: bool) -> Experiment {
+pub fn fig6_2_default_buffers(scale: &Scale, smp: bool, exec: &ExecConfig) -> Experiment {
     let sim = SimConfig {
         buffers: BufferConfig::default_buffers(),
         ..SimConfig::default()
@@ -219,12 +225,13 @@ pub fn fig6_2_default_buffers(scale: &Scale, smp: bool) -> Experiment {
         "Figure 6.2 (baseline): default buffer sizes",
         &format!("Default buffers, {}, 1 app", mode_suffix(smp)),
         scale,
+        exec,
         suts_with(smp, sim),
     )
 }
 
 /// Fig. 6.3: the increased buffers (10 MB double / 128 MB).
-pub fn fig6_3_increased_buffers(scale: &Scale, smp: bool) -> Experiment {
+pub fn fig6_3_increased_buffers(scale: &Scale, smp: bool, exec: &ExecConfig) -> Experiment {
     let sim = SimConfig::default();
     let id = if smp { "fig6.3b" } else { "fig6.3a" };
     sweep_experiment(
@@ -232,12 +239,13 @@ pub fn fig6_3_increased_buffers(scale: &Scale, smp: bool) -> Experiment {
         "Figure 6.3: increased buffers (10 MB double / 128 MB)",
         &format!("Increased buffers, {}, 1 app", mode_suffix(smp)),
         scale,
+        exec,
         suts_with(smp, sim),
     )
 }
 
 /// Fig. 6.4, experiments (33)/(20): capture at top speed vs buffer size.
-pub fn fig6_4_buffer_sweep(scale: &Scale, smp: bool) -> Experiment {
+pub fn fig6_4_buffer_sweep(scale: &Scale, smp: bool, exec: &ExecConfig) -> Experiment {
     let id = if smp { "fig6.4b" } else { "fig6.4a" };
     let cycle = cycle_for(scale, id);
     let sizes_kb: Vec<u64> = (0..12).map(|i| 128u64 << i).collect(); // 128 kB .. 256 MB
@@ -247,7 +255,7 @@ pub fn fig6_4_buffer_sweep(scale: &Scale, smp: bool) -> Experiment {
             buffers: BufferConfig::symmetric(kb * 1024),
             ..SimConfig::default()
         };
-        let points = run_sweep(&suts_with(smp, sim), &cycle, &[None]);
+        let points = run_sweep_exec(&suts_with(smp, sim), &cycle, &[None], exec);
         let p = &points[0];
         for (s, sp) in p.suts.iter().enumerate() {
             if i == 0 {
@@ -276,14 +284,13 @@ pub fn fig6_4_buffer_sweep(scale: &Scale, smp: bool) -> Experiment {
         ylabel: "capture[%]".into(),
         series: all_series,
         notes: vec![
-            "FreeBSD gets half the size per double-buffer half (equal effective capacity)"
-                .into(),
+            "FreeBSD gets half the size per double-buffer half (equal effective capacity)".into(),
         ],
     }
 }
 
 /// Fig. 6.6, experiments (34)/(21): the 50-instruction BPF filter.
-pub fn fig6_6_filter(scale: &Scale, smp: bool) -> Experiment {
+pub fn fig6_6_filter(scale: &Scale, smp: bool, exec: &ExecConfig) -> Experiment {
     let prog = pcs_bpf::programs::fig65_program(65_535).expect("fig 6.5 filter compiles");
     let sim = SimConfig {
         apps: vec![AppConfig {
@@ -301,6 +308,7 @@ pub fn fig6_6_filter(scale: &Scale, smp: bool) -> Experiment {
         ),
         &format!("50-instruction filter, {}, 1 app", mode_suffix(smp)),
         scale,
+        exec,
         suts_with(smp, sim),
     );
     e.notes.push(format!(
@@ -312,7 +320,7 @@ pub fn fig6_6_filter(scale: &Scale, smp: bool) -> Experiment {
 
 /// Fig. 6.7/6.8/6.9, experiments (22)/(23)/(24): 2, 4 or 8 concurrent
 /// capture applications (SMP).
-pub fn fig6_789_multiapp(scale: &Scale, napps: usize) -> Experiment {
+pub fn fig6_789_multiapp(scale: &Scale, napps: usize, exec: &ExecConfig) -> Experiment {
     let (fig, exp) = match napps {
         2 => ("fig6.7", "22"),
         4 => ("fig6.8", "23"),
@@ -324,15 +332,19 @@ pub fn fig6_789_multiapp(scale: &Scale, napps: usize) -> Experiment {
     };
     sweep_experiment(
         fig,
-        &format!("Figure {}, experiment ({exp}): {napps} capturing applications", &fig[3..]),
+        &format!(
+            "Figure {}, experiment ({exp}): {napps} capturing applications",
+            &fig[3..]
+        ),
         &format!("{napps} apps, SMP (worst/avg/best per app in CSV)"),
         scale,
+        exec,
         suts_with(true, sim),
     )
 }
 
 /// Fig. 6.10 / B.2, experiments (35)/(27): N additional packet copies.
-pub fn fig6_10_memcpy(scale: &Scale, copies: u32, smp: bool) -> Experiment {
+pub fn fig6_10_memcpy(scale: &Scale, copies: u32, smp: bool, exec: &ExecConfig) -> Experiment {
     let sim = SimConfig {
         apps: vec![MeasurementApp::new().extra_copies(copies).build()],
         ..SimConfig::default()
@@ -350,12 +362,13 @@ pub fn fig6_10_memcpy(scale: &Scale, copies: u32, smp: bool) -> Experiment {
         ),
         &format!("memcpy-{copies}, {}, 1 app", mode_suffix(smp)),
         scale,
+        exec,
         suts_with(smp, sim),
     )
 }
 
 /// Fig. 6.11 / B.3, experiments (40)/(39): per-packet zlib compression.
-pub fn fig6_11_gzip(scale: &Scale, level: u8, smp: bool) -> Experiment {
+pub fn fig6_11_gzip(scale: &Scale, level: u8, smp: bool, exec: &ExecConfig) -> Experiment {
     let sim = SimConfig {
         apps: vec![MeasurementApp::new().compress(level).build()],
         ..SimConfig::default()
@@ -373,12 +386,13 @@ pub fn fig6_11_gzip(scale: &Scale, level: u8, smp: bool) -> Experiment {
         ),
         &format!("gzwrite-{level}, {}, 1 app", mode_suffix(smp)),
         scale,
+        exec,
         suts_with(smp, sim),
     )
 }
 
 /// Fig. 6.12, experiment (48): piping whole packets to a gzip process.
-pub fn fig6_12_pipe(scale: &Scale) -> Experiment {
+pub fn fig6_12_pipe(scale: &Scale, exec: &ExecConfig) -> Experiment {
     let sim = SimConfig {
         apps: vec![MeasurementApp::new().pipe_to_gzip(3).build()],
         ..SimConfig::default()
@@ -388,12 +402,13 @@ pub fn fig6_12_pipe(scale: &Scale) -> Experiment {
         "Figure 6.12, experiment (48): tcpdump piping whole packets to gzip",
         "pipe to gzip -3, SMP, 1 app + gzip process",
         scale,
+        exec,
         suts_with(true, sim),
     )
 }
 
 /// Fig. 6.13, experiment (00): bonnie++-style maximum write speed.
-pub fn fig6_13_bonnie(_scale: &Scale) -> Experiment {
+pub fn fig6_13_bonnie(_scale: &Scale, _exec: &ExecConfig) -> Experiment {
     let mut series = Vec::new();
     for (i, m) in MachineSpec::all_sniffers().iter().enumerate() {
         let r = write_benchmark(&m.disk, 2 << 30);
@@ -424,7 +439,7 @@ pub fn fig6_13_bonnie(_scale: &Scale) -> Experiment {
 }
 
 /// Fig. 6.14, experiments (46)/(45): writing 76-byte headers to disk.
-pub fn fig6_14_headers(scale: &Scale, smp: bool) -> Experiment {
+pub fn fig6_14_headers(scale: &Scale, smp: bool, exec: &ExecConfig) -> Experiment {
     let sim = SimConfig {
         apps: vec![MeasurementApp::new().write_headers(76).build()],
         ..SimConfig::default()
@@ -438,12 +453,13 @@ pub fn fig6_14_headers(scale: &Scale, smp: bool) -> Experiment {
         ),
         &format!("headers to disk, {}, 1 app", mode_suffix(smp)),
         scale,
+        exec,
         suts_with(smp, sim),
     )
 }
 
 /// Fig. 6.15, experiments (18)/(19): the mmap'ed libpcap on Linux.
-pub fn fig6_15_mmap(scale: &Scale, smp: bool) -> Experiment {
+pub fn fig6_15_mmap(scale: &Scale, smp: bool, exec: &ExecConfig) -> Experiment {
     let id = if smp { "fig6.15b" } else { "fig6.15a" };
     let cycle = cycle_for(scale, id);
     let mut suts = Vec::new();
@@ -461,7 +477,7 @@ pub fn fig6_15_mmap(scale: &Scale, smp: bool) -> Experiment {
             },
         });
     }
-    let points = run_sweep(&suts, &cycle, &scale.rates);
+    let points = run_sweep_exec(&suts, &cycle, &scale.rates, exec);
     let mut e = Experiment::from_sweep(
         id,
         &format!(
@@ -481,7 +497,7 @@ pub fn fig6_15_mmap(scale: &Scale, smp: bool) -> Experiment {
 }
 
 /// Fig. 6.16, experiment (42): Hyperthreading on the Intel machines.
-pub fn fig6_16_ht(scale: &Scale) -> Experiment {
+pub fn fig6_16_ht(scale: &Scale, exec: &ExecConfig) -> Experiment {
     let cycle = cycle_for(scale, "fig6.16");
     let mut suts = Vec::new();
     for spec in [MachineSpec::snipe(), MachineSpec::flamingo()] {
@@ -494,7 +510,7 @@ pub fn fig6_16_ht(scale: &Scale) -> Experiment {
             sim: SimConfig::default(),
         });
     }
-    let points = run_sweep(&suts, &cycle, &scale.rates);
+    let points = run_sweep_exec(&suts, &cycle, &scale.rates, exec);
     let mut e = Experiment::from_sweep(
         "fig6.16",
         "Figure 6.16, experiment (42): Hyperthreading on the Xeons",
@@ -510,7 +526,7 @@ pub fn fig6_16_ht(scale: &Scale) -> Experiment {
 }
 
 /// Fig. B.1: FreeBSD 5.2.1 vs 5.4.
-pub fn figb_1_freebsd_versions(scale: &Scale) -> Experiment {
+pub fn figb_1_freebsd_versions(scale: &Scale, exec: &ExecConfig) -> Experiment {
     let cycle = cycle_for(scale, "figB.1");
     let mut suts = Vec::new();
     for spec in [MachineSpec::moorhen(), MachineSpec::flamingo()] {
@@ -523,7 +539,7 @@ pub fn figb_1_freebsd_versions(scale: &Scale) -> Experiment {
             sim: SimConfig::default(),
         });
     }
-    let points = run_sweep(&suts, &cycle, &scale.rates);
+    let points = run_sweep_exec(&suts, &cycle, &scale.rates, exec);
     Experiment::from_sweep(
         "figB.1",
         "Figure B.1: FreeBSD 5.2.1 vs 5.4",
@@ -533,7 +549,7 @@ pub fn figb_1_freebsd_versions(scale: &Scale) -> Experiment {
 }
 
 /// Fig. 2.4: the machine inventory table.
-pub fn tbl2_4_machines(_scale: &Scale) -> Experiment {
+pub fn tbl2_4_machines(_scale: &Scale, _exec: &ExecConfig) -> Experiment {
     let series = MachineSpec::all_sniffers()
         .iter()
         .enumerate()
@@ -567,69 +583,73 @@ pub fn tbl2_4_machines(_scale: &Scale) -> Experiment {
 }
 
 /// The registry: every regenerable experiment by id.
-pub fn all_experiments() -> Vec<(&'static str, &'static str, fn(&Scale) -> Experiment)> {
-    fn f62a(s: &Scale) -> Experiment {
-        fig6_2_default_buffers(s, false)
+///
+/// Every entry takes the [`Scale`] plus the [`ExecConfig`] that decides
+/// how many sweep cells run concurrently (and accumulates the
+/// run/cached cell counters the CLI reports).
+pub fn all_experiments() -> Vec<(&'static str, &'static str, ExperimentFn)> {
+    fn f62a(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_2_default_buffers(s, false, e)
     }
-    fn f62b(s: &Scale) -> Experiment {
-        fig6_2_default_buffers(s, true)
+    fn f62b(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_2_default_buffers(s, true, e)
     }
-    fn f63a(s: &Scale) -> Experiment {
-        fig6_3_increased_buffers(s, false)
+    fn f63a(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_3_increased_buffers(s, false, e)
     }
-    fn f63b(s: &Scale) -> Experiment {
-        fig6_3_increased_buffers(s, true)
+    fn f63b(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_3_increased_buffers(s, true, e)
     }
-    fn f64a(s: &Scale) -> Experiment {
-        fig6_4_buffer_sweep(s, false)
+    fn f64a(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_4_buffer_sweep(s, false, e)
     }
-    fn f64b(s: &Scale) -> Experiment {
-        fig6_4_buffer_sweep(s, true)
+    fn f64b(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_4_buffer_sweep(s, true, e)
     }
-    fn f66a(s: &Scale) -> Experiment {
-        fig6_6_filter(s, false)
+    fn f66a(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_6_filter(s, false, e)
     }
-    fn f66b(s: &Scale) -> Experiment {
-        fig6_6_filter(s, true)
+    fn f66b(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_6_filter(s, true, e)
     }
-    fn f67(s: &Scale) -> Experiment {
-        fig6_789_multiapp(s, 2)
+    fn f67(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_789_multiapp(s, 2, e)
     }
-    fn f68(s: &Scale) -> Experiment {
-        fig6_789_multiapp(s, 4)
+    fn f68(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_789_multiapp(s, 4, e)
     }
-    fn f69(s: &Scale) -> Experiment {
-        fig6_789_multiapp(s, 8)
+    fn f69(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_789_multiapp(s, 8, e)
     }
-    fn f610a(s: &Scale) -> Experiment {
-        fig6_10_memcpy(s, 50, false)
+    fn f610a(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_10_memcpy(s, 50, false, e)
     }
-    fn f610b(s: &Scale) -> Experiment {
-        fig6_10_memcpy(s, 50, true)
+    fn f610b(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_10_memcpy(s, 50, true, e)
     }
-    fn fb2(s: &Scale) -> Experiment {
-        fig6_10_memcpy(s, 25, true)
+    fn fb2(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_10_memcpy(s, 25, true, e)
     }
-    fn f611a(s: &Scale) -> Experiment {
-        fig6_11_gzip(s, 3, false)
+    fn f611a(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_11_gzip(s, 3, false, e)
     }
-    fn f611b(s: &Scale) -> Experiment {
-        fig6_11_gzip(s, 3, true)
+    fn f611b(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_11_gzip(s, 3, true, e)
     }
-    fn fb3(s: &Scale) -> Experiment {
-        fig6_11_gzip(s, 9, true)
+    fn fb3(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_11_gzip(s, 9, true, e)
     }
-    fn f614a(s: &Scale) -> Experiment {
-        fig6_14_headers(s, false)
+    fn f614a(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_14_headers(s, false, e)
     }
-    fn f614b(s: &Scale) -> Experiment {
-        fig6_14_headers(s, true)
+    fn f614b(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_14_headers(s, true, e)
     }
-    fn f615a(s: &Scale) -> Experiment {
-        fig6_15_mmap(s, false)
+    fn f615a(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_15_mmap(s, false, e)
     }
-    fn f615b(s: &Scale) -> Experiment {
-        fig6_15_mmap(s, true)
+    fn f615b(s: &Scale, e: &ExecConfig) -> Experiment {
+        fig6_15_mmap(s, true, e)
     }
     vec![
         ("tbl2.4", "machine inventory (Fig 2.4)", tbl2_4_machines),
@@ -642,7 +662,11 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, fn(&Scale) -> Exper
         ("fig6.3b", "increased buffers, dual CPU (Fig 6.3b)", f63b),
         ("fig6.4a", "buffer sweep, single CPU (Fig 6.4a/(33))", f64a),
         ("fig6.4b", "buffer sweep, dual CPU (Fig 6.4b/(20))", f64b),
-        ("fig6.6a", "50-insn filter, single CPU (Fig 6.6a/(34))", f66a),
+        (
+            "fig6.6a",
+            "50-insn filter, single CPU (Fig 6.6a/(34))",
+            f66a,
+        ),
         ("fig6.6b", "50-insn filter, dual CPU (Fig 6.6b/(21))", f66b),
         ("fig6.7", "2 capture apps (Fig 6.7/(22))", f67),
         ("fig6.8", "4 capture apps (Fig 6.8/(23))", f68),
@@ -650,17 +674,45 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, fn(&Scale) -> Exper
         ("fig6.10a", "memcpy-50, single CPU (Fig 6.10a/(35))", f610a),
         ("fig6.10b", "memcpy-50, dual CPU (Fig 6.10b/(27))", f610b),
         ("figB.2", "memcpy-25, dual CPU (Fig B.2)", fb2),
-        ("fig6.11a", "gzip level 3, single CPU (Fig 6.11a/(40))", f611a),
+        (
+            "fig6.11a",
+            "gzip level 3, single CPU (Fig 6.11a/(40))",
+            f611a,
+        ),
         ("fig6.11b", "gzip level 3, dual CPU (Fig 6.11b/(39))", f611b),
         ("figB.3", "gzip level 9, dual CPU (Fig B.3)", fb3),
-        ("fig6.12", "pipe to gzip, dual CPU (Fig 6.12/(48))", fig6_12_pipe),
-        ("fig6.13", "bonnie++ write speeds (Fig 6.13/(00))", fig6_13_bonnie),
-        ("fig6.14a", "headers to disk, single CPU (Fig 6.14a/(46))", f614a),
-        ("fig6.14b", "headers to disk, dual CPU (Fig 6.14b/(45))", f614b),
-        ("fig6.15a", "mmap libpcap, single CPU (Fig 6.15a/(18))", f615a),
+        (
+            "fig6.12",
+            "pipe to gzip, dual CPU (Fig 6.12/(48))",
+            fig6_12_pipe,
+        ),
+        (
+            "fig6.13",
+            "bonnie++ write speeds (Fig 6.13/(00))",
+            fig6_13_bonnie,
+        ),
+        (
+            "fig6.14a",
+            "headers to disk, single CPU (Fig 6.14a/(46))",
+            f614a,
+        ),
+        (
+            "fig6.14b",
+            "headers to disk, dual CPU (Fig 6.14b/(45))",
+            f614b,
+        ),
+        (
+            "fig6.15a",
+            "mmap libpcap, single CPU (Fig 6.15a/(18))",
+            f615a,
+        ),
         ("fig6.15b", "mmap libpcap, dual CPU (Fig 6.15b/(19))", f615b),
         ("fig6.16", "Hyperthreading (Fig 6.16/(42))", fig6_16_ht),
-        ("figB.1", "FreeBSD 5.2.1 vs 5.4 (Fig B.1)", figb_1_freebsd_versions),
+        (
+            "figB.1",
+            "FreeBSD 5.2.1 vs 5.4 (Fig B.1)",
+            figb_1_freebsd_versions,
+        ),
         (
             "ext-10gige",
             "future work: 10 Gigabit Ethernet (§7.2)",
@@ -702,16 +754,17 @@ mod tests {
     #[test]
     fn static_experiments_run_instantly() {
         let s = Scale::quick();
-        let inv = tbl2_4_machines(&s);
+        let x = ExecConfig::serial();
+        let inv = tbl2_4_machines(&s, &x);
         assert_eq!(inv.series.len(), 4);
-        let f41 = fig4_1(&s);
+        let f41 = fig4_1(&s, &x);
         assert!(f41.series[0].points.len() > 1000);
-        let f42 = fig4_2(&s);
+        let f42 = fig4_2(&s, &x);
         assert_eq!(f42.series[0].points.len(), 20);
         // The thesis' statistical properties hold.
         let top20 = f42.series[0].points.last().unwrap().cpu;
         assert!(top20 > 75.0, "top-20 cumulative {top20}");
-        let bonnie = fig6_13_bonnie(&s);
+        let bonnie = fig6_13_bonnie(&s, &x);
         assert_eq!(bonnie.series.len(), 4);
         for se in &bonnie.series {
             assert!(se.points[0].capture < 125.0, "no machine reaches line rate");
@@ -720,7 +773,7 @@ mod tests {
 
     #[test]
     fn pktgen_validation_hits_thesis_rates() {
-        let e = val_pktgen(&Scale::quick());
+        let e = val_pktgen(&Scale::quick(), &ExecConfig::serial());
         let sysk = e
             .series
             .iter()

@@ -6,10 +6,13 @@
 //! the Criterion benches are thin shells over this crate.
 //!
 //! ```no_run
-//! use pcs_core::{figures, Scale};
+//! use pcs_core::{figures, ExecConfig, Scale};
 //!
-//! let experiment = figures::fig6_3_increased_buffers(&Scale::quick(), true);
+//! // Run a figure's sweep across all host cores (bit-identical to serial).
+//! let exec = ExecConfig::parallel();
+//! let experiment = figures::fig6_3_increased_buffers(&Scale::quick(), true, &exec);
 //! println!("{}", experiment.to_table());
+//! println!("cells run: {}", exec.stats.cells_run());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -21,5 +24,6 @@ pub mod figures;
 pub mod scale;
 
 pub use experiment::{Experiment, Series, SeriesPoint};
-pub use figures::all_experiments;
+pub use figures::{all_experiments, ExperimentFn};
+pub use pcs_testbed::{ExecConfig, ExecStats};
 pub use scale::Scale;

@@ -3,21 +3,29 @@
 //!
 //! ```text
 //! experiments list
-//! experiments run <id>... [--scale quick|standard|full] [--csv-dir DIR]
-//! experiments all [--scale ...] [--csv-dir DIR]
+//! experiments run <id>... [--scale quick|standard|full] [--jobs N] [--csv-dir DIR]
+//! experiments all [--scale ...] [--jobs N] [--csv-dir DIR]
 //! ```
 //!
 //! Output is a text table per experiment (capture rate and CPU usage per
 //! system under test, like the thesis' plots read as numbers), plus
 //! optional CSV files for plotting.
+//!
+//! `--jobs N` bounds the worker pool (default: all host cores). Whole
+//! experiments run concurrently, and each experiment's sweep cells are
+//! further spread over the remaining workers. The simulation is
+//! deterministic, so any job count produces byte-identical tables and CSV
+//! files; the summary reports per-experiment wall-clock plus how many
+//! sweep cells were simulated vs served from the in-process run cache.
 
-use pcs_core::{all_experiments, Scale};
+use pcs_core::{all_experiments, ExecConfig, Scale};
+use pcs_testbed::{available_parallelism, parallel_ordered};
 use std::io::Write;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--csv-dir DIR]\n  experiments all [--scale quick|standard|full] [--csv-dir DIR]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder)."
+        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--jobs N] [--csv-dir DIR]\n  experiments all [--scale quick|standard|full] [--jobs N] [--csv-dir DIR]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder).\n--jobs N: worker-pool size (default: all host cores); results are identical at any N."
     );
     std::process::exit(2);
 }
@@ -38,6 +46,7 @@ fn main() {
             let mut ids: Vec<String> = Vec::new();
             let mut scale = Scale::standard();
             let mut csv_dir: Option<String> = None;
+            let mut jobs = available_parallelism();
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -48,6 +57,18 @@ fn main() {
                             eprintln!("unknown scale '{name}'");
                             std::process::exit(2);
                         });
+                    }
+                    "--jobs" => {
+                        i += 1;
+                        let n = args.get(i).unwrap_or_else(|| usage());
+                        jobs = n
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .unwrap_or_else(|| {
+                                eprintln!("--jobs wants a positive integer, got '{n}'");
+                                std::process::exit(2);
+                            });
                     }
                     "--csv-dir" => {
                         i += 1;
@@ -60,7 +81,7 @@ fn main() {
             }
             let registry = all_experiments();
             let selected: Vec<_> = if args[0] == "all" {
-                registry.iter().collect()
+                registry
             } else {
                 if ids.is_empty() {
                     usage();
@@ -68,7 +89,7 @@ fn main() {
                 let mut sel = Vec::new();
                 for id in &ids {
                     match registry.iter().find(|(rid, _, _)| rid == id) {
-                        Some(e) => sel.push(e),
+                        Some(e) => sel.push(*e),
                         None => {
                             eprintln!("unknown experiment '{id}' (try `experiments list`)");
                             std::process::exit(2);
@@ -80,11 +101,34 @@ fn main() {
             if let Some(dir) = &csv_dir {
                 std::fs::create_dir_all(dir).expect("create csv dir");
             }
-            for (id, desc, run) in selected {
-                eprintln!("== running {id}: {desc}");
+            // Two-level pool: up to `outer` experiments in flight, each
+            // sweeping its cells over `inner` workers, ≈ jobs total.
+            let outer = jobs.min(selected.len().max(1));
+            let inner = (jobs / outer).max(1);
+            eprintln!(
+                "== {} experiment(s), --jobs {jobs} ({outer} concurrent × {inner} cell workers)",
+                selected.len()
+            );
+            let t_all = Instant::now();
+            let results = parallel_ordered(selected, outer, |_, (id, desc, run)| {
+                let exec = ExecConfig::with_jobs(inner);
                 let t0 = Instant::now();
-                let e = run(&scale);
-                eprintln!("== {id} finished in {:.1}s", t0.elapsed().as_secs_f64());
+                let e = run(&scale, &exec);
+                let wall = t0.elapsed().as_secs_f64();
+                eprintln!(
+                    "== {id} finished in {wall:.1}s ({} cells run, {} cached)",
+                    exec.stats.cells_run(),
+                    exec.stats.cells_cached()
+                );
+                (id, desc, e, wall, exec)
+            });
+            // Tables and CSVs are emitted in registry order regardless of
+            // completion order, so the output is byte-stable at any -j.
+            let mut total_run = 0u64;
+            let mut total_cached = 0u64;
+            for (id, _desc, e, _wall, exec) in &results {
+                total_run += exec.stats.cells_run();
+                total_cached += exec.stats.cells_cached();
                 println!("{}", e.to_table());
                 if let Some(dir) = &csv_dir {
                     let path = format!("{dir}/{}.csv", id.replace('/', "_"));
@@ -93,6 +137,15 @@ fn main() {
                     eprintln!("== wrote {path}");
                 }
             }
+            eprintln!("== summary ({:.1}s wall):", t_all.elapsed().as_secs_f64());
+            for (id, desc, _e, wall, exec) in &results {
+                eprintln!(
+                    "==   {id:<12} {wall:>7.1}s  {:>5} cells run  {:>5} cached  ({desc})",
+                    exec.stats.cells_run(),
+                    exec.stats.cells_cached()
+                );
+            }
+            eprintln!("== total: {total_run} cells run, {total_cached} served from cache");
         }
         _ => usage(),
     }

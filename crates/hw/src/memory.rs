@@ -77,8 +77,7 @@ impl MemorySystem {
     ) -> f64 {
         let base = match self.kind {
             MemoryKind::SharedFsb { bus_bytes_per_sec } => {
-                let avail =
-                    (bus_bytes_per_sec as f64 - dma_bytes_per_sec as f64).max(1e8);
+                let avail = (bus_bytes_per_sec as f64 - dma_bytes_per_sec as f64).max(1e8);
                 // Copies move two bytes of bus traffic per payload byte,
                 // and concurrent copiers share the bus.
                 avail / 2.0 / (1 + other_active_copiers) as f64

@@ -223,7 +223,7 @@ impl RunReport {
             worst = worst.min(r);
             best = best.max(r);
         }
-        (worst.min(1.0).max(0.0), best.clamp(0.0, 1.0))
+        (worst.clamp(0.0, 1.0), best.clamp(0.0, 1.0))
     }
 
     /// Mean CPU busy fraction across CPUs over the whole run.
@@ -231,8 +231,7 @@ impl RunReport {
         if self.final_acct.is_empty() {
             return 0.0;
         }
-        self.final_acct.iter().map(|a| a.utilisation()).sum::<f64>()
-            / self.final_acct.len() as f64
+        self.final_acct.iter().map(|a| a.utilisation()).sum::<f64>() / self.final_acct.len() as f64
     }
 
     /// Mean CPU busy fraction across CPUs during the loaded window (up to
@@ -241,8 +240,7 @@ impl RunReport {
     pub fn load_cpu_usage(&self) -> f64 {
         match &self.load_acct {
             Some(s) if !s.per_cpu.is_empty() => {
-                s.per_cpu.iter().map(|a| a.utilisation()).sum::<f64>()
-                    / s.per_cpu.len() as f64
+                s.per_cpu.iter().map(|a| a.utilisation()).sum::<f64>() / s.per_cpu.len() as f64
             }
             _ => self.mean_cpu_usage(),
         }
@@ -445,8 +443,7 @@ impl MachineSim {
                     // bus is oversubscribed only a fraction of the frames
                     // make it to host memory (fractional credit keeps the
                     // model deterministic).
-                    let demand =
-                        self.arrival_ema_bps as u64 + self.writeback_ema_bps as u64;
+                    let demand = self.arrival_ema_bps as u64 + self.writeback_ema_bps as u64;
                     self.pci_credit += self.spec.pci.service_fraction(demand);
                     if self.pci_credit < 1.0 {
                         self.nic_ring_drops += 1;
@@ -459,15 +456,12 @@ impl MachineSim {
                         }
                     }
                     match src.next() {
-                        Some((t, p)) => {
-                            self.queue.schedule(t, Event::Arrival(Box::new(p)))
-                        }
+                        Some((t, p)) => self.queue.schedule(t, Event::Arrival(Box::new(p))),
                         None => {
                             self.source_done = true;
                             self.load_end = Some(self.sample(now));
-                            self.stop_at = Some(
-                                now + SimDuration::from_nanos(self.drain_timeout_ns),
-                            );
+                            self.stop_at =
+                                Some(now + SimDuration::from_nanos(self.drain_timeout_ns));
                         }
                     }
                     self.try_fire_irq(now);
@@ -487,8 +481,7 @@ impl MachineSim {
                     let dt = now.since(self.last_writeback).as_nanos().max(1) as f64;
                     let inst = chunk as f64 * 1e9 / dt;
                     let alpha = (-dt / 50e6).exp();
-                    self.writeback_ema_bps =
-                        self.writeback_ema_bps * alpha + inst * (1.0 - alpha);
+                    self.writeback_ema_bps = self.writeback_ema_bps * alpha + inst * (1.0 - alpha);
                     self.last_writeback = now;
                     // Completion interrupt cost on CPU0.
                     let w = Work {
@@ -504,8 +497,7 @@ impl MachineSim {
                     // consumer so sampling can't outlive real work.
                     self.schedule_writeback(now);
                     self.gzip_try_work(now);
-                    let done = self.source_done
-                        && (self.fully_drained() || self.queue.is_empty());
+                    let done = self.source_done && (self.fully_drained() || self.queue.is_empty());
                     if self.sampling && !done {
                         self.queue
                             .schedule(now + SimDuration::from_millis(500), Event::Sample);
@@ -606,8 +598,8 @@ impl MachineSim {
             // the tasks parked behind the interrupt CPU starve — the
             // thesis' unfairness result.
             let home = self.apps[app].cpu;
-            let home_pressed = (home == 0 && self.kernel_util > 0.5)
-                || self.cpus[home].user_q.len() >= 2;
+            let home_pressed =
+                (home == 0 && self.kernel_util > 0.5) || self.cpus[home].user_q.len() >= 2;
             if home_pressed {
                 for (i, c) in self.cpus.iter().enumerate() {
                     let kernel_pressed = i == 0 && self.kernel_util > 0.5;
@@ -629,8 +621,7 @@ impl MachineSim {
         let mut best = 0usize;
         let mut best_load = f64::INFINITY;
         for (i, c) in self.cpus.iter().enumerate() {
-            let mut load =
-                (c.user_q.len() + c.kernel_q.len() * 4 + c.busy() as usize) as f64;
+            let mut load = (c.user_q.len() + c.kernel_q.len() * 4 + c.busy() as usize) as f64;
             if i == 0 {
                 load += self.kernel_util * 50.0;
             } else if self.spec.cpu.hyperthreading && i == 1 {
@@ -663,8 +654,7 @@ impl MachineSim {
         const KERNEL_SLOTS: u32 = 8;
         let next = {
             let c = &mut self.cpus[cpu];
-            let yield_to_user =
-                c.consecutive_kernel >= KERNEL_SLOTS && !c.user_q.is_empty();
+            let yield_to_user = c.consecutive_kernel >= KERNEL_SLOTS && !c.user_q.is_empty();
             if !yield_to_user {
                 match c.kernel_q.pop_front() {
                     Some(w) => {
@@ -725,8 +715,7 @@ impl MachineSim {
         let mut kernel_ns = 0u64;
         for (state, ns) in &work.segments {
             self.cpus[cpu].acct.add(*state, *ns);
-            if matches!(state, CpuState::Irq | CpuState::SoftIrq | CpuState::System) && cpu == 0
-            {
+            if matches!(state, CpuState::Irq | CpuState::SoftIrq | CpuState::System) && cpu == 0 {
                 kernel_ns += ns;
             }
         }
@@ -820,16 +809,16 @@ impl MachineSim {
                 Stack::Bpf(devs) => {
                     for d in devs.iter_mut() {
                         let o = d.deliver(pkt, recv_ns);
-                        consumer_ns += c.tap_pkt_ns
-                            + (o.filter_insns as f64 * c.filter_insn_ns) as u64;
+                        consumer_ns +=
+                            c.tap_pkt_ns + (o.filter_insns as f64 * c.filter_insn_ns) as u64;
                         copy_total += o.copied_bytes as u64;
                     }
                 }
                 Stack::Lsf(l) => {
                     let outcomes = l.deliver(pkt, recv_ns);
                     for o in outcomes {
-                        consumer_ns += c.tap_pkt_ns
-                            + (o.filter_insns as f64 * c.filter_insn_ns) as u64;
+                        consumer_ns +=
+                            c.tap_pkt_ns + (o.filter_insns as f64 * c.filter_insn_ns) as u64;
                         copy_total += o.copied_bytes as u64;
                     }
                 }
@@ -903,10 +892,7 @@ impl MachineSim {
                     .copy_ns(bytes, self.arrival_ema_bps as u64, 0, cached);
                 self.apps[app].pending.extend(pkts);
                 let work = Work {
-                    segments: vec![(
-                        CpuState::System,
-                        c.wakeup_ns + c.syscall_ns + copy,
-                    )],
+                    segments: vec![(CpuState::System, c.wakeup_ns + c.syscall_ns + copy)],
                     complete: Completion::AppCopyout { app },
                 };
                 let cpu = self.app_run_cpu(app);
@@ -939,10 +925,8 @@ impl MachineSim {
                 }
                 self.apps[app].state = AppState::Sleeping;
                 if delay != u64::MAX {
-                    self.queue.schedule(
-                        now + SimDuration::from_nanos(delay),
-                        Event::AppResume(app),
-                    );
+                    self.queue
+                        .schedule(now + SimDuration::from_nanos(delay), Event::AppResume(app));
                 }
             }
         }
@@ -973,8 +957,7 @@ impl MachineSim {
             // chunk keeps the app honest.
             c.syscall_ns
         } else {
-            (c.syscall_ns + c.recv_pkt_ns + c.wakeup_ns / APP_CHUNK as u64)
-                * pkts.len() as u64
+            (c.syscall_ns + c.recv_pkt_ns + c.wakeup_ns / APP_CHUNK as u64) * pkts.len() as u64
         };
         let copy = if copy_bytes > 0 {
             self.copy_ns(copy_bytes, false)
@@ -992,10 +975,8 @@ impl MachineSim {
                 self.apps[app].pending.extend(pkts);
                 self.apps[app].state = AppState::Sleeping;
                 if delay != u64::MAX {
-                    self.queue.schedule(
-                        now + SimDuration::from_nanos(delay),
-                        Event::AppResume(app),
-                    );
+                    self.queue
+                        .schedule(now + SimDuration::from_nanos(delay), Event::AppResume(app));
                 }
             }
         }
@@ -1047,13 +1028,12 @@ impl MachineSim {
         if cfg.extra_copies > 0 {
             // Fig. 6.10: N user-space memcpys of the packet; the data was
             // just touched, so these run mostly from cache.
-            let per_copy = self
-                .spec
-                .memory
-                .copy_ns(cap_bytes, self.arrival_ema_bps as u64, 0, true)
-                / n.max(1);
-            user_ns +=
-                n * cfg.extra_copies as u64 * (c.memcpy_call_ns + per_copy);
+            let per_copy =
+                self.spec
+                    .memory
+                    .copy_ns(cap_bytes, self.arrival_ema_bps as u64, 0, true)
+                    / n.max(1);
+            user_ns += n * cfg.extra_copies as u64 * (c.memcpy_call_ns + per_copy);
         }
         if let Some(level) = cfg.compress_level {
             // Fig. 6.11: gzwrite per packet. Core-bound: cycles per byte.
@@ -1069,8 +1049,7 @@ impl MachineSim {
         }
         if cfg.pipe_to_gzip.is_some() {
             // Fig. 6.12: write whole packets into the FIFO.
-            system_ns += n * c.pipe_syscall_ns / 4
-                + (cap_bytes as f64 * c.pipe_ns_per_byte) as u64;
+            system_ns += n * c.pipe_syscall_ns / 4 + (cap_bytes as f64 * c.pipe_ns_per_byte) as u64;
             self.pipe_used += cap_bytes;
             self.pipe_bytes_total += cap_bytes;
         }
@@ -1137,8 +1116,7 @@ impl MachineSim {
         let c = self.costs;
         let bytes = self.pipe_used.min(PIPE_CAPACITY);
         let cycles = c.compress_cycles_per_byte[level.min(9) as usize];
-        let compress_ns =
-            (bytes as f64 * cycles * 1e9 / self.spec.cpu.clock_hz as f64) as u64;
+        let compress_ns = (bytes as f64 * cycles * 1e9 / self.spec.cpu.clock_hz as f64) as u64;
         let read_ns = c.pipe_syscall_ns + (bytes as f64 * c.pipe_ns_per_byte) as u64;
         let work = Work {
             segments: vec![(CpuState::System, read_ns), (CpuState::User, compress_ns)],
@@ -1174,15 +1152,9 @@ impl MachineSim {
             && self.ring.is_empty()
             && !self.irq_pending
             && self.cpus.iter().all(|c| !c.busy())
-            && self
-                .apps
-                .iter()
-                .enumerate()
-                .all(|(i, a)| {
-                    a.state == AppState::Blocked
-                        && a.pending.is_empty()
-                        && !self.consumer_readable(i)
-                })
+            && self.apps.iter().enumerate().all(|(i, a)| {
+                a.state == AppState::Blocked && a.pending.is_empty() && !self.consumer_readable(i)
+            })
             && self.dirty_bytes == 0
             && self.pipe_used == 0
     }
@@ -1273,8 +1245,8 @@ mod tests {
 
     #[test]
     fn empty_source_terminates_immediately() {
-        let r = MachineSim::new(pcs_hw::MachineSpec::moorhen(), SimConfig::default())
-            .run(Vec::new());
+        let r =
+            MachineSim::new(pcs_hw::MachineSpec::moorhen(), SimConfig::default()).run(Vec::new());
         assert_eq!(r.offered, 0);
         assert!(r.apps[0].received == 0);
     }

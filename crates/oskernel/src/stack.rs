@@ -401,8 +401,7 @@ impl LsfState {
             .zip(&self.sockets)
             .filter(|(a, s)| a.is_some() && !s.mmap)
             .count() as u32;
-        let pool_ok =
-            non_mmap_accepts == 0 || self.pool_bytes + truesize <= self.pool_capacity;
+        let pool_ok = non_mmap_accepts == 0 || self.pool_bytes + truesize <= self.pool_capacity;
         let mut refs = 0u32;
         for (i, s) in self.sockets.iter_mut().enumerate() {
             let caplen = match accepts[i] {

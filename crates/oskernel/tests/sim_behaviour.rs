@@ -4,18 +4,18 @@
 
 use pcs_hw::MachineSpec;
 use pcs_oskernel::{AppConfig, BufferConfig, MachineSim, RunReport, SimConfig};
-use pcs_pktgen::{
-    DistConfig, Generator, PktgenConfig, SizeSource, TwoStageDist, TxModel,
-};
+use pcs_pktgen::{DistConfig, Generator, PktgenConfig, SizeSource, TwoStageDist, TxModel};
 
 /// A generator over the synthetic MWN distribution at a given rate.
-fn source(count: u64, rate_mbps: f64, seed: u64) -> impl Iterator<Item = (pcs_des::SimTime, pcs_wire::SimPacket)> {
+fn source(
+    count: u64,
+    rate_mbps: f64,
+    seed: u64,
+) -> impl Iterator<Item = (pcs_des::SimTime, pcs_wire::SimPacket)> {
     let counts = pcs_pktgen::mwn_counts(1_000_000);
-    let dist = TwoStageDist::from_counts(
-        counts.iter().map(|(&s, &c)| (s, c)),
-        &DistConfig::default(),
-    )
-    .unwrap();
+    let dist =
+        TwoStageDist::from_counts(counts.iter().map(|(&s, &c)| (s, c)), &DistConfig::default())
+            .unwrap();
     let mean = pcs_pktgen::mwn_mean(&counts) + 14.0;
     let cfg = PktgenConfig {
         count,
@@ -53,11 +53,8 @@ fn conservation_of_packets() {
             let r = run(spec.single_cpu(), SimConfig::default(), 30_000, rate, 2);
             let a = &r.apps[0];
             let s = a.stats;
-            let total = a.received
-                + s.dropped_buffer
-                + s.dropped_pool
-                + s.rejected
-                + r.nic_ring_drops;
+            let total =
+                a.received + s.dropped_buffer + s.dropped_pool + s.rejected + r.nic_ring_drops;
             assert_eq!(
                 total, r.offered,
                 "{} at {rate}: received {} + drops must equal offered {}",
@@ -85,7 +82,13 @@ fn deterministic_given_seed() {
 
 #[test]
 fn cpu_time_is_conserved() {
-    let r = run(MachineSpec::moorhen(), SimConfig::default(), 10_000, 400.0, 3);
+    let r = run(
+        MachineSpec::moorhen(),
+        SimConfig::default(),
+        10_000,
+        400.0,
+        3,
+    );
     for (i, acct) in r.final_acct.iter().enumerate() {
         let total = acct.total();
         let elapsed = r.elapsed.as_nanos();
@@ -185,8 +188,10 @@ fn fig65_filter_accepts_all_generated_packets() {
 
 #[test]
 fn multiple_apps_each_get_their_own_stream() {
-    let mut cfg = SimConfig::default();
-    cfg.apps = vec![AppConfig::plain(), AppConfig::plain()];
+    let cfg = SimConfig {
+        apps: vec![AppConfig::plain(), AppConfig::plain()],
+        ..SimConfig::default()
+    };
     for spec in [MachineSpec::moorhen(), MachineSpec::swan()] {
         let r = run(spec, cfg.clone(), 15_000, 200.0, 11);
         assert_eq!(r.apps.len(), 2);
@@ -198,8 +203,10 @@ fn multiple_apps_each_get_their_own_stream() {
 
 #[test]
 fn linux_collapses_with_many_apps_freebsd_degrades() {
-    let mut cfg = SimConfig::default();
-    cfg.apps = vec![AppConfig::plain(); 8];
+    let cfg = SimConfig {
+        apps: vec![AppConfig::plain(); 8],
+        ..SimConfig::default()
+    };
     let lin = run(MachineSpec::swan(), cfg.clone(), 300_000, 900.0, 12);
     let bsd = run(MachineSpec::moorhen(), cfg, 300_000, 900.0, 12);
     let (_, bsd_worst, bsd_best) = {
@@ -241,7 +248,11 @@ fn pipe_to_gzip_flows_and_terminates() {
     cfg.apps[0].pipe_to_gzip = Some(3);
     let r = run(MachineSpec::swan(), cfg, 15_000, 300.0, 14);
     assert!(r.pipe_bytes > 0);
-    assert!(r.apps[0].received > 14_000, "received {}", r.apps[0].received);
+    assert!(
+        r.apps[0].received > 14_000,
+        "received {}",
+        r.apps[0].received
+    );
 }
 
 #[test]
@@ -271,7 +282,13 @@ fn mmap_beats_plain_linux_under_load() {
 
 #[test]
 fn hyperthreading_runs_and_stays_close() {
-    let base = run(MachineSpec::snipe(), SimConfig::default(), 30_000, 800.0, 16);
+    let base = run(
+        MachineSpec::snipe(),
+        SimConfig::default(),
+        30_000,
+        800.0,
+        16,
+    );
     let ht = run(
         MachineSpec::snipe().with_hyperthreading(),
         SimConfig::default(),
@@ -285,7 +302,13 @@ fn hyperthreading_runs_and_stays_close() {
 
 #[test]
 fn samples_are_cumulative_and_cover_the_run() {
-    let r = run(MachineSpec::moorhen(), SimConfig::default(), 30_000, 300.0, 17);
+    let r = run(
+        MachineSpec::moorhen(),
+        SimConfig::default(),
+        30_000,
+        300.0,
+        17,
+    );
     assert!(!r.samples.is_empty());
     for w in r.samples.windows(2) {
         assert!(w[0].t < w[1].t);
@@ -318,7 +341,13 @@ fn pci32_cannot_carry_a_loaded_gigabit_link() {
         "PCI32 must drop at the bus: {} drops",
         r.nic_ring_drops
     );
-    let ok = run(MachineSpec::moorhen(), SimConfig::default(), 60_000, 900.0, 21);
+    let ok = run(
+        MachineSpec::moorhen(),
+        SimConfig::default(),
+        60_000,
+        900.0,
+        21,
+    );
     assert_eq!(ok.nic_ring_drops, 0, "PCI-64 carries the link");
 }
 
@@ -328,7 +357,13 @@ fn interrupt_moderation_cuts_interrupt_overhead() {
     let mut spec = MachineSpec::moorhen();
     spec.nic = NicModel::intel_82544_moderated(100);
     let moderated = run(spec, SimConfig::default(), 30_000, 300.0, 22);
-    let stock = run(MachineSpec::moorhen(), SimConfig::default(), 30_000, 300.0, 22);
+    let stock = run(
+        MachineSpec::moorhen(),
+        SimConfig::default(),
+        30_000,
+        300.0,
+        22,
+    );
     assert_eq!(moderated.apps[0].received, 30_000);
     let irq_mod: u64 = moderated.final_acct.iter().map(|a| a.irq).sum();
     let irq_stock: u64 = stock.final_acct.iter().map(|a| a.irq).sum();

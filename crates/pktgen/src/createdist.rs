@@ -211,7 +211,10 @@ mod tests {
         )
         .unwrap();
         for line in out.lines() {
-            assert!(line.starts_with("pgset \"") && line.ends_with('"'), "{line}");
+            assert!(
+                line.starts_with("pgset \"") && line.ends_with('"'),
+                "{line}"
+            );
         }
     }
 

@@ -154,10 +154,8 @@ impl TwoStageDist {
         outliers.resize(rho, None);
 
         // Eqs. 4.3–4.5: bin the non-outlier mass.
-        let outlier_sizes: std::collections::BTreeSet<u32> = outlier_cells
-            .iter()
-            .map(|&(size, _)| size as u32)
-            .collect();
+        let outlier_sizes: std::collections::BTreeSet<u32> =
+            outlier_cells.iter().map(|&(size, _)| size as u32).collect();
         let nbin = cfg.max_size.div_ceil(cfg.binsize) as usize;
         let mut b = vec![0u64; nbin];
         let mut b_total = 0u64;

@@ -30,5 +30,5 @@ pub use createdist::{convert, InputKind, OutputKind};
 pub use dist::{DistConfig, DistError, TwoStageDist};
 pub use generator::{GenStats, Generator, TimedPacket, TxModel};
 pub use mwn::{mwn_counts, mwn_mean};
-pub use replay::{replay_pcap, replay_rate_mbps, TraceReplay};
 pub use procfs::{CmdError, PktgenConfig, PktgenControl, SizeSource};
+pub use replay::{replay_pcap, replay_rate_mbps, TraceReplay};

@@ -96,7 +96,7 @@ mod tests {
     fn top_fraction(counts: &BTreeMap<u32, u64>, n: usize) -> (Vec<u32>, f64) {
         let total: u64 = counts.values().sum();
         let mut v: Vec<(u32, u64)> = counts.iter().map(|(&s, &c)| (s, c)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         let top: u64 = v.iter().take(n).map(|&(_, c)| c).sum();
         (
             v.iter().take(n).map(|&(s, _)| s).collect(),

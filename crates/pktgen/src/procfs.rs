@@ -280,12 +280,11 @@ impl PktgenControl {
             return Ok(());
         }
         let p = self.pending.take().expect("checked above");
-        let dist =
-            TwoStageDist::from_entries(p.precision, p.binsize, p.max_size, &p.outl, &p.hist)
-                .map_err(|e| CmdError {
-                    command: String::new(),
-                    message: e.to_string(),
-                })?;
+        let dist = TwoStageDist::from_entries(p.precision, p.binsize, p.max_size, &p.outl, &p.hist)
+            .map_err(|e| CmdError {
+                command: String::new(),
+                message: e.to_string(),
+            })?;
         self.ready_dist = Some(dist);
         self.dist_ready = true;
         Ok(())

@@ -78,7 +78,11 @@ impl Iterator for TraceReplay {
         // The tool cannot send faster than its per-packet cost + the wire.
         let frame_len = rec.orig_len.max(60);
         let earliest = self.now + self.tx.min_gap(frame_len);
-        self.now = if scheduled > earliest { scheduled } else { earliest };
+        self.now = if scheduled > earliest {
+            scheduled
+        } else {
+            earliest
+        };
 
         let packet = SimPacket::from_bytes(self.seq, self.now.as_nanos(), frame_len, &rec.data);
         self.seq += 1;
@@ -179,10 +183,7 @@ mod tests {
     fn time_scale_accelerates_until_the_tool_limit() {
         let file = trace(500, 1_000_000, 1500);
         let original: Vec<_> = replay_pcap(&file).unwrap().collect();
-        let spedup: Vec<_> = replay_pcap(&file)
-            .unwrap()
-            .with_time_scale(0.001)
-            .collect();
+        let spedup: Vec<_> = replay_pcap(&file).unwrap().with_time_scale(0.001).collect();
         assert!(replay_rate_mbps(&spedup) > replay_rate_mbps(&original) * 10.0);
         // But never past the tool limit.
         assert!(replay_rate_mbps(&spedup) < 520.0);

@@ -24,7 +24,7 @@ proptest! {
         let mut rng = Pcg32::new(seed, 3);
         for _ in 0..2_000 {
             let s = d.sample(&mut rng);
-            prop_assert!(s >= 1 && s <= 1500, "sample {s}");
+            prop_assert!((1..=1500).contains(&s), "sample {s}");
         }
     }
 

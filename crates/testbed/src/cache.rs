@@ -1,0 +1,194 @@
+//! The per-process run cache (memoized measurement cells).
+//!
+//! A *cell* is the smallest independent unit of the evaluation grid: one
+//! (SUT set, workload, rate, repeat) combination. The whole simulation is
+//! deterministic — per-component seeded PCG streams, no host-time
+//! dependence — so a cell's distilled numbers are a pure function of its
+//! configuration. Several figures re-run the same baseline (e.g. the
+//! increased-buffer sweep is recomputed inside the filter, header-to-disk
+//! and default-buffer comparisons); the cache makes each such cell cost
+//! one computation per process.
+//!
+//! Keys are 128-bit FNV-1a fingerprints of the full cell configuration
+//! (machine spec, kernel/app sim config, generator config, rate, repeat),
+//! taken over the `Debug` rendering of those types — stable within a
+//! process, which is all the cache's lifetime spans.
+
+use crate::cycle::{CycleConfig, Sut};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Distilled result of one SUT in one cell (one repeat at one rate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSut {
+    /// Mean capture rate over the SUT's applications (0..1).
+    pub capture: f64,
+    /// Worst single application's capture rate.
+    pub worst: f64,
+    /// Best single application's capture rate.
+    pub best: f64,
+    /// Trimmed CPU busy percentage.
+    pub cpu_busy: f64,
+}
+
+/// Distilled result of one measurement cell: the achieved rate plus one
+/// entry per SUT, in input order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Achieved frame data rate in Mbit/s for this repeat's stream.
+    pub achieved_mbps: f64,
+    /// Per-SUT numbers, in input order.
+    pub suts: Vec<CellSut>,
+}
+
+/// 128-bit cell key: two independent FNV-1a hashes of the fingerprint.
+pub type CellKey = (u64, u64);
+
+fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint a cell configuration into a [`CellKey`].
+///
+/// `repeat` participates because the generator derives a distinct seed
+/// per repeat; `cfg.repeats` deliberately does not — the number of
+/// repeats changes which cells exist, not what any one cell computes.
+pub fn cell_key(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>, repeat: u32) -> CellKey {
+    let mut fp = String::new();
+    for sut in suts {
+        fp.push_str(&format!("{:?}|{:?};", sut.spec, sut.sim));
+    }
+    fp.push_str(&format!(
+        "count={};size={:?};mean={};burst={};seed={};tx={:?};rate={:?};rep={}",
+        cfg.count,
+        cfg.size,
+        cfg.mean_frame.to_bits(),
+        cfg.burst,
+        cfg.seed,
+        cfg.tx,
+        rate.map(f64::to_bits),
+        repeat,
+    ));
+    (
+        fnv1a(fp.as_bytes(), 0xcbf2_9ce4_8422_2325),
+        fnv1a(fp.as_bytes(), 0x6c62_272e_07bb_0142),
+    )
+}
+
+/// A process-wide memo table of computed cells.
+#[derive(Default)]
+pub struct RunCache {
+    map: Mutex<HashMap<CellKey, CellResult>>,
+}
+
+impl RunCache {
+    /// A fresh, empty cache.
+    pub fn new() -> RunCache {
+        RunCache::default()
+    }
+
+    /// The process-global cache every sweep consults.
+    pub fn global() -> &'static RunCache {
+        static GLOBAL: OnceLock<RunCache> = OnceLock::new();
+        GLOBAL.get_or_init(RunCache::new)
+    }
+
+    /// Look up a cell.
+    pub fn get(&self, key: &CellKey) -> Option<CellResult> {
+        self.map
+            .lock()
+            .expect("run cache poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Store a cell (last write wins; identical by determinism).
+    pub fn insert(&self, key: CellKey, value: CellResult) {
+        self.map
+            .lock()
+            .expect("run cache poisoned")
+            .insert(key, value);
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("run cache poisoned").len()
+    }
+
+    /// Whether the cache holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached cell (a "cold" cache for determinism tests and
+    /// benchmarks).
+    pub fn clear(&self) {
+        self.map.lock().expect("run cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_hw::MachineSpec;
+    use pcs_oskernel::SimConfig;
+
+    fn suts() -> Vec<Sut> {
+        vec![Sut {
+            spec: MachineSpec::swan(),
+            sim: SimConfig::default(),
+        }]
+    }
+
+    #[test]
+    fn keys_separate_rate_repeat_and_seed() {
+        let cfg = CycleConfig::fixed(1_000, 512, 42);
+        let base = cell_key(&suts(), &cfg, Some(100.0), 0);
+        assert_eq!(base, cell_key(&suts(), &cfg, Some(100.0), 0));
+        assert_ne!(base, cell_key(&suts(), &cfg, Some(200.0), 0));
+        assert_ne!(base, cell_key(&suts(), &cfg, None, 0));
+        assert_ne!(base, cell_key(&suts(), &cfg, Some(100.0), 1));
+        let mut reseeded = CycleConfig::fixed(1_000, 512, 43);
+        reseeded.repeats = cfg.repeats;
+        assert_ne!(base, cell_key(&suts(), &reseeded, Some(100.0), 0));
+    }
+
+    #[test]
+    fn repeats_count_does_not_change_cell_identity() {
+        let mut a = CycleConfig::fixed(1_000, 512, 42);
+        let mut b = CycleConfig::fixed(1_000, 512, 42);
+        a.repeats = 3;
+        b.repeats = 7;
+        assert_eq!(
+            cell_key(&suts(), &a, Some(100.0), 0),
+            cell_key(&suts(), &b, Some(100.0), 0)
+        );
+    }
+
+    #[test]
+    fn cache_round_trip_and_clear() {
+        let cache = RunCache::new();
+        assert!(cache.is_empty());
+        let key = (1, 2);
+        assert!(cache.get(&key).is_none());
+        let value = CellResult {
+            achieved_mbps: 123.0,
+            suts: vec![CellSut {
+                capture: 1.0,
+                worst: 0.9,
+                best: 1.0,
+                cpu_busy: 50.0,
+            }],
+        };
+        cache.insert(key, value.clone());
+        assert_eq!(cache.get(&key), Some(value));
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -12,6 +12,8 @@
 //! one generated stream (the splitter's job) and runs the four machine
 //! simulations concurrently on host threads.
 
+use crate::cache::{cell_key, CellResult, CellSut, RunCache};
+use crate::sched::{parallel_ordered, ExecConfig, ExecStats};
 use crate::switch::MonitorSwitch;
 use pcs_des::stats::median;
 use pcs_hw::MachineSpec;
@@ -115,11 +117,7 @@ pub struct PointResult {
 
 /// Generate one run's packet stream and verify it against the switch
 /// counters. Returns the stream and the achieved rate.
-fn generate_run(
-    cfg: &CycleConfig,
-    rate: Option<f64>,
-    repeat: u32,
-) -> (Arc<Vec<TimedPacket>>, f64) {
+fn generate_run(cfg: &CycleConfig, rate: Option<f64>, repeat: u32) -> (Arc<Vec<TimedPacket>>, f64) {
     let gen_cfg = PktgenConfig {
         count: cfg.count,
         size: cfg.size.clone(),
@@ -159,6 +157,94 @@ fn generate_run(
     (Arc::new(packets), achieved)
 }
 
+/// Run one cell — one repeat of one rate point over all SUTs — and
+/// distill the numbers every aggregation needs.
+fn run_cell(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>, repeat: u32) -> CellResult {
+    let (stream, achieved) = generate_run(cfg, rate, repeat);
+    let reports = run_sniffers(suts, &stream);
+    CellResult {
+        achieved_mbps: achieved,
+        suts: reports
+            .iter()
+            .map(|report| {
+                let (worst, best) = report.worst_best();
+                // Short runs may not span two 0.5 s cpusage samples;
+                // fall back to the load-window accounting then.
+                let cpu_busy = if report.samples.len() >= 3 {
+                    pcs_profiling::trimmed_busy_percent(&report.samples, 95.0)
+                } else {
+                    report.load_cpu_usage() * 100.0
+                };
+                CellSut {
+                    capture: report.mean_capture_rate(),
+                    worst,
+                    best,
+                    cpu_busy,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// [`run_cell`] through the process-global [`RunCache`]: figures that
+/// re-run the same baseline configuration pay for each cell once per
+/// process.
+fn run_cell_cached(
+    suts: &[Sut],
+    cfg: &CycleConfig,
+    rate: Option<f64>,
+    repeat: u32,
+    stats: &ExecStats,
+) -> CellResult {
+    let key = cell_key(suts, cfg, rate, repeat);
+    let cache = RunCache::global();
+    if let Some(hit) = cache.get(&key) {
+        stats.record_cached();
+        return hit;
+    }
+    let result = run_cell(suts, cfg, rate, repeat);
+    cache.insert(key, result.clone());
+    stats.record_run();
+    result
+}
+
+/// Aggregate one rate point's cells (one per repeat) into a
+/// [`PointResult`] by median, exactly as the thesis' §6.2.2 calculation
+/// does over its seven repetitions.
+///
+/// Public so the result calculation can be property-tested over
+/// arbitrary per-repeat inputs; `labels` is one label per SUT, matching
+/// the order of `CellResult::suts`.
+pub fn aggregate_point(
+    rate: Option<f64>,
+    generated: u64,
+    labels: &[String],
+    cells: &[CellResult],
+) -> PointResult {
+    let achieved_all: Vec<f64> = cells.iter().map(|c| c.achieved_mbps).collect();
+    PointResult {
+        target_mbps: rate,
+        achieved_mbps: median(&achieved_all),
+        generated,
+        suts: labels
+            .iter()
+            .enumerate()
+            .map(|(s, label)| {
+                let series = |f: fn(&CellSut) -> f64| -> Vec<f64> {
+                    cells.iter().map(|c| f(&c.suts[s])).collect()
+                };
+                SutPoint {
+                    label: label.clone(),
+                    capture: median(&series(|c| c.capture)),
+                    capture_worst: median(&series(|c| c.worst)),
+                    capture_best: median(&series(|c| c.best)),
+                    cpu_busy: median(&series(|c| c.cpu_busy)),
+                }
+            })
+            .collect(),
+    }
+}
+
 /// Run one measurement point over all SUTs with repeats; aggregate by
 /// median.
 ///
@@ -174,50 +260,12 @@ fn generate_run(
 /// assert!(point.suts.iter().all(|s| s.capture > 0.99));
 /// ```
 pub fn run_point(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>) -> PointResult {
-    let mut achieved_all = Vec::new();
-    // capture[s][r], worst, best, cpu
-    let nsuts = suts.len();
-    let mut capture = vec![Vec::new(); nsuts];
-    let mut worst = vec![Vec::new(); nsuts];
-    let mut best = vec![Vec::new(); nsuts];
-    let mut cpu = vec![Vec::new(); nsuts];
-
-    for repeat in 0..cfg.repeats {
-        let (stream, achieved) = generate_run(cfg, rate, repeat);
-        achieved_all.push(achieved);
-        let reports = run_sniffers(suts, &stream);
-        for (s, report) in reports.iter().enumerate() {
-            capture[s].push(report.mean_capture_rate());
-            let (w, b) = report.worst_best();
-            worst[s].push(w);
-            best[s].push(b);
-            // Short runs may not span two 0.5 s cpusage samples; fall
-            // back to the load-window accounting then.
-            let busy = if report.samples.len() >= 3 {
-                pcs_profiling::trimmed_busy_percent(&report.samples, 95.0)
-            } else {
-                report.load_cpu_usage() * 100.0
-            };
-            cpu[s].push(busy);
-        }
-    }
-
-    PointResult {
-        target_mbps: rate,
-        achieved_mbps: median(&achieved_all),
-        generated: cfg.count,
-        suts: suts
-            .iter()
-            .enumerate()
-            .map(|(s, sut)| SutPoint {
-                label: sut.spec.label(),
-                capture: median(&capture[s]),
-                capture_worst: median(&worst[s]),
-                capture_best: median(&best[s]),
-                cpu_busy: median(&cpu[s]),
-            })
-            .collect(),
-    }
+    let exec = ExecConfig::serial();
+    let cells: Vec<CellResult> = (0..cfg.repeats)
+        .map(|repeat| run_cell_cached(suts, cfg, rate, repeat, &exec.stats))
+        .collect();
+    let labels: Vec<String> = suts.iter().map(|sut| sut.spec.label()).collect();
+    aggregate_point(rate, cfg.count, &labels, &cells)
 }
 
 /// Run all sniffers over one shared stream, concurrently.
@@ -243,9 +291,50 @@ pub fn run_sniffers(suts: &[Sut], stream: &Arc<Vec<TimedPacket>>) -> Vec<RunRepo
 }
 
 /// Sweep a list of rates (the thesis' 50–950 Mbit/s x-axis); `None`
-/// entries mean "no inter-packet gap" (full speed).
+/// entries mean "no inter-packet gap" (full speed). Serial; see
+/// [`run_sweep_exec`] for the parallel engine.
 pub fn run_sweep(suts: &[Sut], cfg: &CycleConfig, rates: &[Option<f64>]) -> Vec<PointResult> {
-    rates.iter().map(|r| run_point(suts, cfg, *r)).collect()
+    run_sweep_exec(suts, cfg, rates, &ExecConfig::serial())
+}
+
+/// The parallel sweep engine: schedule every (rate × repeat) cell of the
+/// sweep as an independent job on a bounded worker pool and assemble the
+/// per-rate [`PointResult`]s **in input order**, regardless of which
+/// worker finishes when.
+///
+/// Each cell generates its own packet stream (the per-repeat seed
+/// derivation the serial cycle already used) and runs its SUT sims, so
+/// the output is bit-identical to [`run_sweep`] for any `exec.jobs`.
+/// Cells are memoized in the process-global [`RunCache`]; `exec.stats`
+/// counts how many were simulated vs served from cache.
+pub fn run_sweep_exec(
+    suts: &[Sut],
+    cfg: &CycleConfig,
+    rates: &[Option<f64>],
+    exec: &ExecConfig,
+) -> Vec<PointResult> {
+    let repeats = cfg.repeats as usize;
+    let cells: Vec<(usize, u32)> = rates
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, _)| (0..cfg.repeats).map(move |rep| (ri, rep)))
+        .collect();
+    let results: Vec<CellResult> = parallel_ordered(cells, exec.jobs, |_, (ri, repeat)| {
+        run_cell_cached(suts, cfg, rates[ri], repeat, &exec.stats)
+    });
+    let labels: Vec<String> = suts.iter().map(|sut| sut.spec.label()).collect();
+    rates
+        .iter()
+        .enumerate()
+        .map(|(ri, &rate)| {
+            aggregate_point(
+                rate,
+                cfg.count,
+                &labels,
+                &results[ri * repeats..(ri + 1) * repeats],
+            )
+        })
+        .collect()
 }
 
 /// The standard four-sniffer setup with a common simulation config.
@@ -278,7 +367,11 @@ mod tests {
         cfg.repeats = 2;
         let p = run_point(&suts, &cfg, Some(150.0));
         assert_eq!(p.suts.len(), 4);
-        assert!((p.achieved_mbps - 150.0).abs() < 20.0, "{}", p.achieved_mbps);
+        assert!(
+            (p.achieved_mbps - 150.0).abs() < 20.0,
+            "{}",
+            p.achieved_mbps
+        );
         for s in &p.suts {
             assert!(
                 (s.capture - 1.0).abs() < 1e-9,
@@ -313,6 +406,30 @@ mod tests {
         let pts = run_sweep(&suts, &quick_cfg(), &[Some(100.0), Some(300.0)]);
         assert_eq!(pts.len(), 2);
         assert!(pts[0].achieved_mbps < pts[1].achieved_mbps);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let suts = vec![Sut {
+            spec: MachineSpec::snipe(),
+            sim: SimConfig::default(),
+        }];
+        let mut cfg = quick_cfg();
+        cfg.repeats = 3;
+        let rates = [Some(100.0), Some(400.0), None];
+        let serial = run_sweep(&suts, &cfg, &rates);
+        for jobs in [2, 8] {
+            let exec = ExecConfig::with_jobs(jobs);
+            let parallel = run_sweep_exec(&suts, &cfg, &rates, &exec);
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{parallel:?}"),
+                "jobs={jobs} must not change any bit of the results"
+            );
+            // Every cell was already computed by the serial run above.
+            assert_eq!(exec.stats.cells_cached(), 9, "jobs={jobs}");
+            assert_eq!(exec.stats.cells_run(), 0, "jobs={jobs}");
+        }
     }
 
     #[test]

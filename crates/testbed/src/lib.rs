@@ -5,16 +5,26 @@
 //! SNMP counters verify the generated packet count, and the measurement
 //! [`cycle`] — start capture + profiling, generate, read counters, stop,
 //! repeat — with the §6.2.2 result calculation.
+//!
+//! The cycle executes on the parallel sweep engine ([`sched`]): every
+//! (rate × repeat) cell of a sweep is an independent deterministic job,
+//! scheduled across a bounded worker pool and merged back in input
+//! order, with cells memoized per process in the [`cache`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cycle;
+pub mod sched;
 pub mod splitter;
 pub mod switch;
 
+pub use cache::{cell_key, CellKey, CellResult, CellSut, RunCache};
 pub use cycle::{
-    run_point, run_sniffers, run_sweep, standard_suts, CycleConfig, PointResult, Sut, SutPoint,
+    aggregate_point, run_point, run_sniffers, run_sweep, run_sweep_exec, standard_suts,
+    CycleConfig, PointResult, Sut, SutPoint,
 };
+pub use sched::{available_parallelism, parallel_ordered, ExecConfig, ExecStats};
 pub use splitter::OpticalSplitter;
 pub use switch::{IfCounters, MonitorSwitch};

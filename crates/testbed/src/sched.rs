@@ -1,0 +1,187 @@
+//! Parallel execution of sweep cells (MoonGen-style worker pool).
+//!
+//! The evaluation is a grid of independent cells — (rate × repeat) inside
+//! one sweep, whole experiments at the CLI level. The DES is
+//! deterministic by construction (per-component seeded PCG streams, no
+//! host-time dependence), so cells can run on any thread in any order and
+//! the merged results are still bit-identical to a serial run: the pool
+//! assigns cells to workers dynamically but writes every result back into
+//! its input-order slot.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters a sweep (or a whole CLI run) accumulates while executing.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    cells_run: AtomicU64,
+    cells_cached: AtomicU64,
+}
+
+impl ExecStats {
+    /// Record a cell that was actually simulated.
+    pub fn record_run(&self) {
+        self.cells_run.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cell served from the [`crate::RunCache`].
+    pub fn record_cached(&self) {
+        self.cells_cached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cells simulated so far.
+    pub fn cells_run(&self) -> u64 {
+        self.cells_run.load(Ordering::Relaxed)
+    }
+
+    /// Cells answered from the cache so far.
+    pub fn cells_cached(&self) -> u64 {
+        self.cells_cached.load(Ordering::Relaxed)
+    }
+}
+
+/// How a sweep executes: worker count plus shared counters.
+///
+/// Cloning shares the counters (an `Arc`), so one `ExecConfig` handed to
+/// several figures accumulates their cells together.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Upper bound on concurrently running cells.
+    pub jobs: usize,
+    /// Shared run/cache counters.
+    pub stats: Arc<ExecStats>,
+}
+
+impl ExecConfig {
+    /// One worker: cells run strictly in input order.
+    pub fn serial() -> ExecConfig {
+        ExecConfig::with_jobs(1)
+    }
+
+    /// As many workers as the host offers.
+    pub fn parallel() -> ExecConfig {
+        ExecConfig::with_jobs(available_parallelism())
+    }
+
+    /// Exactly `jobs` workers (clamped to ≥ 1).
+    pub fn with_jobs(jobs: usize) -> ExecConfig {
+        ExecConfig {
+            jobs: jobs.max(1),
+            stats: Arc::new(ExecStats::default()),
+        }
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig::parallel()
+    }
+}
+
+/// The host's available parallelism (1 when unknown).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f` over `items` on a bounded pool of `jobs` workers, returning
+/// results **in input order** regardless of completion order.
+///
+/// Work is handed out dynamically (an atomic cursor), so long and short
+/// items mix without head-of-line blocking. With `jobs == 1` no threads
+/// are spawned and `f` runs inline, in order. A panicking item propagates
+/// the panic to the caller (after the scope joins its workers).
+pub fn parallel_ordered<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<(Option<T>, Option<R>)>> = items
+        .into_iter()
+        .map(|t| Mutex::new((Some(t), None)))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .0
+                    .take()
+                    .expect("job claimed twice");
+                let result = f(i, item);
+                slots[i].lock().expect("job slot poisoned").1 = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("job slot poisoned")
+                .1
+                .expect("job completed without a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        for jobs in [1, 2, 8, 64] {
+            let items: Vec<u64> = (0..100).collect();
+            let out = parallel_ordered(items, jobs, |i, x| {
+                // Stagger completion: make early items slow.
+                if x < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                (i as u64, x * 2)
+            });
+            assert_eq!(out.len(), 100);
+            for (i, (idx, doubled)) in out.iter().enumerate() {
+                assert_eq!(*idx, i as u64);
+                assert_eq!(*doubled, i as u64 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_ordered(empty, 4, |_, x: u8| x).is_empty());
+        assert_eq!(parallel_ordered(vec![7u8], 4, |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn exec_config_clamps_and_counts() {
+        let cfg = ExecConfig::with_jobs(0);
+        assert_eq!(cfg.jobs, 1);
+        cfg.stats.record_run();
+        cfg.stats.record_cached();
+        cfg.stats.record_cached();
+        let shared = cfg.clone();
+        assert_eq!(shared.stats.cells_run(), 1);
+        assert_eq!(shared.stats.cells_cached(), 2);
+        assert!(ExecConfig::parallel().jobs >= 1);
+    }
+}

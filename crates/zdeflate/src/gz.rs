@@ -38,8 +38,8 @@ impl GzWriter {
         out.push(0); // FLG: no name, no comment
         out.extend_from_slice(&[0, 0, 0, 0]); // MTIME
         out.push(match level {
-            9 => 2,         // XFL: maximum compression
-            0..=1 => 4,     // XFL: fastest
+            9 => 2,     // XFL: maximum compression
+            0..=1 => 4, // XFL: fastest
             _ => 0,
         });
         out.push(255); // OS: unknown
@@ -77,8 +77,7 @@ impl GzWriter {
         let body = deflate(&self.buf, self.level);
         self.total_out += body.len() as u64;
         self.out.extend_from_slice(&body);
-        self.out
-            .extend_from_slice(&self.crc.finish().to_le_bytes());
+        self.out.extend_from_slice(&self.crc.finish().to_le_bytes());
         self.out.extend_from_slice(&self.isize.to_le_bytes());
         // Start a new member for subsequent data.
         self.buf.clear();
@@ -104,8 +103,7 @@ impl GzWriter {
     pub fn finish(mut self) -> Vec<u8> {
         let body = deflate(&self.buf, self.level);
         self.out.extend_from_slice(&body);
-        self.out
-            .extend_from_slice(&self.crc.finish().to_le_bytes());
+        self.out.extend_from_slice(&self.crc.finish().to_le_bytes());
         self.out.extend_from_slice(&self.isize.to_le_bytes());
         self.out
     }
@@ -175,11 +173,7 @@ pub fn gunzip(mut data: &[u8]) -> Result<Vec<u8>, GzError> {
             return Err(GzError::BadTrailer);
         }
         let crc = u32::from_le_bytes(data[trailer_at..trailer_at + 4].try_into().expect("4"));
-        let isz = u32::from_le_bytes(
-            data[trailer_at + 4..trailer_at + 8]
-                .try_into()
-                .expect("4"),
-        );
+        let isz = u32::from_le_bytes(data[trailer_at + 4..trailer_at + 8].try_into().expect("4"));
         if crc != crate::crc32::crc32(&decoded) || isz != decoded.len() as u32 {
             return Err(GzError::BadTrailer);
         }
@@ -201,10 +195,7 @@ mod tests {
         w.write(b"hello gzip world, hello gzip world");
         let gz = w.finish();
         assert_eq!(&gz[0..2], &GZ_MAGIC);
-        assert_eq!(
-            gunzip(&gz).unwrap(),
-            b"hello gzip world, hello gzip world"
-        );
+        assert_eq!(gunzip(&gz).unwrap(), b"hello gzip world, hello gzip world");
     }
 
     #[test]

@@ -59,9 +59,9 @@ impl Huffman {
         counts[0] = 0;
         // Over-subscription check.
         let mut left = 1i32;
-        for l in 1..16 {
+        for &c in counts.iter().skip(1) {
             left <<= 1;
-            left -= counts[l] as i32;
+            left -= c as i32;
             if left < 0 {
                 return Err(InflateError::BadCodeLengths);
             }
@@ -184,15 +184,11 @@ fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Huffman, Huffman), Infl
             }
             17 => {
                 let n = 3 + r.read_bits(3).ok_or(InflateError::UnexpectedEof)?;
-                for _ in 0..n {
-                    lengths.push(0);
-                }
+                lengths.resize(lengths.len() + n as usize, 0);
             }
             18 => {
                 let n = 11 + r.read_bits(7).ok_or(InflateError::UnexpectedEof)?;
-                for _ in 0..n {
-                    lengths.push(0);
-                }
+                lengths.resize(lengths.len() + n as usize, 0);
             }
             _ => return Err(InflateError::BadCodeLengths),
         }
@@ -219,7 +215,8 @@ fn inflate_block(
             257..=285 => {
                 let (base, extra) = LENGTH_TABLE[sym - 257];
                 let len = base as usize
-                    + r.read_bits(extra as u32).ok_or(InflateError::UnexpectedEof)? as usize;
+                    + r.read_bits(extra as u32)
+                        .ok_or(InflateError::UnexpectedEof)? as usize;
                 let dsym = dist.decode(r)? as usize;
                 if dsym >= 30 {
                     return Err(InflateError::BadCode);

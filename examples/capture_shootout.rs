@@ -46,11 +46,7 @@ fn main() {
     for p in &points {
         print!("{:>12.0}", p.achieved_mbps);
         for s in &p.suts {
-            print!(
-                "  {:>13.1}% cpu {:>3.0}",
-                s.capture * 100.0,
-                s.cpu_busy
-            );
+            print!("  {:>13.1}% cpu {:>3.0}", s.capture * 100.0, s.cpu_busy);
         }
         println!();
     }

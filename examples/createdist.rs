@@ -117,8 +117,7 @@ fn main() {
     let mut data = Vec::new();
     match &in_file {
         Some(path) => {
-            data = std::fs::read(path)
-                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+            data = std::fs::read(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
         }
         None => {
             std::io::stdin()
@@ -131,8 +130,9 @@ fn main() {
         .unwrap_or_else(|e| fail(&e.to_string()));
 
     match &out_file {
-        Some(path) => std::fs::write(path, out)
-            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}"))),
+        Some(path) => {
+            std::fs::write(path, out).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")))
+        }
         None => {
             std::io::stdout()
                 .write_all(out.as_bytes())

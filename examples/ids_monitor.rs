@@ -54,10 +54,7 @@ fn main() {
         println!("{}", r.machine);
         println!("  captured        : {:.2}%", r.capture_rate(0) * 100.0);
         println!("  kernel drops    : {}", stats.ps_drop);
-        println!(
-            "  headers to disk : {:.1} MB",
-            r.disk_bytes as f64 / 1e6
-        );
+        println!("  headers to disk : {:.1} MB", r.disk_bytes as f64 / 1e6);
         println!(
             "  cpu busy        : {:.0}%",
             pcapbench::profiling::trimmed_busy_percent(&r.samples, 95.0)

@@ -39,8 +39,8 @@ fn main() {
         apps: vec![session.app_config()],
         ..SimConfig::default()
     };
-    let report = MachineSim::new(MachineSpec::moorhen(), sim)
-        .run(generator.map(|tp| (tp.time, tp.packet)));
+    let report =
+        MachineSim::new(MachineSpec::moorhen(), sim).run(generator.map(|tp| (tp.time, tp.packet)));
 
     // 4. Results.
     let stats = Pcap::stats(&report.apps[0], report.nic_ring_drops);
@@ -49,14 +49,8 @@ fn main() {
     println!("ps_recv          : {}", stats.ps_recv);
     println!("ps_drop          : {}", stats.ps_drop);
     println!("ps_ifdrop        : {}", stats.ps_ifdrop);
-    println!(
-        "capture rate     : {:.2}%",
-        report.capture_rate(0) * 100.0
-    );
-    println!(
-        "virtual duration : {:.3}s",
-        report.elapsed.as_secs_f64()
-    );
+    println!("capture rate     : {:.2}%", report.capture_rate(0) * 100.0);
+    println!("virtual duration : {:.3}s", report.elapsed.as_secs_f64());
     let busy = profiling::trimmed_busy_percent(&report.samples, 95.0);
     println!("cpu busy (trim)  : {busy:.1}%");
     assert!(report.capture_rate(0) > 0.99, "moorhen captures 500 Mbit/s");

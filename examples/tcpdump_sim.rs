@@ -158,7 +158,10 @@ fn main() {
         }
     }
     if matched as usize > limit {
-        println!("... ({} more matches suppressed; -c N to raise)", matched as usize - limit);
+        println!(
+            "... ({} more matches suppressed; -c N to raise)",
+            matched as usize - limit
+        );
     }
     eprintln!("{seen} packets examined, {matched} matched filter \"{expression}\"");
 }

@@ -45,8 +45,8 @@ fn main() {
         g.set_burstiness(cycle.burst);
         g
     };
-    let report = MachineSim::new(MachineSpec::moorhen(), sim)
-        .run(make_gen().map(|tp| (tp.time, tp.packet)));
+    let report =
+        MachineSim::new(MachineSpec::moorhen(), sim).run(make_gen().map(|tp| (tp.time, tp.packet)));
     println!(
         "captured {} of {} packets",
         report.apps[0].received, report.offered
@@ -54,9 +54,8 @@ fn main() {
 
     // Regenerate the packet bytes (determinism: same seed, same stream)
     // and write the savefile.
-    let index: HashMap<u64, pcapbench::wire::SimPacket> = make_gen()
-        .map(|tp| (tp.packet.seq, tp.packet))
-        .collect();
+    let index: HashMap<u64, pcapbench::wire::SimPacket> =
+        make_gen().map(|tp| (tp.packet.seq, tp.packet)).collect();
     let file = std::fs::File::create(&path).expect("create savefile");
     let mut dumper = Dumper::new(file, snaplen, &index).expect("dumper");
     let written = dumper

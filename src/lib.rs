@@ -31,10 +31,12 @@
 //! ## Quickstart
 //!
 //! ```no_run
-//! use pcapbench::core::{figures, Scale};
+//! use pcapbench::core::{figures, ExecConfig, Scale};
 //!
 //! // Regenerate Figure 6.3(b): all four sniffers, increased buffers.
-//! let fig = figures::fig6_3_increased_buffers(&Scale::quick(), true);
+//! // The sweep's cells run on all host cores; results are bit-identical
+//! // to a serial run.
+//! let fig = figures::fig6_3_increased_buffers(&Scale::quick(), true, &ExecConfig::parallel());
 //! println!("{}", fig.to_table());
 //! assert!(fig.final_capture("moorhen").unwrap() > 95.0);
 //! ```
@@ -65,5 +67,7 @@ pub mod prelude {
     pub use pcs_hw::MachineSpec;
     pub use pcs_oskernel::{AppConfig, BufferConfig, MachineSim, RunReport, SimConfig};
     pub use pcs_pktgen::{Generator, PktgenConfig, PktgenControl, SizeSource, TxModel};
-    pub use pcs_testbed::{run_point, run_sweep, standard_suts, CycleConfig, Sut};
+    pub use pcs_testbed::{
+        run_point, run_sweep, run_sweep_exec, standard_suts, CycleConfig, ExecConfig, Sut,
+    };
 }

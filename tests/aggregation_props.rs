@@ -1,0 +1,131 @@
+//! Property tests for the §6.2.2 result calculation: the median
+//! aggregation of per-repeat cells into a [`PointResult`], and the
+//! derived `Experiment` queries.
+
+use pcapbench::core::{Experiment, Series, SeriesPoint};
+use pcapbench::testbed::{aggregate_point, CellResult, CellSut};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const NSUTS: usize = 3;
+
+/// One SUT's cell numbers with the invariant every real run report
+/// satisfies: worst ≤ capture ≤ best.
+fn sut_strategy() -> impl Strategy<Value = CellSut> {
+    (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=100.0).prop_map(|(a, b, c, cpu)| {
+        let mut v = [a, b, c];
+        v.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        CellSut {
+            capture: v[1],
+            worst: v[0],
+            best: v[2],
+            cpu_busy: cpu,
+        }
+    })
+}
+
+/// Between 1 and 9 repeats (the thesis used 7) of an `NSUTS`-wide cell.
+fn cells_strategy() -> impl Strategy<Value = Vec<CellResult>> {
+    vec(
+        (0.0f64..=1000.0, vec(sut_strategy(), NSUTS)).prop_map(|(achieved_mbps, suts)| {
+            CellResult {
+                achieved_mbps,
+                suts,
+            }
+        }),
+        1..=9,
+    )
+}
+
+fn labels() -> Vec<String> {
+    (0..NSUTS).map(|i| format!("sut-{i}")).collect()
+}
+
+/// Deterministic splitmix64 for in-test shuffling.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn shuffled(cells: &[CellResult], seed: u64) -> Vec<CellResult> {
+    let mut out = cells.to_vec();
+    let mut state = seed;
+    for i in (1..out.len()).rev() {
+        let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn aggregate_preserves_worst_mean_best_ordering(cells in cells_strategy()) {
+        let point = aggregate_point(Some(500.0), 10_000, &labels(), &cells);
+        prop_assert_eq!(point.suts.len(), NSUTS);
+        for sut in &point.suts {
+            prop_assert!(
+                sut.capture_worst <= sut.capture + 1e-12,
+                "median worst {} > median capture {}",
+                sut.capture_worst,
+                sut.capture
+            );
+            prop_assert!(
+                sut.capture <= sut.capture_best + 1e-12,
+                "median capture {} > median best {}",
+                sut.capture,
+                sut.capture_best
+            );
+        }
+        // The median achieved rate never leaves the input range.
+        let lo = cells.iter().map(|c| c.achieved_mbps).fold(f64::INFINITY, f64::min);
+        let hi = cells.iter().map(|c| c.achieved_mbps).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(point.achieved_mbps >= lo && point.achieved_mbps <= hi);
+    }
+
+    #[test]
+    fn aggregate_is_invariant_under_repeat_order(
+        cells in cells_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        // The worker pool completes repeats in arbitrary order; the §6.2.2
+        // median must not care.
+        let in_order = aggregate_point(None, 10_000, &labels(), &cells);
+        let permuted = aggregate_point(None, 10_000, &labels(), &shuffled(&cells, seed));
+        prop_assert_eq!(format!("{in_order:?}"), format!("{permuted:?}"));
+    }
+
+    #[test]
+    fn knee_is_the_first_point_below_threshold(
+        captures in vec(0.0f64..=100.0, 1..20),
+        threshold in 0.0f64..=100.0,
+    ) {
+        let points: Vec<SeriesPoint> = captures
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| SeriesPoint {
+                x: 100.0 * (i as f64 + 1.0),
+                capture: c,
+                capture_worst: c,
+                capture_best: c,
+                cpu: 0.0,
+            })
+            .collect();
+        let e = Experiment {
+            id: "prop".into(),
+            thesis_ref: "property fixture".into(),
+            title: "knee".into(),
+            xlabel: "x".into(),
+            ylabel: "capture[%]".into(),
+            series: vec![Series { label: "only".into(), points }],
+            notes: vec![],
+        };
+        let expected = captures
+            .iter()
+            .position(|&c| c < threshold)
+            .map(|i| 100.0 * (i as f64 + 1.0));
+        prop_assert_eq!(e.knee("only", threshold), expected);
+    }
+}

@@ -1,0 +1,119 @@
+//! Golden-output snapshots for the experiment renderers.
+//!
+//! The fixtures under `tests/golden/` are checked in; the tests compare
+//! `to_table()` / `to_csv()` byte-for-byte against them, pinning the
+//! RFC-4180 quoting path, ragged-series rendering, and the header/notes
+//! layout. Regenerate after an intentional format change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use pcapbench::core::{Experiment, Series, SeriesPoint};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from its checked-in golden output; if the change \
+         is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+fn pt(x: f64, capture: f64, worst: f64, best: f64, cpu: f64) -> SeriesPoint {
+    SeriesPoint {
+        x,
+        capture,
+        capture_worst: worst,
+        capture_best: best,
+        cpu,
+    }
+}
+
+/// A hand-built experiment exercising every rendering corner at once:
+/// quoted labels (comma, double quote), a label long enough to truncate,
+/// ragged series lengths, and notes.
+fn tricky_experiment() -> Experiment {
+    Experiment {
+        id: "golden-1".into(),
+        thesis_ref: "synthetic fixture, no thesis figure".into(),
+        title: "Renderer corner cases".into(),
+        xlabel: "Datarate [Mbit/s]".into(),
+        ylabel: "capture[%]".into(),
+        series: vec![
+            Series {
+                label: "swan, default buffers".into(),
+                points: vec![
+                    pt(100.0, 100.0, 99.5, 100.0, 12.0),
+                    pt(500.0, 87.25, 80.125, 93.5, 64.0),
+                    pt(941.0, 43.75, 40.0, 51.5, 100.0),
+                ],
+            },
+            Series {
+                label: "snipe \"tuned\" profile".into(),
+                points: vec![
+                    pt(100.0, 100.0, 100.0, 100.0, 15.0),
+                    // Ragged: this series has one point fewer.
+                    pt(500.0, 91.0, 90.0, 92.0, 58.0),
+                ],
+            },
+            Series {
+                label: "a deliberately overlong series label that the table truncates".into(),
+                points: vec![
+                    pt(100.0, 99.0, 98.0, 100.0, 20.0),
+                    pt(500.0, 70.5, 65.0, 76.0, 88.0),
+                    pt(941.0, 31.0, 28.5, 33.5, 100.0),
+                ],
+            },
+        ],
+        notes: vec![
+            "quoted, ragged and truncated — all in one figure".into(),
+            "second note line".into(),
+        ],
+    }
+}
+
+#[test]
+fn table_rendering_matches_golden() {
+    assert_matches_golden("tricky.table.txt", &tricky_experiment().to_table());
+}
+
+#[test]
+fn csv_rendering_matches_golden() {
+    let csv = tricky_experiment().to_csv();
+    // The quoting invariants the fixture pins, stated directly too.
+    assert!(csv.contains("\"swan, default buffers\""));
+    assert!(csv.contains("\"snipe \"\"tuned\"\" profile\""));
+    assert_matches_golden("tricky.csv", &csv);
+}
+
+#[test]
+fn empty_experiment_renders_header_only() {
+    let mut e = tricky_experiment();
+    e.series.clear();
+    e.notes.clear();
+    let csv = e.to_csv();
+    assert_eq!(
+        csv,
+        "experiment,series,x,capture_pct,worst_pct,best_pct,cpu_pct\n"
+    );
+    assert_matches_golden("empty.table.txt", &e.to_table());
+}

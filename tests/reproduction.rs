@@ -2,7 +2,7 @@
 //! — the orderings, knees and factors the thesis reports — asserted over
 //! reduced-scale runs of the actual experiment code.
 
-use pcapbench::core::{figures, Scale};
+use pcapbench::core::{figures, ExecConfig, Scale};
 
 /// A reduced scale that still outlasts buffer capacity where it matters.
 fn scale() -> Scale {
@@ -13,12 +13,18 @@ fn scale() -> Scale {
     }
 }
 
+/// All figures run on the parallel sweep engine; results are identical to
+/// serial, so the assertions below are job-count independent.
+fn exec() -> ExecConfig {
+    ExecConfig::parallel()
+}
+
 #[test]
 fn headline_moorhen_wins_flamingo_loses() {
     // §7.1: "moorhen, the FreeBSD 5.4/AMD Opteron combination, is
     // performing best ... flamingo ... is often losing more packets than
     // the other systems."
-    let e = figures::fig6_3_increased_buffers(&scale(), true);
+    let e = figures::fig6_3_increased_buffers(&scale(), true, &exec());
     let moorhen = e.final_capture("moorhen").unwrap();
     let flamingo = e.final_capture("flamingo").unwrap();
     assert!(moorhen > 99.0, "moorhen dual loses ~nothing: {moorhen}");
@@ -37,7 +43,7 @@ fn headline_moorhen_wins_flamingo_loses() {
 
 #[test]
 fn single_cpu_ordering_and_knees() {
-    let e = figures::fig6_3_increased_buffers(&scale(), false);
+    let e = figures::fig6_3_increased_buffers(&scale(), false, &exec());
     // moorhen stays close to lossless even single-CPU.
     assert!(e.final_capture("moorhen").unwrap() > 90.0);
     // The Linux systems capture everything at 300 but lose at the top.
@@ -63,19 +69,11 @@ fn single_cpu_ordering_and_knees() {
 fn default_buffers_hurt_linux() {
     // §6.3.1/§7.1: increased buffers raise the Linux drop knee.
     let s = scale();
-    let def = figures::fig6_2_default_buffers(&s, false);
-    let inc = figures::fig6_3_increased_buffers(&s, false);
+    let def = figures::fig6_2_default_buffers(&s, false, &exec());
+    let inc = figures::fig6_3_increased_buffers(&s, false, &exec());
     for name in ["swan", "snipe"] {
-        let d = def
-            .series
-            .iter()
-            .find(|x| x.label.contains(name))
-            .unwrap();
-        let i = inc
-            .series
-            .iter()
-            .find(|x| x.label.contains(name))
-            .unwrap();
+        let d = def.series.iter().find(|x| x.label.contains(name)).unwrap();
+        let i = inc.series.iter().find(|x| x.label.contains(name)).unwrap();
         // At 600 Mbit/s the small default rmem already drops bursts that
         // 128 MB absorbs.
         assert!(
@@ -97,8 +95,12 @@ fn buffer_sweep_shows_freebsd_cache_dip_and_capacity_effect() {
         repeats: 1,
         rates: vec![None],
     };
-    let e = figures::fig6_4_buffer_sweep(&s, false);
-    let moorhen = e.series.iter().find(|x| x.label.contains("moorhen")).unwrap();
+    let e = figures::fig6_4_buffer_sweep(&s, false, &exec());
+    let moorhen = e
+        .series
+        .iter()
+        .find(|x| x.label.contains("moorhen"))
+        .unwrap();
     let at = |kb: f64| {
         moorhen
             .points
@@ -131,8 +133,8 @@ fn filters_are_cheap_for_freebsd_costlier_for_linux() {
     // Fig 6.6: "using BPF filters is cheap"; Linux drops a few more
     // packets at the highest rates.
     let s = scale();
-    let plain = figures::fig6_3_increased_buffers(&s, true);
-    let filt = figures::fig6_6_filter(&s, true);
+    let plain = figures::fig6_3_increased_buffers(&s, true, &exec());
+    let filt = figures::fig6_6_filter(&s, true, &exec());
     let m_plain = plain.final_capture("moorhen").unwrap();
     let m_filt = filt.final_capture("moorhen").unwrap();
     assert!(
@@ -157,14 +159,18 @@ fn eight_apps_collapse_linux_but_not_freebsd() {
         repeats: 1,
         rates: vec![None],
     };
-    let e = figures::fig6_789_multiapp(&s, 8);
+    let e = figures::fig6_789_multiapp(&s, 8, &exec());
     let lin = e.final_capture("swan").unwrap();
     let bsd = e.final_capture("moorhen").unwrap();
     assert!(
         lin < bsd - 15.0,
         "8-app Linux ({lin}) must fall well below FreeBSD ({bsd})"
     );
-    let m = e.series.iter().find(|x| x.label.contains("moorhen")).unwrap();
+    let m = e
+        .series
+        .iter()
+        .find(|x| x.label.contains("moorhen"))
+        .unwrap();
     let p = m.points.last().unwrap();
     assert!(
         p.capture_best - p.capture_worst < 20.0,
@@ -183,7 +189,7 @@ fn memcpy_load_favours_opterons() {
         repeats: 1,
         rates: vec![None],
     };
-    let e = figures::fig6_10_memcpy(&s, 50, true);
+    let e = figures::fig6_10_memcpy(&s, 50, true, &exec());
     let moorhen = e.final_capture("moorhen").unwrap();
     let flamingo = e.final_capture("flamingo").unwrap();
     let swan = e.final_capture("swan").unwrap();
@@ -192,7 +198,10 @@ fn memcpy_load_favours_opterons() {
         moorhen >= flamingo,
         "AMD ({moorhen}) >= Xeon ({flamingo}) under copy load"
     );
-    assert!(swan >= snipe, "AMD ({swan}) >= Xeon ({snipe}) under copy load");
+    assert!(
+        swan >= snipe,
+        "AMD ({swan}) >= Xeon ({snipe}) under copy load"
+    );
     assert!(
         moorhen >= swan,
         "FreeBSD ({moorhen}) >= Linux ({swan}) under copy load"
@@ -208,7 +217,7 @@ fn compression_favours_the_higher_clocked_xeons() {
         repeats: 1,
         rates: vec![Some(500.0)],
     };
-    let e = figures::fig6_11_gzip(&s, 3, true);
+    let e = figures::fig6_11_gzip(&s, 3, true, &exec());
     let moorhen = e.final_capture("moorhen").unwrap();
     let flamingo = e.final_capture("flamingo").unwrap();
     let swan = e.final_capture("swan").unwrap();
@@ -228,7 +237,7 @@ fn compression_favours_the_higher_clocked_xeons() {
         repeats: 1,
         rates: vec![Some(500.0)],
     };
-    let e9 = figures::fig6_11_gzip(&s9, 9, true);
+    let e9 = figures::fig6_11_gzip(&s9, 9, true, &exec());
     for name in ["swan", "snipe", "moorhen", "flamingo"] {
         let c = e9.final_capture(name).unwrap();
         assert!(c < 40.0, "{name} must be overloaded at level 9: {c}");
@@ -239,10 +248,9 @@ fn compression_favours_the_higher_clocked_xeons() {
 fn header_writing_is_cheap() {
     // Fig 6.14(b): FreeBSD unchanged, Linux loses about 10%.
     let s = scale();
-    let plain = figures::fig6_3_increased_buffers(&s, true);
-    let disk = figures::fig6_14_headers(&s, true);
-    let m_delta =
-        plain.final_capture("moorhen").unwrap() - disk.final_capture("moorhen").unwrap();
+    let plain = figures::fig6_3_increased_buffers(&s, true, &exec());
+    let disk = figures::fig6_14_headers(&s, true, &exec());
+    let m_delta = plain.final_capture("moorhen").unwrap() - disk.final_capture("moorhen").unwrap();
     assert!(
         m_delta.abs() < 5.0,
         "FreeBSD header writing ~free: delta {m_delta}"
@@ -263,7 +271,7 @@ fn mmap_patch_rescues_linux() {
         repeats: 1,
         rates: vec![None],
     };
-    let e = figures::fig6_15_mmap(&s, false);
+    let e = figures::fig6_15_mmap(&s, false, &exec());
     for name in ["swan", "snipe"] {
         let stock = e
             .series
@@ -298,7 +306,7 @@ fn hyperthreading_changes_little() {
         repeats: 1,
         rates: vec![Some(700.0), None],
     };
-    let e = figures::fig6_16_ht(&s);
+    let e = figures::fig6_16_ht(&s, &exec());
     for name in ["snipe", "flamingo"] {
         let plain = e
             .series
@@ -333,7 +341,7 @@ fn newer_freebsd_is_better() {
         repeats: 1,
         rates: vec![None],
     };
-    let e = figures::figb_1_freebsd_versions(&s);
+    let e = figures::figb_1_freebsd_versions(&s, &exec());
     // Series come in (5.4, 5.2.1) pairs per machine.
     let new = e
         .series
@@ -364,7 +372,7 @@ fn pipe_to_gzip_converges_systems() {
         repeats: 1,
         rates: vec![Some(600.0)],
     };
-    let e = figures::fig6_12_pipe(&s);
+    let e = figures::fig6_12_pipe(&s, &exec());
     let caps: Vec<f64> = ["swan", "snipe", "moorhen", "flamingo"]
         .iter()
         .map(|n| e.final_capture(n).unwrap())

@@ -1,0 +1,247 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no crates.io access, so the real criterion
+//! cannot be vendored. This crate implements the subset of its API the
+//! workspace's benches use — `criterion_group!` / `criterion_main!` (both
+//! forms), `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `sample_size` and
+//! `Bencher::iter` — measuring wall-clock time with `std::time::Instant`
+//! and printing one line per benchmark. No statistics, plots, or saved
+//! baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Just a parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (packets, ops) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Times closures; see [`Bencher::iter`].
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, untimed.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.samples;
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size;
+        run_one("", &name.to_string(), samples, None, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the timed iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1) as u64);
+        self
+    }
+
+    /// Declare units processed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&self.name, &id.to_string(), samples, self.throughput, f);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (report formatting hook in the real crate).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    samples: u64,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.iters == 0 {
+        println!("{full:<50} (no iterations)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:>12.1} MB/s", n as f64 / per_iter / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("{full:<50} {:>12.3} ms/iter{rate}", per_iter * 1e3);
+}
+
+/// `criterion_group!(name, target, ...)` or the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)`: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut count = 0u64;
+        g.bench_function("count", |b| b.iter(|| count += 1));
+        g.bench_with_input(BenchmarkId::new("add", 5), &5u64, |b, &x| {
+            b.iter(|| count += x)
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn harness_runs() {
+        criterion_group!(demo_group, bench_demo);
+        demo_group();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

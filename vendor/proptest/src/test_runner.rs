@@ -1,0 +1,45 @@
+//! Test-runner configuration and failure type.
+
+/// Configuration for a `proptest!` block (`ProptestConfig` in the
+/// prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// How many cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access; nothing in this workspace
+//! serializes through serde at runtime (the derives only decorate model
+//! types for downstream users). This stub keeps those annotations
+//! compiling: the traits are blanket-implemented for every type and the
+//! `derive` feature re-exports no-op derive macros.
+
+/// Marker stand-in for `serde::Serialize`, blanket-implemented for all
+/// types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`, blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

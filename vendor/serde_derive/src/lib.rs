@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real serde cannot be vendored. Nothing in the workspace serializes
+//! through serde at runtime — the derives only decorate model types — so
+//! the stand-in derives expand to nothing and the sibling `serde` stub
+//! provides blanket trait impls instead.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: the `serde` stub blanket-implements the
+/// trait, so the derive has nothing to emit.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; see [`derive_serialize`].
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
