@@ -1,14 +1,20 @@
-//! Sweep-engine benchmarks: serial vs parallel cell scheduling and the
-//! run-cache hit path.
+//! Sweep-engine benchmarks: serial vs parallel cell scheduling, the
+//! run-cache hit path, and the streaming pipeline vs the materialized
+//! reference.
 //!
 //! On a multi-core host the `jobs-N` variants should approach N× the
 //! serial cell throughput (cells are independent simulations); the
-//! `warm-cache` variant shows the memoized upper bound.
+//! `warm-cache` variant shows the memoized upper bound. The `pipeline`
+//! group runs the same cold sweep through the chunked splitter broadcast
+//! at several chunk sizes against the materialize-then-fanout baseline —
+//! the streamed variants overlap generation with consumption (and bound
+//! memory), which is where their advantage on multi-core hosts comes
+//! from.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcs_hw::MachineSpec;
 use pcs_oskernel::SimConfig;
-use pcs_testbed::{run_sweep_exec, CycleConfig, ExecConfig, RunCache, Sut};
+use pcs_testbed::{run_sweep_exec, CycleConfig, ExecConfig, PipelineConfig, RunCache, Sut};
 
 fn sweep_inputs() -> (Vec<Sut>, CycleConfig, Vec<Option<f64>>) {
     let suts = vec![
@@ -51,5 +57,31 @@ fn bench_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(sweep, bench_sweep);
+fn bench_pipeline(c: &mut Criterion) {
+    let (suts, cfg, rates) = sweep_inputs();
+    let cells = (rates.len() * cfg.repeats as usize) as u64;
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cells));
+    let variants = [
+        ("materialized", PipelineConfig::materialized()),
+        ("chunk-256", PipelineConfig::with_chunk(256)),
+        ("chunk-4096", PipelineConfig::with_chunk(4096)),
+        ("chunk-16384", PipelineConfig::with_chunk(16_384)),
+    ];
+    for (name, pipeline) in variants {
+        g.bench_with_input(BenchmarkId::new("cold", name), &pipeline, |b, &pipeline| {
+            b.iter(|| {
+                RunCache::global().clear();
+                let exec = ExecConfig::with_jobs(2).with_pipeline(pipeline);
+                let points = run_sweep_exec(&suts, &cfg, &rates, &exec);
+                assert_eq!(points.len(), rates.len());
+                points
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(sweep, bench_sweep, bench_pipeline);
 criterion_main!(sweep);

@@ -117,6 +117,15 @@ pub struct Insn {
     pub k: u32,
 }
 
+impl pcs_des::Fingerprintable for Insn {
+    fn fingerprint(&self, fp: &mut pcs_des::Fingerprint) {
+        fp.u16(self.code);
+        fp.u8(self.jt);
+        fp.u8(self.jf);
+        fp.u32(self.k);
+    }
+}
+
 impl Insn {
     /// Construct an instruction with explicit fields.
     pub const fn new(code: u16, jt: u8, jf: u8, k: u32) -> Self {

@@ -1,0 +1,262 @@
+//! Deterministic configuration fingerprints.
+//!
+//! The run cache keys measurement cells by their full configuration. A
+//! `Debug`-rendering key is fragile: any type that ever gains a pointer,
+//! a map with unstable iteration order, or a float formatting change
+//! silently changes (or worse, collides) the key. This module provides an
+//! explicit field-by-field alternative: every configuration type writes
+//! its fields into a [`Fingerprint`] through the [`Fingerprintable`]
+//! trait, and the writer folds them into two independent 64-bit FNV-1a
+//! streams (a 128-bit key, collision-safe for any realistic cell count).
+//!
+//! Encoding rules, chosen so distinct configurations cannot alias:
+//! * integers are written as fixed-width little-endian bytes;
+//! * floats are written as their IEEE-754 bit patterns (no formatting);
+//! * strings and byte slices are length-prefixed;
+//! * every sequence writes its length before its elements;
+//! * enum variants and optional fields write a discriminant byte first.
+
+/// Two independent 64-bit FNV-1a streams fed with the same bytes.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    h1: u64,
+    h2: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_BASIS_1: u64 = 0xcbf2_9ce4_8422_2325;
+/// Second basis: an arbitrary odd constant far from the FNV offset.
+const FNV_BASIS_2: u64 = 0x6c62_272e_07bb_0142;
+
+impl Fingerprint {
+    /// A fresh fingerprint at the FNV offset bases.
+    pub fn new() -> Fingerprint {
+        Fingerprint {
+            h1: FNV_BASIS_1,
+            h2: FNV_BASIS_2,
+        }
+    }
+
+    /// Fold raw bytes into both streams (no length prefix; use
+    /// [`Fingerprint::bytes`] for variable-length data).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h1 = (self.h1 ^ b as u64).wrapping_mul(FNV_PRIME);
+            self.h2 = (self.h2 ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// A length-prefixed byte slice.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.len(bytes.len());
+        self.raw(bytes);
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// A `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.raw(&[v]);
+    }
+
+    /// A `u16`, fixed-width little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.raw(&v.to_le_bytes());
+    }
+
+    /// A `u32`, fixed-width little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.raw(&v.to_le_bytes());
+    }
+
+    /// A `u64`, fixed-width little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.raw(&v.to_le_bytes());
+    }
+
+    /// A sequence length (or any `usize`).
+    pub fn len(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// An `f64` as its exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// A `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// An enum-variant or option discriminant.
+    pub fn tag(&mut self, v: u8) {
+        self.u8(v);
+    }
+
+    /// An optional value: a presence byte, then the value if present.
+    pub fn option<T: Fingerprintable>(&mut self, v: &Option<T>) {
+        match v {
+            None => self.tag(0),
+            Some(x) => {
+                self.tag(1);
+                x.fingerprint(self);
+            }
+        }
+    }
+
+    /// A length-prefixed sequence of fingerprintable values.
+    pub fn seq<T: Fingerprintable>(&mut self, items: &[T]) {
+        self.len(items.len());
+        for item in items {
+            item.fingerprint(self);
+        }
+    }
+
+    /// The 128-bit digest as two independent 64-bit hashes.
+    pub fn finish(&self) -> (u64, u64) {
+        (self.h1, self.h2)
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Fingerprint {
+        Fingerprint::new()
+    }
+}
+
+/// A type whose full identity-relevant state can be written into a
+/// [`Fingerprint`], field by field.
+pub trait Fingerprintable {
+    /// Write every identity-relevant field into `fp`.
+    fn fingerprint(&self, fp: &mut Fingerprint);
+}
+
+impl Fingerprintable for u8 {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.u8(*self);
+    }
+}
+
+impl Fingerprintable for u32 {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.u32(*self);
+    }
+}
+
+impl Fingerprintable for u64 {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.u64(*self);
+    }
+}
+
+impl Fingerprintable for f64 {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.f64(*self);
+    }
+}
+
+impl<A: Fingerprintable, B: Fingerprintable> Fingerprintable for (A, B) {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        self.0.fingerprint(fp);
+        self.1.fingerprint(fp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(f: impl FnOnce(&mut Fingerprint)) -> (u64, u64) {
+        let mut fp = Fingerprint::new();
+        f(&mut fp);
+        fp.finish()
+    }
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let a = digest(|fp| {
+            fp.u32(1);
+            fp.u32(2);
+        });
+        let b = digest(|fp| {
+            fp.u32(1);
+            fp.u32(2);
+        });
+        let c = digest(|fp| {
+            fp.u32(2);
+            fp.u32(1);
+        });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_aliasing() {
+        // "ab" + "c" must differ from "a" + "bc".
+        let a = digest(|fp| {
+            fp.str("ab");
+            fp.str("c");
+        });
+        let b = digest(|fp| {
+            fp.str("a");
+            fp.str("bc");
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fixed_width_integers_do_not_alias() {
+        // u8(1),u8(0) vs u16(1): the encodings differ in width, and an
+        // explicit check that the two digests differ.
+        let a = digest(|fp| fp.u16(1));
+        let b = digest(|fp| {
+            fp.u8(1);
+            fp.u8(0);
+        });
+        assert_eq!(a, b, "u16 is exactly its two LE bytes");
+        let c = digest(|fp| fp.u32(1));
+        assert_ne!(a, c, "different widths write different byte counts");
+    }
+
+    #[test]
+    fn floats_hash_bit_patterns() {
+        let zero = digest(|fp| fp.f64(0.0));
+        let negzero = digest(|fp| fp.f64(-0.0));
+        assert_ne!(zero, negzero, "bit patterns, not numeric equality");
+        let nan1 = digest(|fp| fp.f64(f64::NAN));
+        let nan2 = digest(|fp| fp.f64(f64::NAN));
+        assert_eq!(nan1, nan2, "the same NaN bit pattern hashes equally");
+    }
+
+    #[test]
+    fn options_and_sequences_are_unambiguous() {
+        let none_then_one = digest(|fp| {
+            fp.option::<u32>(&None);
+            fp.option(&Some(7u32));
+        });
+        let one_then_none = digest(|fp| {
+            fp.option(&Some(7u32));
+            fp.option::<u32>(&None);
+        });
+        assert_ne!(none_then_one, one_then_none);
+        let split = digest(|fp| {
+            fp.seq(&[1u32, 2]);
+            fp.seq(&[3u32]);
+        });
+        let merged = digest(|fp| {
+            fp.seq(&[1u32, 2, 3]);
+            fp.seq::<u32>(&[]);
+        });
+        assert_ne!(split, merged);
+    }
+
+    #[test]
+    fn both_streams_are_independent() {
+        let (h1, h2) = digest(|fp| fp.str("cell"));
+        assert_ne!(h1, h2);
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`Pcg32`] / [`SplitMix64`] — deterministic PRNG streams, so that a run
 //!   seed fully determines the generated packet sequence (the paper's
 //!   reproducibility requirement, §3.2);
-//! * [`stats`] — small statistics accumulators for result processing.
+//! * [`stats`] — small statistics accumulators for result processing;
+//! * [`fingerprint`] — explicit field-by-field configuration digests for
+//!   memoization keys (no reliance on `Debug` renderings).
 //!
 //! The crate is intentionally free of I/O and of `std::time`: simulated time
 //! never observes wall-clock time.
@@ -19,11 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fingerprint;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use fingerprint::{Fingerprint, Fingerprintable};
 pub use queue::EventQueue;
 pub use rng::{Pcg32, SplitMix64};
 pub use time::{SimDuration, SimTime};

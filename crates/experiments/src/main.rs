@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! experiments list
-//! experiments run <id>... [--scale quick|standard|full] [--jobs N] [--csv-dir DIR]
-//! experiments all [--scale ...] [--jobs N] [--csv-dir DIR]
+//! experiments run <id>... [--scale quick|standard|full] [--jobs N]
+//!                         [--chunk N] [--depth N] [--csv-dir DIR]
+//! experiments all [--scale ...] [--jobs N] [--chunk N] [--depth N] [--csv-dir DIR]
 //! ```
 //!
 //! Output is a text table per experiment (capture rate and CPU usage per
@@ -13,19 +14,23 @@
 //!
 //! `--jobs N` bounds the worker pool (default: all host cores). Whole
 //! experiments run concurrently, and each experiment's sweep cells are
-//! further spread over the remaining workers. The simulation is
-//! deterministic, so any job count produces byte-identical tables and CSV
-//! files; the summary reports per-experiment wall-clock plus how many
-//! sweep cells were simulated vs served from the in-process run cache.
+//! further spread over the remaining workers. Inside each cell the
+//! generator streams `--chunk N`-packet chunks (default 4096; `0`
+//! selects the materialized reference path) through bounded per-sniffer
+//! queues of `--depth N` chunks (default 4). The simulation is
+//! deterministic, so any job count, chunk size or queue depth produces
+//! byte-identical tables and CSV files; the summary reports
+//! per-experiment wall-clock plus how many sweep cells were simulated vs
+//! served from the in-process run cache.
 
-use pcs_core::{all_experiments, ExecConfig, Scale};
+use pcs_core::{all_experiments, ExecConfig, PipelineConfig, Scale};
 use pcs_testbed::{available_parallelism, parallel_ordered};
 use std::io::Write;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--jobs N] [--csv-dir DIR]\n  experiments all [--scale quick|standard|full] [--jobs N] [--csv-dir DIR]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder).\n--jobs N: worker-pool size (default: all host cores); results are identical at any N."
+        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--csv-dir DIR]\n  experiments all [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--csv-dir DIR]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder).\n--jobs N: worker-pool size (default: all host cores); results are identical at any N.\n--chunk N: packets per streamed chunk (default 4096; 0 = materialize the whole run first).\n--depth N: bounded splitter-queue depth in chunks per sniffer (default 4).\nAll three are execution knobs: tables and CSVs are byte-identical for any setting."
     );
     std::process::exit(2);
 }
@@ -47,9 +52,30 @@ fn main() {
             let mut scale = Scale::standard();
             let mut csv_dir: Option<String> = None;
             let mut jobs = available_parallelism();
+            let mut pipeline = PipelineConfig::default();
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--chunk" => {
+                        i += 1;
+                        let n = args.get(i).unwrap_or_else(|| usage());
+                        pipeline.chunk_packets = n.parse::<usize>().unwrap_or_else(|_| {
+                            eprintln!("--chunk wants a non-negative integer, got '{n}'");
+                            std::process::exit(2);
+                        });
+                    }
+                    "--depth" => {
+                        i += 1;
+                        let n = args.get(i).unwrap_or_else(|| usage());
+                        pipeline.depth_chunks = n
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .unwrap_or_else(|| {
+                                eprintln!("--depth wants a positive integer, got '{n}'");
+                                std::process::exit(2);
+                            });
+                    }
                     "--scale" => {
                         i += 1;
                         let name = args.get(i).unwrap_or_else(|| usage());
@@ -111,7 +137,7 @@ fn main() {
             );
             let t_all = Instant::now();
             let results = parallel_ordered(selected, outer, |_, (id, desc, run)| {
-                let exec = ExecConfig::with_jobs(inner);
+                let exec = ExecConfig::with_jobs(inner).with_pipeline(pipeline);
                 let t0 = Instant::now();
                 let e = run(&scale, &exec);
                 let wall = t0.elapsed().as_secs_f64();

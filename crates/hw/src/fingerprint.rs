@@ -1,0 +1,157 @@
+//! Field-by-field [`Fingerprintable`] implementations for the hardware
+//! models, so the run cache can key cells without relying on `Debug`
+//! renderings (see `pcs_des::fingerprint`).
+
+use crate::bus::{PciBus, PciKind};
+use crate::cost::OsKind;
+use crate::cpu::{CpuArch, CpuSpec};
+use crate::disk::DiskModel;
+use crate::machine::MachineSpec;
+use crate::memory::{MemoryKind, MemorySystem};
+use crate::nic::{InterruptScheme, NicModel};
+use pcs_des::{Fingerprint, Fingerprintable};
+
+impl Fingerprintable for CpuArch {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.tag(match self {
+            CpuArch::XeonNetburst => 0,
+            CpuArch::OpteronK8 => 1,
+        });
+    }
+}
+
+impl Fingerprintable for CpuSpec {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        self.arch.fingerprint(fp);
+        fp.u64(self.clock_hz);
+        fp.u64(self.l2_bytes);
+        fp.u32(self.sockets);
+        fp.bool(self.hyperthreading);
+    }
+}
+
+impl Fingerprintable for MemoryKind {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        match self {
+            MemoryKind::SharedFsb { bus_bytes_per_sec } => {
+                fp.tag(0);
+                fp.u64(*bus_bytes_per_sec);
+            }
+            MemoryKind::PerSocket {
+                socket_bytes_per_sec,
+            } => {
+                fp.tag(1);
+                fp.u64(*socket_bytes_per_sec);
+            }
+        }
+    }
+}
+
+impl Fingerprintable for MemorySystem {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        self.kind.fingerprint(fp);
+        fp.f64(self.cached_factor);
+    }
+}
+
+impl Fingerprintable for PciKind {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.tag(match self {
+            PciKind::Pci32 => 0,
+            PciKind::Pci64 => 1,
+            PciKind::PciX => 2,
+        });
+    }
+}
+
+impl Fingerprintable for PciBus {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        self.kind.fingerprint(fp);
+        fp.f64(self.efficiency);
+    }
+}
+
+impl Fingerprintable for InterruptScheme {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        match self {
+            InterruptScheme::PerPacket => fp.tag(0),
+            InterruptScheme::Moderated { min_gap_ns } => {
+                fp.tag(1);
+                fp.u64(*min_gap_ns);
+            }
+            InterruptScheme::Polling { interval_ns } => {
+                fp.tag(2);
+                fp.u64(*interval_ns);
+            }
+        }
+    }
+}
+
+impl Fingerprintable for NicModel {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.u32(self.rx_fifo_bytes);
+        fp.u32(self.rx_ring_slots);
+        self.interrupts.fingerprint(fp);
+    }
+}
+
+impl Fingerprintable for DiskModel {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.u64(self.max_write_bytes_per_sec);
+        fp.f64(self.cpu_ns_per_byte);
+        fp.u64(self.irq_ns);
+    }
+}
+
+impl Fingerprintable for OsKind {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.tag(match self {
+            OsKind::Linux26 => 0,
+            OsKind::FreeBsd54 => 1,
+            OsKind::FreeBsd521 => 2,
+        });
+    }
+}
+
+impl Fingerprintable for MachineSpec {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.str(self.name);
+        self.cpu.fingerprint(fp);
+        self.memory.fingerprint(fp);
+        self.pci.fingerprint(fp);
+        self.nic.fingerprint(fp);
+        self.disk.fingerprint(fp);
+        self.os.fingerprint(fp);
+        fp.u64(self.ram_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(m: &MachineSpec) -> (u64, u64) {
+        let mut fp = Fingerprint::new();
+        m.fingerprint(&mut fp);
+        fp.finish()
+    }
+
+    #[test]
+    fn machines_have_distinct_fingerprints() {
+        let machines = MachineSpec::all_sniffers();
+        for (i, a) in machines.iter().enumerate() {
+            for b in machines.iter().skip(i + 1) {
+                assert_ne!(key(a), key(b), "{} vs {}", a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mode_switches_change_the_fingerprint() {
+        let base = MachineSpec::snipe();
+        assert_ne!(key(&base), key(&base.single_cpu()));
+        assert_ne!(key(&base), key(&base.with_hyperthreading()));
+        assert_ne!(key(&base), key(&base.with_os(OsKind::FreeBsd54)));
+        assert_eq!(key(&base), key(&MachineSpec::snipe()));
+    }
+}

@@ -14,6 +14,7 @@ pub mod bus;
 pub mod cost;
 pub mod cpu;
 pub mod disk;
+pub mod fingerprint;
 pub mod machine;
 pub mod memory;
 pub mod nic;

@@ -1,6 +1,7 @@
 //! Simulation configuration: buffer settings and per-application setups.
 
 use pcs_bpf::Insn;
+use pcs_des::{Fingerprint, Fingerprintable};
 
 /// Capture-buffer settings — the central tunable of §6.3.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +108,40 @@ impl Default for SimConfig {
     }
 }
 
+impl Fingerprintable for BufferConfig {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.u64(self.bpf_half_bytes);
+        fp.u64(self.rmem_bytes);
+    }
+}
+
+impl Fingerprintable for AppConfig {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        match &self.filter {
+            None => fp.tag(0),
+            Some(insns) => {
+                fp.tag(1);
+                fp.seq(insns);
+            }
+        }
+        fp.u32(self.snaplen);
+        fp.u32(self.extra_copies);
+        fp.option(&self.compress_level);
+        fp.option(&self.disk_write_bytes);
+        fp.option(&self.pipe_to_gzip);
+        fp.bool(self.mmap);
+        fp.bool(self.record);
+    }
+}
+
+impl Fingerprintable for SimConfig {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        self.buffers.fingerprint(fp);
+        fp.seq(&self.apps);
+        fp.u64(self.drain_timeout_ns);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +172,35 @@ mod tests {
         assert_eq!(a.snaplen, 65_535);
         assert!(a.filter.is_none());
         assert_eq!(a.extra_copies, 0);
+    }
+
+    fn key(cfg: &SimConfig) -> (u64, u64) {
+        let mut fp = Fingerprint::new();
+        cfg.fingerprint(&mut fp);
+        fp.finish()
+    }
+
+    #[test]
+    fn every_sim_knob_reaches_the_fingerprint() {
+        let base = SimConfig::default();
+        let mut filtered = SimConfig::default();
+        filtered.apps[0].filter = Some(vec![Insn::new(0x06, 0, 0, 65_535)]);
+        let mut copies = SimConfig::default();
+        copies.apps[0].extra_copies = 50;
+        let mut mmap = SimConfig::default();
+        mmap.apps[0].mmap = true;
+        let two_apps = SimConfig {
+            apps: vec![AppConfig::plain(), AppConfig::plain()],
+            ..SimConfig::default()
+        };
+        let buffers = SimConfig {
+            buffers: BufferConfig::default_buffers(),
+            ..SimConfig::default()
+        };
+        let variants = [filtered, copies, mmap, two_apps, buffers];
+        for v in &variants {
+            assert_ne!(key(&base), key(v));
+        }
+        assert_eq!(key(&base), key(&SimConfig::default()));
     }
 }

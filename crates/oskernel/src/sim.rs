@@ -24,6 +24,7 @@ use crate::cpustate::{CpuAccounting, CpuState};
 use crate::stack::{BpfDevice, CapturedPacket, LsfSocket, LsfState};
 use pcs_des::{EventQueue, SimDuration, SimTime};
 use pcs_hw::{InterruptScheme, MachineSpec, OsCosts};
+use pcs_pktgen::{PacketSource, SourcePackets};
 use pcs_wire::SimPacket;
 use std::collections::VecDeque;
 
@@ -542,6 +543,24 @@ impl MachineSim {
             disk_bytes: self.disk_bytes + self.dirty_bytes,
             pipe_bytes: self.pipe_bytes_total,
         }
+    }
+
+    /// Run the simulation over a chunked [`PacketSource`] — the
+    /// streaming-splitter path of the testbed.
+    ///
+    /// Packets are pulled out of the source chunk by chunk; a source
+    /// backed by a bounded queue blocks the pull, which is exactly how
+    /// pipeline backpressure propagates from a slow sniffer to the
+    /// generator. Because [`MachineSim::run`] only requests the next
+    /// arrival after the current one has been injected, the resulting
+    /// event sequence — and therefore the whole [`RunReport`] — is
+    /// byte-identical to `run` over the flattened packet stream,
+    /// regardless of chunk size.
+    pub fn run_source<S>(self, source: S) -> RunReport
+    where
+        S: PacketSource,
+    {
+        self.run(SourcePackets::new(source).map(|tp| (tp.time, tp.packet)))
     }
 
     // ----- rate estimators -----
@@ -1249,6 +1268,31 @@ mod tests {
             MachineSim::new(pcs_hw::MachineSpec::moorhen(), SimConfig::default()).run(Vec::new());
         assert_eq!(r.offered, 0);
         assert!(r.apps[0].received == 0);
+    }
+
+    #[test]
+    fn run_source_matches_run_for_any_chunk_size() {
+        use pcs_pktgen::{MaterializedSource, TimedPacket};
+        use std::sync::Arc;
+
+        let timed: Arc<Vec<TimedPacket>> = Arc::new(
+            packets(400, 5)
+                .into_iter()
+                .map(|(time, packet)| TimedPacket { time, packet })
+                .collect(),
+        );
+        let spec = pcs_hw::MachineSpec::moorhen();
+        let reference = MachineSim::new(spec, SimConfig::default())
+            .run(timed.iter().map(|tp| (tp.time, tp.packet.clone())));
+        for chunk_packets in [1usize, 7, 4096] {
+            let streamed = MachineSim::new(spec, SimConfig::default())
+                .run_source(MaterializedSource::new(Arc::clone(&timed), chunk_packets));
+            assert_eq!(
+                format!("{reference:?}"),
+                format!("{streamed:?}"),
+                "chunk={chunk_packets}"
+            );
+        }
     }
 
     #[test]

@@ -14,17 +14,21 @@
 //! * [`generator`] — the paced packet source with the transmit-rate
 //!   limits of the testbed's NICs;
 //! * [`createdist`] — the `createDist` conversion pipeline between
-//!   sizes/dist/trace/procfs representations.
+//!   sizes/dist/trace/procfs representations;
+//! * [`source`] — the chunked [`PacketSource`] streaming interface the
+//!   testbed's splitter broadcasts to its sniffers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod createdist;
 pub mod dist;
+pub mod fingerprint;
 pub mod generator;
 pub mod mwn;
 pub mod procfs;
 pub mod replay;
+pub mod source;
 
 pub use createdist::{convert, InputKind, OutputKind};
 pub use dist::{DistConfig, DistError, TwoStageDist};
@@ -32,3 +36,6 @@ pub use generator::{GenStats, Generator, TimedPacket, TxModel};
 pub use mwn::{mwn_counts, mwn_mean};
 pub use procfs::{CmdError, PktgenConfig, PktgenControl, SizeSource};
 pub use replay::{replay_pcap, replay_rate_mbps, TraceReplay};
+pub use source::{
+    Chunk, ChunkedGenerator, MaterializedSource, PacketSource, SourcePackets, DEFAULT_CHUNK_PACKETS,
+};

@@ -1,0 +1,227 @@
+//! Chunked packet sources: the streaming interface between the generator
+//! and its consumers.
+//!
+//! The testbed feeds one generated stream through a passive optical
+//! splitter to all sniffers *simultaneously* (thesis §3.1) — nothing in
+//! that path ever holds the whole run in memory. [`PacketSource`] is the
+//! software equivalent: a pull-based stream of fixed-size chunks
+//! (`Arc<[TimedPacket]>`), cheap to clone per consumer, small enough
+//! (~4k packets) that a generator thread and several machine simulations
+//! overlap instead of serializing behind a fully materialized
+//! `Vec<TimedPacket>`. MoonGen-style software pipelines win exactly this
+//! way: small batched buffers between producer and consumers.
+
+use crate::generator::{Generator, TimedPacket};
+use std::sync::Arc;
+
+/// One immutable chunk of consecutively generated packets. `Arc`-shared:
+/// broadcasting a chunk to N consumers copies a pointer, not packets.
+pub type Chunk = Arc<[TimedPacket]>;
+
+/// Default packets per chunk. Large enough to amortize queue handoffs,
+/// small enough that a chunk of worst-case frames stays comfortably in
+/// cache and pipeline memory stays bounded.
+pub const DEFAULT_CHUNK_PACKETS: usize = 4096;
+
+/// A pull-based source of packet chunks.
+///
+/// Implementors yield consecutive, time-ordered chunks until the stream
+/// ends. Chunks may be of any non-zero size (the last chunk is usually
+/// short); consumers must not assume a fixed size.
+pub trait PacketSource {
+    /// The next chunk, or `None` once the stream is exhausted.
+    fn next_chunk(&mut self) -> Option<Chunk>;
+}
+
+/// A [`Generator`] cut into fixed-size chunks.
+///
+/// ```
+/// use pcs_pktgen::{ChunkedGenerator, Generator, PacketSource, PktgenConfig, TxModel};
+///
+/// let gen = Generator::new(
+///     PktgenConfig { count: 10_000, ..PktgenConfig::default() },
+///     TxModel::syskonnect(),
+///     42,
+/// );
+/// let mut source = ChunkedGenerator::new(gen, 4096);
+/// let mut total = 0;
+/// while let Some(chunk) = source.next_chunk() {
+///     assert!(chunk.len() <= 4096);
+///     total += chunk.len();
+/// }
+/// assert_eq!(total, 10_000);
+/// ```
+pub struct ChunkedGenerator {
+    gen: Generator,
+    chunk_packets: usize,
+}
+
+impl ChunkedGenerator {
+    /// Chunk `gen`'s stream into at most `chunk_packets` packets each
+    /// (clamped to ≥ 1).
+    pub fn new(gen: Generator, chunk_packets: usize) -> ChunkedGenerator {
+        ChunkedGenerator {
+            gen,
+            chunk_packets: chunk_packets.max(1),
+        }
+    }
+
+    /// The wrapped generator (for stats after the stream ends).
+    pub fn generator(&self) -> &Generator {
+        &self.gen
+    }
+}
+
+impl PacketSource for ChunkedGenerator {
+    fn next_chunk(&mut self) -> Option<Chunk> {
+        let mut chunk = Vec::with_capacity(self.chunk_packets);
+        while chunk.len() < self.chunk_packets {
+            match self.gen.next_packet() {
+                Some(tp) => chunk.push(tp),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            None
+        } else {
+            Some(chunk.into())
+        }
+    }
+}
+
+/// A materialized packet list replayed as a chunk stream (the reference
+/// path, and the adapter for pcap replays or test vectors).
+pub struct MaterializedSource {
+    packets: Arc<Vec<TimedPacket>>,
+    pos: usize,
+    chunk_packets: usize,
+}
+
+impl MaterializedSource {
+    /// Stream `packets` in chunks of at most `chunk_packets` (clamped to
+    /// ≥ 1). The underlying storage is shared, but each chunk is its own
+    /// allocation (chunks must be `Arc<[TimedPacket]>`).
+    pub fn new(packets: Arc<Vec<TimedPacket>>, chunk_packets: usize) -> MaterializedSource {
+        MaterializedSource {
+            packets,
+            pos: 0,
+            chunk_packets: chunk_packets.max(1),
+        }
+    }
+}
+
+impl PacketSource for MaterializedSource {
+    fn next_chunk(&mut self) -> Option<Chunk> {
+        if self.pos >= self.packets.len() {
+            return None;
+        }
+        let end = (self.pos + self.chunk_packets).min(self.packets.len());
+        let chunk: Chunk = self.packets[self.pos..end].to_vec().into();
+        self.pos = end;
+        Some(chunk)
+    }
+}
+
+/// Flatten any [`PacketSource`] back into per-packet iteration (clones
+/// each packet out of its shared chunk).
+pub struct SourcePackets<S: PacketSource> {
+    source: S,
+    chunk: Option<Chunk>,
+    idx: usize,
+}
+
+impl<S: PacketSource> SourcePackets<S> {
+    /// Iterate `source` packet by packet.
+    pub fn new(source: S) -> SourcePackets<S> {
+        SourcePackets {
+            source,
+            chunk: None,
+            idx: 0,
+        }
+    }
+}
+
+impl<S: PacketSource> Iterator for SourcePackets<S> {
+    type Item = TimedPacket;
+
+    fn next(&mut self) -> Option<TimedPacket> {
+        loop {
+            if let Some(chunk) = &self.chunk {
+                if self.idx < chunk.len() {
+                    let tp = chunk[self.idx].clone();
+                    self.idx += 1;
+                    return Some(tp);
+                }
+            }
+            self.chunk = Some(self.source.next_chunk()?);
+            self.idx = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TxModel;
+    use crate::procfs::PktgenConfig;
+
+    fn gen(count: u64) -> Generator {
+        Generator::new(
+            PktgenConfig {
+                count,
+                ..PktgenConfig::default()
+            },
+            TxModel::syskonnect(),
+            7,
+        )
+    }
+
+    #[test]
+    fn chunked_generator_preserves_the_exact_stream() {
+        let direct: Vec<TimedPacket> = gen(10_000).collect();
+        for chunk_packets in [1usize, 1009, 4096, 100_000] {
+            let streamed: Vec<TimedPacket> =
+                SourcePackets::new(ChunkedGenerator::new(gen(10_000), chunk_packets)).collect();
+            assert_eq!(direct, streamed, "chunk={chunk_packets}");
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_are_bounded_and_cover_the_count() {
+        let mut source = ChunkedGenerator::new(gen(10_000), 4096);
+        let mut sizes = Vec::new();
+        while let Some(c) = source.next_chunk() {
+            sizes.push(c.len());
+        }
+        assert_eq!(sizes, vec![4096, 4096, 1808]);
+    }
+
+    #[test]
+    fn empty_generator_yields_no_chunks() {
+        let mut source = ChunkedGenerator::new(gen(0), 4096);
+        assert!(source.next_chunk().is_none());
+        assert!(source.next_chunk().is_none());
+    }
+
+    #[test]
+    fn zero_chunk_size_is_clamped() {
+        let mut source = ChunkedGenerator::new(gen(3), 0);
+        let mut n = 0;
+        while let Some(c) = source.next_chunk() {
+            assert_eq!(c.len(), 1);
+            n += c.len();
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn materialized_source_replays_identically() {
+        let all: Arc<Vec<TimedPacket>> = Arc::new(gen(5_000).collect());
+        for chunk_packets in [1usize, 1009, 4096] {
+            let replayed: Vec<TimedPacket> =
+                SourcePackets::new(MaterializedSource::new(Arc::clone(&all), chunk_packets))
+                    .collect();
+            assert_eq!(*all, replayed, "chunk={chunk_packets}");
+        }
+    }
+}

@@ -11,10 +11,16 @@
 //!
 //! Keys are 128-bit FNV-1a fingerprints of the full cell configuration
 //! (machine spec, kernel/app sim config, generator config, rate, repeat),
-//! taken over the `Debug` rendering of those types — stable within a
-//! process, which is all the cache's lifetime spans.
+//! written field by field through [`pcs_des::Fingerprintable`] — every
+//! identity-relevant field reaches the digest with an unambiguous
+//! encoding, and incidental changes (a `Debug` format tweak, a new
+//! execution-only knob) cannot silently change or collide keys.
+//! Execution knobs — worker count, pipeline chunk size and depth — are
+//! deliberately *not* part of the key: they never change a cell's
+//! results, only how they are computed.
 
 use crate::cycle::{CycleConfig, Sut};
+use pcs_des::{Fingerprint, Fingerprintable};
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
@@ -41,16 +47,15 @@ pub struct CellResult {
     pub suts: Vec<CellSut>,
 }
 
-/// 128-bit cell key: two independent FNV-1a hashes of the fingerprint.
+/// 128-bit cell key: two independent FNV-1a streams over the explicit
+/// field-by-field fingerprint.
 pub type CellKey = (u64, u64);
 
-fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
-    let mut h = basis;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+impl Fingerprintable for Sut {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        self.spec.fingerprint(fp);
+        self.sim.fingerprint(fp);
     }
-    h
 }
 
 /// Fingerprint a cell configuration into a [`CellKey`].
@@ -58,26 +63,27 @@ fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
 /// `repeat` participates because the generator derives a distinct seed
 /// per repeat; `cfg.repeats` deliberately does not — the number of
 /// repeats changes which cells exist, not what any one cell computes.
+/// Pipeline shape (chunk size, queue depth) and worker count never
+/// participate: the streamed and materialized paths compute identical
+/// results, so a cell cached by one answers for all.
 pub fn cell_key(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>, repeat: u32) -> CellKey {
-    let mut fp = String::new();
-    for sut in suts {
-        fp.push_str(&format!("{:?}|{:?};", sut.spec, sut.sim));
+    let mut fp = Fingerprint::new();
+    fp.seq(suts);
+    fp.u64(cfg.count);
+    cfg.size.fingerprint(&mut fp);
+    fp.f64(cfg.mean_frame);
+    fp.u32(cfg.burst);
+    fp.u64(cfg.seed);
+    cfg.tx.fingerprint(&mut fp);
+    match rate {
+        None => fp.tag(0),
+        Some(r) => {
+            fp.tag(1);
+            fp.f64(r);
+        }
     }
-    fp.push_str(&format!(
-        "count={};size={:?};mean={};burst={};seed={};tx={:?};rate={:?};rep={}",
-        cfg.count,
-        cfg.size,
-        cfg.mean_frame.to_bits(),
-        cfg.burst,
-        cfg.seed,
-        cfg.tx,
-        rate.map(f64::to_bits),
-        repeat,
-    ));
-    (
-        fnv1a(fp.as_bytes(), 0xcbf2_9ce4_8422_2325),
-        fnv1a(fp.as_bytes(), 0x6c62_272e_07bb_0142),
-    )
+    fp.u32(repeat);
+    fp.finish()
 }
 
 /// A process-wide memo table of computed cells.
@@ -156,6 +162,20 @@ mod tests {
         let mut reseeded = CycleConfig::fixed(1_000, 512, 43);
         reseeded.repeats = cfg.repeats;
         assert_ne!(base, cell_key(&suts(), &reseeded, Some(100.0), 0));
+    }
+
+    #[test]
+    fn keys_cover_the_sut_configuration() {
+        let cfg = CycleConfig::fixed(1_000, 512, 42);
+        let base = cell_key(&suts(), &cfg, Some(100.0), 0);
+        let mut buffers = suts();
+        buffers[0].sim.buffers = pcs_oskernel::BufferConfig::default_buffers();
+        assert_ne!(base, cell_key(&buffers, &cfg, Some(100.0), 0));
+        let mut machine = suts();
+        machine[0].spec = MachineSpec::moorhen();
+        assert_ne!(base, cell_key(&machine, &cfg, Some(100.0), 0));
+        let two = vec![suts()[0].clone(), suts()[0].clone()];
+        assert_ne!(base, cell_key(&two, &cfg, Some(100.0), 0));
     }
 
     #[test]

@@ -11,14 +11,28 @@
 //! All sniffers observe the *same* packet stream: the simulation shares
 //! one generated stream (the splitter's job) and runs the four machine
 //! simulations concurrently on host threads.
+//!
+//! By default a cell *streams*: the generator thread produces bounded
+//! chunks, forwards them through the monitoring switch, and broadcasts
+//! each chunk over the splitter's bounded queues while the per-SUT
+//! machine simulations consume concurrently ([`PipelineConfig`]). The
+//! pre-pipeline materialized path (generate the whole run into a `Vec`,
+//! then fan out) remains available as the reference
+//! (`PipelineConfig::materialized()`, CLI `--chunk 0`); both paths
+//! produce byte-identical results — the streaming pipeline only bounds
+//! memory and overlaps generation with consumption.
 
 use crate::cache::{cell_key, CellResult, CellSut, RunCache};
-use crate::sched::{parallel_ordered, ExecConfig, ExecStats};
+use crate::sched::{parallel_ordered, ExecConfig, ExecStats, PipelineConfig};
+use crate::splitter::OpticalSplitter;
 use crate::switch::MonitorSwitch;
 use pcs_des::stats::median;
+use pcs_des::SimTime;
 use pcs_hw::MachineSpec;
 use pcs_oskernel::{MachineSim, RunReport, SimConfig};
-use pcs_pktgen::{Generator, PktgenConfig, SizeSource, TimedPacket, TxModel};
+use pcs_pktgen::{
+    ChunkedGenerator, Generator, PacketSource, PktgenConfig, SizeSource, TimedPacket, TxModel,
+};
 use std::sync::Arc;
 
 /// One system under test: hardware plus kernel/application configuration.
@@ -115,9 +129,43 @@ pub struct PointResult {
     pub suts: Vec<SutPoint>,
 }
 
-/// Generate one run's packet stream and verify it against the switch
-/// counters. Returns the stream and the achieved rate.
-fn generate_run(cfg: &CycleConfig, rate: Option<f64>, repeat: u32) -> (Arc<Vec<TimedPacket>>, f64) {
+/// Running totals on the generator side of a cell, accumulated as
+/// packets flow (no peeking at a materialized stream).
+///
+/// The achieved rate is the frame bytes over the time of the last
+/// transmitted packet — exactly the number the materialized path used to
+/// read off `packets.last()`, but computable chunk by chunk.
+struct RateAccount {
+    bytes: u64,
+    last: Option<SimTime>,
+}
+
+impl RateAccount {
+    fn new() -> RateAccount {
+        RateAccount {
+            bytes: 0,
+            last: None,
+        }
+    }
+
+    fn note(&mut self, tp: &TimedPacket) {
+        self.bytes += tp.packet.frame_len as u64;
+        self.last = Some(tp.time);
+    }
+
+    /// Achieved frame data rate in Mbit/s; `0.0` for an empty run.
+    fn achieved_mbps(&self) -> f64 {
+        let elapsed = self.last.map(SimTime::as_secs_f64).unwrap_or(0.0);
+        if elapsed > 0.0 {
+            self.bytes as f64 * 8.0 / elapsed / 1e6
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Build one repeat's paced generator (per-repeat seed derivation).
+fn build_generator(cfg: &CycleConfig, rate: Option<f64>, repeat: u32) -> Generator {
     let gen_cfg = PktgenConfig {
         count: cfg.count,
         size: cfg.size.clone(),
@@ -129,14 +177,21 @@ fn generate_run(cfg: &CycleConfig, rate: Option<f64>, repeat: u32) -> (Arc<Vec<T
         None => g.set_full_speed(),
     }
     g.set_burstiness(cfg.burst);
+    g
+}
 
+/// Generate one run's packet stream and verify it against the switch
+/// counters. Returns the stream and the achieved rate. (The materialized
+/// reference path; the streaming path never builds this `Vec`.)
+fn generate_run(cfg: &CycleConfig, rate: Option<f64>, repeat: u32) -> (Arc<Vec<TimedPacket>>, f64) {
+    let g = build_generator(cfg, rate, repeat);
     let mut switch = MonitorSwitch::thesis_setup();
     let before = switch.snmp_read(8);
     let mut packets = Vec::with_capacity(cfg.count as usize);
-    let mut bytes = 0u64;
+    let mut account = RateAccount::new();
     for tp in g {
         switch.forward(&tp.packet);
-        bytes += tp.packet.frame_len as u64;
+        account.note(&tp);
         packets.push(tp);
     }
     let after = switch.snmp_read(8);
@@ -145,25 +200,13 @@ fn generate_run(cfg: &CycleConfig, rate: Option<f64>, repeat: u32) -> (Arc<Vec<T
         delta.out_pkts, cfg.count,
         "switch must confirm every generated packet went out"
     );
-    let elapsed = packets
-        .last()
-        .map(|tp| tp.time.as_secs_f64())
-        .unwrap_or(0.0);
-    let achieved = if elapsed > 0.0 {
-        bytes as f64 * 8.0 / elapsed / 1e6
-    } else {
-        0.0
-    };
-    (Arc::new(packets), achieved)
+    (Arc::new(packets), account.achieved_mbps())
 }
 
-/// Run one cell — one repeat of one rate point over all SUTs — and
-/// distill the numbers every aggregation needs.
-fn run_cell(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>, repeat: u32) -> CellResult {
-    let (stream, achieved) = generate_run(cfg, rate, repeat);
-    let reports = run_sniffers(suts, &stream);
+/// Distill the per-SUT reports plus the achieved rate into a cell result.
+fn distill(achieved_mbps: f64, reports: &[RunReport]) -> CellResult {
     CellResult {
-        achieved_mbps: achieved,
+        achieved_mbps,
         suts: reports
             .iter()
             .map(|report| {
@@ -186,6 +229,77 @@ fn run_cell(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>, repeat: u32) -> 
     }
 }
 
+/// Run one cell — one repeat of one rate point over all SUTs — and
+/// distill the numbers every aggregation needs.
+fn run_cell(
+    suts: &[Sut],
+    cfg: &CycleConfig,
+    rate: Option<f64>,
+    repeat: u32,
+    pipeline: PipelineConfig,
+) -> CellResult {
+    if pipeline.is_streaming() && !suts.is_empty() {
+        run_cell_streaming(suts, cfg, rate, repeat, pipeline)
+    } else {
+        let (stream, achieved) = generate_run(cfg, rate, repeat);
+        let reports = run_sniffers(suts, &stream);
+        distill(achieved, &reports)
+    }
+}
+
+/// The streaming pipeline: the calling thread generates chunks, accounts
+/// them through the monitoring switch, and broadcasts each over the
+/// splitter's bounded queues while one scoped thread per SUT consumes.
+/// The bounded queues cap pipeline memory at roughly
+/// `chunk_packets × (depth_chunks + 1)` packets per SUT and let the
+/// slowest sniffer pace the generator.
+fn run_cell_streaming(
+    suts: &[Sut],
+    cfg: &CycleConfig,
+    rate: Option<f64>,
+    repeat: u32,
+    pipeline: PipelineConfig,
+) -> CellResult {
+    let mut source =
+        ChunkedGenerator::new(build_generator(cfg, rate, repeat), pipeline.chunk_packets);
+    let splitter = OpticalSplitter::new(suts.len() as u32);
+    let (sender, outputs) = splitter.channel(pipeline.depth_chunks);
+
+    let mut switch = MonitorSwitch::thesis_setup();
+    let before = switch.snmp_read(8);
+    let mut account = RateAccount::new();
+    let reports: Vec<RunReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = suts
+            .iter()
+            .zip(outputs)
+            .map(|(sut, output)| {
+                let spec = sut.spec;
+                let sim = sut.sim.clone();
+                scope.spawn(move || MachineSim::new(spec, sim).run_source(output))
+            })
+            .collect();
+        while let Some(chunk) = source.next_chunk() {
+            for tp in chunk.iter() {
+                switch.forward(&tp.packet);
+                account.note(tp);
+            }
+            sender.broadcast(&chunk);
+        }
+        drop(sender); // end of stream: consumers drain and finish
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sniffer thread panicked"))
+            .collect()
+    });
+    let after = switch.snmp_read(8);
+    let delta = MonitorSwitch::delta(&before, &after);
+    assert_eq!(
+        delta.out_pkts, cfg.count,
+        "switch must confirm every generated packet went out"
+    );
+    distill(account.achieved_mbps(), &reports)
+}
+
 /// [`run_cell`] through the process-global [`RunCache`]: figures that
 /// re-run the same baseline configuration pay for each cell once per
 /// process.
@@ -194,6 +308,7 @@ fn run_cell_cached(
     cfg: &CycleConfig,
     rate: Option<f64>,
     repeat: u32,
+    pipeline: PipelineConfig,
     stats: &ExecStats,
 ) -> CellResult {
     let key = cell_key(suts, cfg, rate, repeat);
@@ -202,7 +317,7 @@ fn run_cell_cached(
         stats.record_cached();
         return hit;
     }
-    let result = run_cell(suts, cfg, rate, repeat);
+    let result = run_cell(suts, cfg, rate, repeat, pipeline);
     cache.insert(key, result.clone());
     stats.record_run();
     result
@@ -262,7 +377,7 @@ pub fn aggregate_point(
 pub fn run_point(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>) -> PointResult {
     let exec = ExecConfig::serial();
     let cells: Vec<CellResult> = (0..cfg.repeats)
-        .map(|repeat| run_cell_cached(suts, cfg, rate, repeat, &exec.stats))
+        .map(|repeat| run_cell_cached(suts, cfg, rate, repeat, exec.pipeline, &exec.stats))
         .collect();
     let labels: Vec<String> = suts.iter().map(|sut| sut.spec.label()).collect();
     aggregate_point(rate, cfg.count, &labels, &cells)
@@ -320,7 +435,7 @@ pub fn run_sweep_exec(
         .flat_map(|(ri, _)| (0..cfg.repeats).map(move |rep| (ri, rep)))
         .collect();
     let results: Vec<CellResult> = parallel_ordered(cells, exec.jobs, |_, (ri, repeat)| {
-        run_cell_cached(suts, cfg, rates[ri], repeat, &exec.stats)
+        run_cell_cached(suts, cfg, rates[ri], repeat, exec.pipeline, &exec.stats)
     });
     let labels: Vec<String> = suts.iter().map(|sut| sut.spec.label()).collect();
     rates
@@ -430,6 +545,60 @@ mod tests {
             assert_eq!(exec.stats.cells_cached(), 9, "jobs={jobs}");
             assert_eq!(exec.stats.cells_run(), 0, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn streaming_cell_matches_materialized_cell_exactly() {
+        // run_cell bypasses the global cache, so every configuration
+        // below is genuinely recomputed — the comparison cannot be
+        // satisfied by a cache hit.
+        let suts = vec![
+            Sut {
+                spec: MachineSpec::swan(),
+                sim: SimConfig::default(),
+            },
+            Sut {
+                spec: MachineSpec::flamingo(),
+                sim: SimConfig::default(),
+            },
+        ];
+        let cfg = quick_cfg();
+        for rate in [Some(250.0), None] {
+            let reference = run_cell(&suts, &cfg, rate, 0, PipelineConfig::materialized());
+            for chunk_packets in [1usize, 1009, 4096] {
+                for depth_chunks in [1usize, 4] {
+                    let pipeline = PipelineConfig {
+                        chunk_packets,
+                        depth_chunks,
+                    };
+                    let streamed = run_cell(&suts, &cfg, rate, 0, pipeline);
+                    assert_eq!(
+                        reference, streamed,
+                        "chunk={chunk_packets} depth={depth_chunks} rate={rate:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_run_reports_zero_rate() {
+        let cfg = CycleConfig::fixed(0, 512, 1);
+        let (stream, achieved) = generate_run(&cfg, Some(100.0), 0);
+        assert!(stream.is_empty());
+        assert_eq!(achieved, 0.0);
+        let streamed = run_cell(
+            &[Sut {
+                spec: MachineSpec::moorhen(),
+                sim: SimConfig::default(),
+            }],
+            &cfg,
+            Some(100.0),
+            0,
+            PipelineConfig::streaming(),
+        );
+        assert_eq!(streamed.achieved_mbps, 0.0);
+        assert_eq!(streamed.suts.len(), 1);
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! (rate × repeat) cell of a sweep is an independent deterministic job,
 //! scheduled across a bounded worker pool and merged back in input
 //! order, with cells memoized per process in the [`cache`].
+//!
+//! Inside a cell, packets *stream*: the generator produces bounded
+//! chunks that the [`splitter`] broadcasts to every sniffer's queue
+//! while the machine simulations consume concurrently. The pipeline
+//! shape ([`PipelineConfig`]) is an execution knob — results are
+//! byte-identical at any chunk size, queue depth or job count, and
+//! identical to the materialized reference path (`--chunk 0`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +32,6 @@ pub use cycle::{
     aggregate_point, run_point, run_sniffers, run_sweep, run_sweep_exec, standard_suts,
     CycleConfig, PointResult, Sut, SutPoint,
 };
-pub use sched::{available_parallelism, parallel_ordered, ExecConfig, ExecStats};
-pub use splitter::OpticalSplitter;
+pub use sched::{available_parallelism, parallel_ordered, ExecConfig, ExecStats, PipelineConfig};
+pub use splitter::{OpticalSplitter, SplitterOutput, SplitterSender};
 pub use switch::{IfCounters, MonitorSwitch};

@@ -41,7 +41,63 @@ impl ExecStats {
     }
 }
 
-/// How a sweep executes: worker count plus shared counters.
+/// How a cell streams packets from the generator to its sniffers.
+///
+/// These are *execution* knobs: the pipeline is byte-identical to the
+/// materialized reference path for any setting, so none of these fields
+/// participate in the run cache's cell key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Packets per streamed chunk; `0` selects the materialized
+    /// reference path (generate the whole run, then fan out).
+    pub chunk_packets: usize,
+    /// Bounded depth, in chunks, of each sniffer's splitter queue
+    /// (clamped to ≥ 1). Peak pipeline memory is roughly
+    /// `chunk_packets × (depth_chunks + 1) × ways` packets.
+    pub depth_chunks: usize,
+}
+
+impl PipelineConfig {
+    /// The streaming default: ~4k-packet chunks, four in flight per
+    /// sniffer.
+    pub fn streaming() -> PipelineConfig {
+        PipelineConfig {
+            chunk_packets: pcs_pktgen::DEFAULT_CHUNK_PACKETS,
+            depth_chunks: 4,
+        }
+    }
+
+    /// The pre-pipeline reference: materialize the whole run, then fan
+    /// out.
+    pub fn materialized() -> PipelineConfig {
+        PipelineConfig {
+            chunk_packets: 0,
+            depth_chunks: 1,
+        }
+    }
+
+    /// Streaming with an explicit chunk size (`0` = materialized).
+    pub fn with_chunk(chunk_packets: usize) -> PipelineConfig {
+        PipelineConfig {
+            chunk_packets,
+            ..PipelineConfig::streaming()
+        }
+    }
+
+    /// Whether this configuration streams chunks (vs materializing).
+    pub fn is_streaming(&self) -> bool {
+        self.chunk_packets > 0
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig::streaming()
+    }
+}
+
+/// How a sweep executes: worker count, streaming-pipeline shape, shared
+/// counters.
 ///
 /// Cloning shares the counters (an `Arc`), so one `ExecConfig` handed to
 /// several figures accumulates their cells together.
@@ -49,6 +105,8 @@ impl ExecStats {
 pub struct ExecConfig {
     /// Upper bound on concurrently running cells.
     pub jobs: usize,
+    /// Generator→sniffer streaming shape for every cell.
+    pub pipeline: PipelineConfig,
     /// Shared run/cache counters.
     pub stats: Arc<ExecStats>,
 }
@@ -68,8 +126,15 @@ impl ExecConfig {
     pub fn with_jobs(jobs: usize) -> ExecConfig {
         ExecConfig {
             jobs: jobs.max(1),
+            pipeline: PipelineConfig::default(),
             stats: Arc::new(ExecStats::default()),
         }
+    }
+
+    /// The same execution with a different pipeline shape.
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> ExecConfig {
+        self.pipeline = pipeline;
+        self
     }
 }
 
@@ -170,6 +235,17 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         assert!(parallel_ordered(empty, 4, |_, x: u8| x).is_empty());
         assert_eq!(parallel_ordered(vec![7u8], 4, |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn pipeline_presets_and_builder() {
+        assert!(PipelineConfig::streaming().is_streaming());
+        assert!(!PipelineConfig::materialized().is_streaming());
+        assert!(!PipelineConfig::with_chunk(0).is_streaming());
+        assert_eq!(PipelineConfig::with_chunk(512).chunk_packets, 512);
+        let exec = ExecConfig::with_jobs(2).with_pipeline(PipelineConfig::with_chunk(512));
+        assert_eq!(exec.pipeline.chunk_packets, 512);
+        assert_eq!(ExecConfig::serial().pipeline, PipelineConfig::streaming());
     }
 
     #[test]

@@ -1,13 +1,21 @@
 //! Determinism guarantees of the parallel sweep engine: the same seed
-//! must produce byte-identical outputs at any worker count, and the
-//! in-process [`RunCache`] must be invisible in the results.
+//! must produce byte-identical outputs at any worker count and any
+//! streaming-pipeline shape, and the in-process [`RunCache`] must be
+//! invisible in the results.
 //!
 //! Each test uses a packet count no other test in this binary uses, so
 //! the process-global cache cannot leak cells between concurrently
-//! running tests and the run/cached counters stay exact.
+//! running tests and the run/cached counters stay exact. Tests that
+//! *clear* the global cache additionally serialize on
+//! [`CACHE_CLEAR_LOCK`], so one test's flush cannot break another's
+//! cold/warm counter assertions.
 
-use pcapbench::core::{figures, ExecConfig, Scale};
+use pcapbench::core::{figures, ExecConfig, PipelineConfig, Scale};
 use pcapbench::testbed::RunCache;
+use std::sync::Mutex;
+
+/// Serializes the tests that flush the process-global run cache.
+static CACHE_CLEAR_LOCK: Mutex<()> = Mutex::new(());
 
 #[test]
 fn csv_is_byte_identical_at_any_job_count() {
@@ -35,6 +43,7 @@ fn csv_is_byte_identical_at_any_job_count() {
 
 #[test]
 fn warm_cache_reproduces_cold_run_exactly() {
+    let _guard = CACHE_CLEAR_LOCK.lock().unwrap();
     let scale = Scale {
         count: 29_000,
         repeats: 2,
@@ -70,6 +79,48 @@ fn warm_cache_reproduces_cold_run_exactly() {
     RunCache::global().clear();
     let reran = figures::fig6_6_filter(&scale, true, &ExecConfig::with_jobs(4));
     assert_eq!(cold.to_csv(), reran.to_csv());
+}
+
+#[test]
+fn streaming_pipeline_is_byte_identical_to_materialized() {
+    let _guard = CACHE_CLEAR_LOCK.lock().unwrap();
+    let scale = Scale {
+        count: 33_000,
+        repeats: 2,
+        rates: vec![Some(250.0), None],
+    };
+    // Reference: the materialized pre-pipeline path, freshly computed.
+    RunCache::global().clear();
+    let ref_exec = ExecConfig::with_jobs(1).with_pipeline(PipelineConfig::materialized());
+    let reference = figures::fig6_2_default_buffers(&scale, true, &ref_exec);
+    assert!(
+        ref_exec.stats.cells_run() >= 1,
+        "reference must actually simulate"
+    );
+    for chunk in [1usize, 1009, 4096] {
+        for jobs in [1usize, 4] {
+            // Flush the cache so the streamed run really recomputes every
+            // cell — pipeline shape is excluded from the cell key, so a
+            // warm cache would make this comparison vacuous.
+            RunCache::global().clear();
+            let exec = ExecConfig::with_jobs(jobs).with_pipeline(PipelineConfig::with_chunk(chunk));
+            let streamed = figures::fig6_2_default_buffers(&scale, true, &exec);
+            assert!(
+                exec.stats.cells_run() >= 1,
+                "--chunk {chunk} --jobs {jobs} must recompute, not hit the cache"
+            );
+            assert_eq!(
+                reference.to_csv(),
+                streamed.to_csv(),
+                "--chunk {chunk} --jobs {jobs} must render the same CSV bytes as the materialized path"
+            );
+            assert_eq!(
+                reference.to_table(),
+                streamed.to_table(),
+                "--chunk {chunk} --jobs {jobs} must render the same table bytes as the materialized path"
+            );
+        }
+    }
 }
 
 #[test]
