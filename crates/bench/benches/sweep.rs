@@ -1,6 +1,7 @@
 //! Sweep-engine benchmarks: serial vs parallel cell scheduling, the
-//! run-cache hit path, and the streaming pipeline vs the materialized
-//! reference.
+//! run-cache hit path, the streaming pipeline vs the materialized
+//! reference, clone-free packet injection, and the content-addressed
+//! stream cache.
 //!
 //! On a multi-core host the `jobs-N` variants should approach N× the
 //! serial cell throughput (cells are independent simulations); the
@@ -9,12 +10,22 @@
 //! at several chunk sizes against the materialize-then-fanout baseline —
 //! the streamed variants overlap generation with consumption (and bound
 //! memory), which is where their advantage on multi-core hosts comes
-//! from.
+//! from. The `injection` group isolates the machine-sim ingest path:
+//! per-packet cloning (`MachineSim::run`) vs shared references into
+//! pre-generated chunks (`MachineSim::run_refs`). The `stream-cache`
+//! group runs the same sweep with sharing off, cold (each iteration
+//! generates and publishes) and warm (every cell subscribes to already
+//! published chunks).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcs_hw::MachineSpec;
-use pcs_oskernel::SimConfig;
+use pcs_oskernel::{MachineSim, SimConfig};
+use pcs_pktgen::{
+    Chunk, ChunkedGenerator, Generator, PacketSource, PktgenConfig, StreamCache, TimedPacket,
+    TxModel,
+};
 use pcs_testbed::{run_sweep_exec, CycleConfig, ExecConfig, PipelineConfig, RunCache, Sut};
+use std::sync::Arc;
 
 fn sweep_inputs() -> (Vec<Sut>, CycleConfig, Vec<Option<f64>>) {
     let suts = vec![
@@ -43,7 +54,10 @@ fn bench_sweep(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("cold", jobs), &jobs, |b, &jobs| {
             b.iter(|| {
                 RunCache::global().clear();
-                let points = run_sweep_exec(&suts, &cfg, &rates, &ExecConfig::with_jobs(jobs));
+                // Stream sharing off: "cold" means full generation work.
+                let exec = ExecConfig::with_jobs(jobs)
+                    .with_pipeline(PipelineConfig::streaming().with_stream_cache(0));
+                let points = run_sweep_exec(&suts, &cfg, &rates, &exec);
                 assert_eq!(points.len(), rates.len());
                 points
             })
@@ -63,11 +77,22 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
     g.throughput(Throughput::Elements(cells));
+    // Stream sharing off throughout: every chunk size must genuinely
+    // re-chunk the generator, not subscribe to published chunks.
     let variants = [
         ("materialized", PipelineConfig::materialized()),
-        ("chunk-256", PipelineConfig::with_chunk(256)),
-        ("chunk-4096", PipelineConfig::with_chunk(4096)),
-        ("chunk-16384", PipelineConfig::with_chunk(16_384)),
+        (
+            "chunk-256",
+            PipelineConfig::with_chunk(256).with_stream_cache(0),
+        ),
+        (
+            "chunk-4096",
+            PipelineConfig::with_chunk(4096).with_stream_cache(0),
+        ),
+        (
+            "chunk-16384",
+            PipelineConfig::with_chunk(16_384).with_stream_cache(0),
+        ),
     ];
     for (name, pipeline) in variants {
         g.bench_with_input(BenchmarkId::new("cold", name), &pipeline, |b, &pipeline| {
@@ -83,5 +108,101 @@ fn bench_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(sweep, bench_sweep, bench_pipeline);
+/// A [`PacketSource`] replaying pre-generated chunks (`Arc` clones, no
+/// packet copies) — isolates injection cost from generation cost.
+struct ReplayChunks {
+    chunks: Vec<Chunk>,
+    next: usize,
+}
+
+impl PacketSource for ReplayChunks {
+    fn next_chunk(&mut self) -> Option<Chunk> {
+        let chunk = self.chunks.get(self.next)?;
+        self.next += 1;
+        Some(Arc::clone(chunk))
+    }
+}
+
+fn bench_injection(c: &mut Criterion) {
+    const COUNT: u64 = 40_000;
+    let mut source = ChunkedGenerator::new(
+        Generator::new(
+            PktgenConfig {
+                count: COUNT,
+                ..PktgenConfig::default()
+            },
+            TxModel::syskonnect(),
+            4242,
+        ),
+        4096,
+    );
+    let mut chunks: Vec<Chunk> = Vec::new();
+    while let Some(chunk) = source.next_chunk() {
+        chunks.push(chunk);
+    }
+    let packets: Vec<TimedPacket> = chunks.iter().flat_map(|c| c.iter().cloned()).collect();
+    let sim = || MachineSim::new(MachineSpec::swan(), SimConfig::default());
+    let mut g = c.benchmark_group("injection");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(COUNT));
+    g.bench_function("cloned", |b| {
+        b.iter(|| sim().run(packets.iter().map(|tp| (tp.time, tp.packet.clone()))))
+    });
+    g.bench_function("shared-ref", |b| {
+        b.iter(|| {
+            sim().run_source(ReplayChunks {
+                chunks: chunks.clone(),
+                next: 0,
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_stream_cache(c: &mut Criterion) {
+    let (suts, cfg, rates) = sweep_inputs();
+    let cells = (rates.len() * cfg.repeats as usize) as u64;
+    let mut g = c.benchmark_group("stream-cache");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cells));
+    let run = |pipeline: PipelineConfig| {
+        let exec = ExecConfig::with_jobs(2).with_pipeline(pipeline);
+        let points = run_sweep_exec(&suts, &cfg, &rates, &exec);
+        assert_eq!(points.len(), rates.len());
+        points
+    };
+    g.bench_function("off", |b| {
+        b.iter(|| {
+            RunCache::global().clear();
+            run(PipelineConfig::streaming().with_stream_cache(0))
+        })
+    });
+    // Cold: every iteration generates and publishes each stream once.
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            RunCache::global().clear();
+            StreamCache::global().clear();
+            run(PipelineConfig::streaming())
+        })
+    });
+    // Warm: streams are already published, every cell subscribes; the
+    // run cache is still flushed so the cells genuinely recompute.
+    g.bench_function("warm", |b| {
+        RunCache::global().clear();
+        run(PipelineConfig::streaming());
+        b.iter(|| {
+            RunCache::global().clear();
+            run(PipelineConfig::streaming())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    sweep,
+    bench_sweep,
+    bench_pipeline,
+    bench_injection,
+    bench_stream_cache
+);
 criterion_main!(sweep);

@@ -159,10 +159,34 @@ impl Fingerprintable for f64 {
     }
 }
 
+impl Fingerprintable for u16 {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.u16(*self);
+    }
+}
+
+impl Fingerprintable for bool {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.bool(*self);
+    }
+}
+
 impl<A: Fingerprintable, B: Fingerprintable> Fingerprintable for (A, B) {
     fn fingerprint(&self, fp: &mut Fingerprint) {
         self.0.fingerprint(fp);
         self.1.fingerprint(fp);
+    }
+}
+
+impl<T: Fingerprintable> Fingerprintable for Option<T> {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.option(self);
+    }
+}
+
+impl<T: Fingerprintable + ?Sized> Fingerprintable for &T {
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        (**self).fingerprint(fp);
     }
 }
 
@@ -252,6 +276,24 @@ mod tests {
             fp.seq::<u32>(&[]);
         });
         assert_ne!(split, merged);
+    }
+
+    #[test]
+    fn option_impl_matches_the_writer_method() {
+        let via_method = digest(|fp| fp.option(&Some(9.5f64)));
+        let via_impl = digest(|fp| Some(9.5f64).fingerprint(fp));
+        assert_eq!(via_method, via_impl);
+        let none_method = digest(|fp| fp.option::<f64>(&None));
+        let none_impl = digest(|fp| Option::<f64>::None.fingerprint(fp));
+        assert_eq!(none_method, none_impl);
+        assert_ne!(via_impl, none_impl);
+    }
+
+    #[test]
+    fn reference_impl_is_transparent() {
+        let direct = digest(|fp| 42u64.fingerprint(fp));
+        let through_ref = digest(|fp| Fingerprintable::fingerprint(&&42u64, fp));
+        assert_eq!(direct, through_ref);
     }
 
     #[test]

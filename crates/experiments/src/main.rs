@@ -4,8 +4,10 @@
 //! ```text
 //! experiments list
 //! experiments run <id>... [--scale quick|standard|full] [--jobs N]
-//!                         [--chunk N] [--depth N] [--csv-dir DIR]
-//! experiments all [--scale ...] [--jobs N] [--chunk N] [--depth N] [--csv-dir DIR]
+//!                         [--chunk N] [--depth N]
+//!                         [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR]
+//! experiments all [--scale ...] [--jobs N] [--chunk N] [--depth N]
+//!                 [--stream-cache ...] [--csv-dir DIR]
 //! ```
 //!
 //! Output is a text table per experiment (capture rate and CPU usage per
@@ -17,20 +19,25 @@
 //! further spread over the remaining workers. Inside each cell the
 //! generator streams `--chunk N`-packet chunks (default 4096; `0`
 //! selects the materialized reference path) through bounded per-sniffer
-//! queues of `--depth N` chunks (default 4). The simulation is
-//! deterministic, so any job count, chunk size or queue depth produces
+//! queues of `--depth N` chunks (default 4). Identical packet streams —
+//! the same (workload, rate, repeat) measured over different SUT sets —
+//! are generated once and shared through a content-addressed,
+//! byte-budgeted cache (`--stream-cache on|off|BYTES[K|M|G]`, default
+//! on at 1 GiB). The simulation is deterministic, so any job count,
+//! chunk size, queue depth or stream-cache setting produces
 //! byte-identical tables and CSV files; the summary reports
 //! per-experiment wall-clock plus how many sweep cells were simulated vs
-//! served from the in-process run cache.
+//! served from the in-process run cache, how many packet streams were
+//! generated vs shared, and the peak resident stream bytes.
 
 use pcs_core::{all_experiments, ExecConfig, PipelineConfig, Scale};
-use pcs_testbed::{available_parallelism, parallel_ordered};
+use pcs_testbed::{available_parallelism, parallel_ordered, parse_stream_cache_bytes};
 use std::io::Write;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--csv-dir DIR]\n  experiments all [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--csv-dir DIR]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder).\n--jobs N: worker-pool size (default: all host cores); results are identical at any N.\n--chunk N: packets per streamed chunk (default 4096; 0 = materialize the whole run first).\n--depth N: bounded splitter-queue depth in chunks per sniffer (default 4).\nAll three are execution knobs: tables and CSVs are byte-identical for any setting."
+        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR]\n  experiments all [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder).\n--jobs N: worker-pool size (default: all host cores); results are identical at any N.\n--chunk N: packets per streamed chunk (default 4096; 0 = materialize the whole run first).\n--depth N: bounded splitter-queue depth in chunks per sniffer (default 4).\n--stream-cache: share identical packet streams across cells through a byte-budgeted\n                content-addressed cache (default on = 1 GiB; off regenerates per cell).\nAll four are execution knobs: tables and CSVs are byte-identical for any setting."
     );
     std::process::exit(2);
 }
@@ -73,6 +80,15 @@ fn main() {
                             .filter(|&n| n >= 1)
                             .unwrap_or_else(|| {
                                 eprintln!("--depth wants a positive integer, got '{n}'");
+                                std::process::exit(2);
+                            });
+                    }
+                    "--stream-cache" => {
+                        i += 1;
+                        let n = args.get(i).unwrap_or_else(|| usage());
+                        pipeline.stream_cache_bytes =
+                            parse_stream_cache_bytes(n).unwrap_or_else(|msg| {
+                                eprintln!("{msg}");
                                 std::process::exit(2);
                             });
                     }
@@ -142,9 +158,11 @@ fn main() {
                 let e = run(&scale, &exec);
                 let wall = t0.elapsed().as_secs_f64();
                 eprintln!(
-                    "== {id} finished in {wall:.1}s ({} cells run, {} cached)",
+                    "== {id} finished in {wall:.1}s ({} cells run, {} cached; {} streams generated, {} shared)",
                     exec.stats.cells_run(),
-                    exec.stats.cells_cached()
+                    exec.stats.cells_cached(),
+                    exec.stats.streams_generated(),
+                    exec.stats.streams_shared()
                 );
                 (id, desc, e, wall, exec)
             });
@@ -152,9 +170,15 @@ fn main() {
             // completion order, so the output is byte-stable at any -j.
             let mut total_run = 0u64;
             let mut total_cached = 0u64;
+            let mut total_generated = 0u64;
+            let mut total_shared = 0u64;
+            let mut peak_stream_bytes = 0u64;
             for (id, _desc, e, _wall, exec) in &results {
                 total_run += exec.stats.cells_run();
                 total_cached += exec.stats.cells_cached();
+                total_generated += exec.stats.streams_generated();
+                total_shared += exec.stats.streams_shared();
+                peak_stream_bytes = peak_stream_bytes.max(exec.stats.peak_stream_bytes());
                 println!("{}", e.to_table());
                 if let Some(dir) = &csv_dir {
                     let path = format!("{dir}/{}.csv", id.replace('/', "_"));
@@ -166,12 +190,18 @@ fn main() {
             eprintln!("== summary ({:.1}s wall):", t_all.elapsed().as_secs_f64());
             for (id, desc, _e, wall, exec) in &results {
                 eprintln!(
-                    "==   {id:<12} {wall:>7.1}s  {:>5} cells run  {:>5} cached  ({desc})",
+                    "==   {id:<12} {wall:>7.1}s  {:>5} cells run  {:>5} cached  {:>4} streams gen  {:>4} shared  {:>8.1} MiB peak  ({desc})",
                     exec.stats.cells_run(),
-                    exec.stats.cells_cached()
+                    exec.stats.cells_cached(),
+                    exec.stats.streams_generated(),
+                    exec.stats.streams_shared(),
+                    exec.stats.peak_stream_bytes() as f64 / (1024.0 * 1024.0)
                 );
             }
-            eprintln!("== total: {total_run} cells run, {total_cached} served from cache");
+            eprintln!(
+                "== total: {total_run} cells run, {total_cached} served from cache; {total_generated} streams generated, {total_shared} shared, {:.1} MiB peak resident",
+                peak_stream_bytes as f64 / (1024.0 * 1024.0)
+            );
         }
         _ => usage(),
     }

@@ -15,6 +15,14 @@
 //!   loads (extra memcpys, zlib compression, header-to-disk writing,
 //!   piping to a gzip process);
 //! * the disk write-back path and 64 kB FIFOs.
+//!
+//! Packet injection is zero-copy on the pipeline path: arrivals enter
+//! the event loop as shared references into generator chunks
+//! ([`MachineSim::run_refs`], fed by [`pcs_pktgen::SourceRefs`]), so the
+//! N machine simulations reading one broadcast stream share its bytes
+//! instead of cloning every packet. Owned injection
+//! ([`MachineSim::run`]) remains the reference path and produces
+//! bit-identical reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -24,7 +24,7 @@ use crate::cpustate::{CpuAccounting, CpuState};
 use crate::stack::{BpfDevice, CapturedPacket, LsfSocket, LsfState};
 use pcs_des::{EventQueue, SimDuration, SimTime};
 use pcs_hw::{InterruptScheme, MachineSpec, OsCosts};
-use pcs_pktgen::{PacketSource, SourcePackets};
+use pcs_pktgen::{PacketRef, PacketSource, SourceRefs};
 use pcs_wire::SimPacket;
 use std::collections::VecDeque;
 
@@ -40,11 +40,30 @@ const DIRTY_LIMIT: u64 = 32 << 20;
 /// Disk write-back granule.
 const WRITEBACK_CHUNK: u64 = 1 << 20;
 
+/// A packet injected into the NIC: either owned outright (ad-hoc
+/// streams, tests) or a shared reference into a generator chunk (the
+/// zero-copy pipeline path — one refcount bump instead of a packet copy
+/// per sniffer per packet).
+#[derive(Debug)]
+enum PacketView {
+    Owned(Box<SimPacket>),
+    Shared(PacketRef),
+}
+
+impl PacketView {
+    fn packet(&self) -> &SimPacket {
+        match self {
+            PacketView::Owned(p) => p,
+            PacketView::Shared(r) => r.packet(),
+        }
+    }
+}
+
 /// Simulation events.
 #[derive(Debug)]
 enum Event {
     /// A frame has fully arrived at the NIC.
-    Arrival(Box<SimPacket>),
+    Arrival(PacketView),
     /// A CPU finished its current work item.
     CpuFree(usize),
     /// An interrupt may fire now (moderation gap elapsed).
@@ -280,7 +299,7 @@ pub struct MachineSim {
     stack: Stack,
 
     // NIC
-    ring: VecDeque<SimPacket>,
+    ring: VecDeque<PacketView>,
     ring_slots: usize,
     nic_ring_drops: u64,
     irq_pending: bool,
@@ -413,13 +432,45 @@ impl MachineSim {
 
     /// Run the simulation over a timed packet source, to completion
     /// (including the post-generation drain), and report.
-    pub fn run<I>(mut self, source: I) -> RunReport
+    ///
+    /// Packets arrive owned and are boxed per arrival. The pipeline's
+    /// hot path avoids both the copy and the allocation: see
+    /// [`MachineSim::run_refs`].
+    pub fn run<I>(self, source: I) -> RunReport
     where
         I: IntoIterator<Item = (SimTime, SimPacket)>,
     {
-        let mut src = source.into_iter();
+        self.run_injected(
+            source
+                .into_iter()
+                .map(|(t, p)| (t, PacketView::Owned(Box::new(p)))),
+        )
+    }
+
+    /// Run the simulation over shared packet references — the clone-free
+    /// injection path. Each arrival holds its chunk alive by refcount;
+    /// packet bytes are read in place and never copied into the sim.
+    ///
+    /// Event-for-event identical to [`MachineSim::run`] over the cloned
+    /// stream: only the ownership representation differs.
+    pub fn run_refs<I>(self, source: I) -> RunReport
+    where
+        I: IntoIterator<Item = PacketRef>,
+    {
+        self.run_injected(
+            source
+                .into_iter()
+                .map(|r| (r.time(), PacketView::Shared(r))),
+        )
+    }
+
+    /// The event loop proper, over any packet representation.
+    fn run_injected<I>(mut self, mut src: I) -> RunReport
+    where
+        I: Iterator<Item = (SimTime, PacketView)>,
+    {
         if let Some((t, p)) = src.next() {
-            self.queue.schedule(t, Event::Arrival(Box::new(p)));
+            self.queue.schedule(t, Event::Arrival(p));
         } else {
             self.source_done = true;
         }
@@ -438,7 +489,7 @@ impl MachineSim {
             match ev {
                 Event::Arrival(pkt) => {
                     self.offered += 1;
-                    self.note_arrival(now, pkt.frame_len);
+                    self.note_arrival(now, pkt.packet().frame_len);
                     // The NIC's FIFO drains across the PCI bus, which it
                     // shares with the disk write-back traffic. When the
                     // bus is oversubscribed only a fraction of the frames
@@ -451,13 +502,13 @@ impl MachineSim {
                     } else {
                         self.pci_credit -= 1.0;
                         if self.ring.len() < self.ring_slots {
-                            self.ring.push_back(*pkt);
+                            self.ring.push_back(pkt);
                         } else {
                             self.nic_ring_drops += 1;
                         }
                     }
                     match src.next() {
-                        Some((t, p)) => self.queue.schedule(t, Event::Arrival(Box::new(p))),
+                        Some((t, p)) => self.queue.schedule(t, Event::Arrival(p)),
                         None => {
                             self.source_done = true;
                             self.load_end = Some(self.sample(now));
@@ -548,19 +599,21 @@ impl MachineSim {
     /// Run the simulation over a chunked [`PacketSource`] — the
     /// streaming-splitter path of the testbed.
     ///
-    /// Packets are pulled out of the source chunk by chunk; a source
-    /// backed by a bounded queue blocks the pull, which is exactly how
-    /// pipeline backpressure propagates from a slow sniffer to the
-    /// generator. Because [`MachineSim::run`] only requests the next
+    /// Packets are pulled out of the source chunk by chunk and injected
+    /// as shared references ([`MachineSim::run_refs`]) — the sim reads
+    /// each packet in place inside its broadcast chunk and never copies
+    /// it. A source backed by a bounded queue blocks the pull, which is
+    /// exactly how pipeline backpressure propagates from a slow sniffer
+    /// to the generator. Because the event loop only requests the next
     /// arrival after the current one has been injected, the resulting
     /// event sequence — and therefore the whole [`RunReport`] — is
-    /// byte-identical to `run` over the flattened packet stream,
-    /// regardless of chunk size.
+    /// byte-identical to [`MachineSim::run`] over the flattened packet
+    /// stream, regardless of chunk size.
     pub fn run_source<S>(self, source: S) -> RunReport
     where
         S: PacketSource,
     {
-        self.run(SourcePackets::new(source).map(|tp| (tp.time, tp.packet)))
+        self.run_refs(SourceRefs::new(source))
     }
 
     // ----- rate estimators -----
@@ -805,12 +858,12 @@ impl MachineSim {
         }
         self.irq_pending = true;
         let n = self.ring.len().min(MAX_IRQ_BATCH);
-        let batch: Vec<SimPacket> = self.ring.drain(..n).collect();
+        let batch: Vec<PacketView> = self.ring.drain(..n).collect();
         let work = self.kernel_batch_work(now, &batch);
         self.submit(now, 0, work, true);
     }
 
-    fn kernel_batch_work(&mut self, now: SimTime, batch: &[SimPacket]) -> Work {
+    fn kernel_batch_work(&mut self, now: SimTime, batch: &[PacketView]) -> Work {
         let c = self.costs;
         let freebsd = self.spec.os.is_freebsd();
         // A poll visit skips the interrupt entry/ack machinery.
@@ -821,7 +874,8 @@ impl MachineSim {
         let mut soft_ns = 0u64;
         let recv_ns = now.as_nanos();
         let mut copy_total = 0u64;
-        for pkt in batch {
+        for view in batch {
+            let pkt = view.packet();
             let per_pkt = c.rx_pkt_ns;
             let mut consumer_ns = 0u64;
             match &mut self.stack {
@@ -1293,6 +1347,26 @@ mod tests {
                 "chunk={chunk_packets}"
             );
         }
+    }
+
+    #[test]
+    fn run_refs_matches_owned_run_exactly() {
+        use pcs_pktgen::{MaterializedSource, SourceRefs, TimedPacket};
+        use std::sync::Arc;
+
+        let timed: Arc<Vec<TimedPacket>> = Arc::new(
+            packets(300, 7)
+                .into_iter()
+                .map(|(time, packet)| TimedPacket { time, packet })
+                .collect(),
+        );
+        let spec = pcs_hw::MachineSpec::swan();
+        let owned = MachineSim::new(spec, SimConfig::default())
+            .run(timed.iter().map(|tp| (tp.time, tp.packet.clone())));
+        let shared = MachineSim::new(spec, SimConfig::default()).run_refs(SourceRefs::new(
+            MaterializedSource::new(Arc::clone(&timed), 64),
+        ));
+        assert_eq!(format!("{owned:?}"), format!("{shared:?}"));
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! * [`createdist`] — the `createDist` conversion pipeline between
 //!   sizes/dist/trace/procfs representations;
 //! * [`source`] — the chunked [`PacketSource`] streaming interface the
-//!   testbed's splitter broadcasts to its sniffers.
+//!   testbed's splitter broadcasts to its sniffers, and the shared
+//!   [`PacketRef`] packet references of the clone-free injection path;
+//! * [`streamcache`] — the process-global, content-addressed
+//!   [`StreamCache`] that generates each distinct stream at most once
+//!   and shares its chunks across measurement cells.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +33,7 @@ pub mod mwn;
 pub mod procfs;
 pub mod replay;
 pub mod source;
+pub mod streamcache;
 
 pub use createdist::{convert, InputKind, OutputKind};
 pub use dist::{DistConfig, DistError, TwoStageDist};
@@ -37,5 +42,10 @@ pub use mwn::{mwn_counts, mwn_mean};
 pub use procfs::{CmdError, PktgenConfig, PktgenControl, SizeSource};
 pub use replay::{replay_pcap, replay_rate_mbps, TraceReplay};
 pub use source::{
-    Chunk, ChunkedGenerator, MaterializedSource, PacketSource, SourcePackets, DEFAULT_CHUNK_PACKETS,
+    Chunk, ChunkedGenerator, MaterializedSource, PacketRef, PacketSource, SourcePackets,
+    SourceRefs, DEFAULT_CHUNK_PACKETS,
+};
+pub use streamcache::{
+    chunk_bytes, PublishingSource, StreamCache, StreamKey, StreamPublisher, StreamRole,
+    StreamSubscriber, DEFAULT_STREAM_CACHE_BYTES,
 };

@@ -12,6 +12,8 @@
 //! way: small batched buffers between producer and consumers.
 
 use crate::generator::{Generator, TimedPacket};
+use pcs_des::SimTime;
+use pcs_wire::SimPacket;
 use std::sync::Arc;
 
 /// One immutable chunk of consecutively generated packets. `Arc`-shared:
@@ -32,6 +34,72 @@ pub trait PacketSource {
     /// The next chunk, or `None` once the stream is exhausted.
     fn next_chunk(&mut self) -> Option<Chunk>;
 }
+
+/// A shared reference to one packet inside a [`Chunk`]: the zero-copy
+/// currency of the pipeline's hot path.
+///
+/// Cloning a `PacketRef` bumps the chunk's refcount and copies an index —
+/// it never copies packet bytes. The machine simulations inject arrivals
+/// as `PacketRef`s, so a chunk broadcast to N sniffers is read in place
+/// by all of them and freed once the last one is done with it.
+#[derive(Clone)]
+pub struct PacketRef {
+    chunk: Chunk,
+    idx: usize,
+}
+
+impl PacketRef {
+    /// A reference to packet `idx` of `chunk`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds — a `PacketRef` always points at
+    /// a real packet.
+    pub fn new(chunk: Chunk, idx: usize) -> PacketRef {
+        assert!(idx < chunk.len(), "PacketRef index out of bounds");
+        PacketRef { chunk, idx }
+    }
+
+    /// The referenced timed packet.
+    pub fn get(&self) -> &TimedPacket {
+        &self.chunk[self.idx]
+    }
+
+    /// Transmit timestamp of the referenced packet.
+    pub fn time(&self) -> SimTime {
+        self.get().time
+    }
+
+    /// The referenced packet itself.
+    pub fn packet(&self) -> &SimPacket {
+        &self.get().packet
+    }
+}
+
+impl std::ops::Deref for PacketRef {
+    type Target = TimedPacket;
+
+    fn deref(&self) -> &TimedPacket {
+        self.get()
+    }
+}
+
+impl std::fmt::Debug for PacketRef {
+    // A derived Debug would print the whole backing chunk.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PacketRef")
+            .field("seq", &self.get().packet.seq)
+            .field("idx", &self.idx)
+            .finish()
+    }
+}
+
+impl PartialEq for PacketRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.get() == other.get()
+    }
+}
+
+impl Eq for PacketRef {}
 
 /// A [`Generator`] cut into fixed-size chunks.
 ///
@@ -122,11 +190,16 @@ impl PacketSource for MaterializedSource {
     }
 }
 
-/// Flatten any [`PacketSource`] back into per-packet iteration (clones
-/// each packet out of its shared chunk).
+/// Flatten any [`PacketSource`] back into per-packet iteration, cloning
+/// each packet out of its shared chunk. This is the *owned* (reference)
+/// flattening; the hot path uses [`SourceRefs`], which yields
+/// [`PacketRef`]s without copying packet bytes.
 pub struct SourcePackets<S: PacketSource> {
     source: S,
-    chunk: Option<Chunk>,
+    /// Invariant between calls: `idx <= chunk.len()`, and `idx ==
+    /// chunk.len()` exactly when the current chunk is exhausted. Starts
+    /// on an empty sentinel chunk so the first `next` refills.
+    chunk: Chunk,
     idx: usize,
 }
 
@@ -135,7 +208,7 @@ impl<S: PacketSource> SourcePackets<S> {
     pub fn new(source: S) -> SourcePackets<S> {
         SourcePackets {
             source,
-            chunk: None,
+            chunk: Arc::from(Vec::new()),
             idx: 0,
         }
     }
@@ -145,17 +218,55 @@ impl<S: PacketSource> Iterator for SourcePackets<S> {
     type Item = TimedPacket;
 
     fn next(&mut self) -> Option<TimedPacket> {
-        loop {
-            if let Some(chunk) = &self.chunk {
-                if self.idx < chunk.len() {
-                    let tp = chunk[self.idx].clone();
-                    self.idx += 1;
-                    return Some(tp);
-                }
-            }
-            self.chunk = Some(self.source.next_chunk()?);
+        // Chunk exhaustion is handled once per chunk: the refill loop
+        // only runs when the previous chunk is fully consumed (sources
+        // yield non-empty chunks, so it iterates once in practice).
+        while self.idx == self.chunk.len() {
+            self.chunk = self.source.next_chunk()?;
             self.idx = 0;
         }
+        let tp = self.chunk[self.idx].clone();
+        self.idx += 1;
+        Some(tp)
+    }
+}
+
+/// Flatten any [`PacketSource`] into per-packet [`PacketRef`]s — the
+/// clone-free twin of [`SourcePackets`]. Each item costs one refcount
+/// bump on the current chunk; packet bytes are never copied.
+pub struct SourceRefs<S: PacketSource> {
+    source: S,
+    /// Same invariant as [`SourcePackets`]: `idx == chunk.len()` marks
+    /// exhaustion, starting from an empty sentinel.
+    chunk: Chunk,
+    idx: usize,
+}
+
+impl<S: PacketSource> SourceRefs<S> {
+    /// Iterate `source` packet by packet, by shared reference.
+    pub fn new(source: S) -> SourceRefs<S> {
+        SourceRefs {
+            source,
+            chunk: Arc::from(Vec::new()),
+            idx: 0,
+        }
+    }
+}
+
+impl<S: PacketSource> Iterator for SourceRefs<S> {
+    type Item = PacketRef;
+
+    fn next(&mut self) -> Option<PacketRef> {
+        while self.idx == self.chunk.len() {
+            self.chunk = self.source.next_chunk()?;
+            self.idx = 0;
+        }
+        let r = PacketRef {
+            chunk: Arc::clone(&self.chunk),
+            idx: self.idx,
+        };
+        self.idx += 1;
+        Some(r)
     }
 }
 
@@ -212,6 +323,41 @@ mod tests {
             n += c.len();
         }
         assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn source_refs_match_cloned_iteration_without_copying() {
+        let direct: Vec<TimedPacket> = gen(5_000).collect();
+        for chunk_packets in [1usize, 1009, 4096] {
+            let refs: Vec<PacketRef> =
+                SourceRefs::new(ChunkedGenerator::new(gen(5_000), chunk_packets)).collect();
+            assert_eq!(refs.len(), direct.len(), "chunk={chunk_packets}");
+            for (r, tp) in refs.iter().zip(&direct) {
+                assert_eq!(r.get(), tp, "chunk={chunk_packets}");
+                assert_eq!(r.time(), tp.time);
+                assert_eq!(r.packet(), &tp.packet);
+            }
+        }
+    }
+
+    #[test]
+    fn packet_refs_share_their_chunk() {
+        let mut source = ChunkedGenerator::new(gen(100), 64);
+        let chunk = source.next_chunk().unwrap();
+        let a = PacketRef::new(Arc::clone(&chunk), 0);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a.chunk, &b.chunk), "clone must share storage");
+        assert_eq!(a.packet().seq, 0);
+        assert_eq!(format!("{a:?}"), "PacketRef { seq: 0, idx: 0 }");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn packet_ref_rejects_out_of_bounds_index() {
+        let mut source = ChunkedGenerator::new(gen(4), 4);
+        let chunk = source.next_chunk().unwrap();
+        PacketRef::new(chunk, 4);
     }
 
     #[test]

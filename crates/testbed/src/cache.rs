@@ -21,6 +21,7 @@
 
 use crate::cycle::{CycleConfig, Sut};
 use pcs_des::{Fingerprint, Fingerprintable};
+use pcs_pktgen::StreamKey;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
@@ -75,14 +76,32 @@ pub fn cell_key(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>, repeat: u32)
     fp.u32(cfg.burst);
     fp.u64(cfg.seed);
     cfg.tx.fingerprint(&mut fp);
-    match rate {
-        None => fp.tag(0),
-        Some(r) => {
-            fp.tag(1);
-            fp.f64(r);
-        }
-    }
+    fp.option(&rate);
     fp.u32(repeat);
+    fp.finish()
+}
+
+/// Fingerprint everything that determines a cell's *packet stream* —
+/// generator config, pacing rate, the per-repeat derived seed — into a
+/// [`StreamKey`] for the content-addressed
+/// [`StreamCache`](pcs_pktgen::StreamCache).
+///
+/// Unlike [`cell_key`] the SUT set does not participate: N cells that
+/// differ only in their sniffers consume the *same* stream, which is
+/// exactly the sharing the cache exists for. The seed enters in its
+/// *derived* per-repeat form, so two (seed, repeat) pairs that drive the
+/// generator identically address the same stream. Chunk size is an
+/// execution knob and is excluded: subscribers take the producer's chunk
+/// boundaries, and results are chunk-size invariant.
+pub fn stream_key(cfg: &CycleConfig, rate: Option<f64>, repeat: u32) -> StreamKey {
+    let mut fp = Fingerprint::new();
+    fp.u64(cfg.count);
+    cfg.size.fingerprint(&mut fp);
+    fp.f64(cfg.mean_frame);
+    fp.u32(cfg.burst);
+    fp.u64(cfg.seed.wrapping_add(repeat as u64 * 7919));
+    cfg.tx.fingerprint(&mut fp);
+    fp.option(&rate);
     fp.finish()
 }
 
@@ -176,6 +195,26 @@ mod tests {
         assert_ne!(base, cell_key(&machine, &cfg, Some(100.0), 0));
         let two = vec![suts()[0].clone(), suts()[0].clone()];
         assert_ne!(base, cell_key(&two, &cfg, Some(100.0), 0));
+    }
+
+    #[test]
+    fn stream_keys_ignore_suts_and_share_derived_seeds() {
+        let cfg = CycleConfig::fixed(1_000, 512, 42);
+        let base = stream_key(&cfg, Some(100.0), 0);
+        assert_eq!(base, stream_key(&cfg, Some(100.0), 0));
+        assert_ne!(base, stream_key(&cfg, Some(200.0), 0));
+        assert_ne!(base, stream_key(&cfg, None, 0));
+        assert_ne!(base, stream_key(&cfg, Some(100.0), 1));
+        let mut resized = CycleConfig::fixed(1_000, 256, 42);
+        resized.mean_frame = cfg.mean_frame;
+        assert_ne!(base, stream_key(&resized, Some(100.0), 0));
+        // The per-repeat seed enters in derived form: two (seed, repeat)
+        // pairs that drive the generator identically share a stream.
+        let shifted = CycleConfig::fixed(1_000, 512, 42 + 7919);
+        assert_eq!(
+            stream_key(&cfg, Some(100.0), 1),
+            stream_key(&shifted, Some(100.0), 0)
+        );
     }
 
     #[test]

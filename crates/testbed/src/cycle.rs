@@ -21,8 +21,16 @@
 //! (`PipelineConfig::materialized()`, CLI `--chunk 0`); both paths
 //! produce byte-identical results — the streaming pipeline only bounds
 //! memory and overlaps generation with consumption.
+//!
+//! Streaming cells additionally share generation through the
+//! process-global, content-addressed
+//! [`StreamCache`](pcs_pktgen::StreamCache): cells that differ only in
+//! their SUT set address the same (workload, rate, repeat) stream, so
+//! the first generates and publishes it while the rest subscribe to the
+//! published chunks (CLI `--stream-cache`, byte-budgeted; `off`
+//! regenerates per cell, byte-identically).
 
-use crate::cache::{cell_key, CellResult, CellSut, RunCache};
+use crate::cache::{cell_key, stream_key, CellResult, CellSut, RunCache};
 use crate::sched::{parallel_ordered, ExecConfig, ExecStats, PipelineConfig};
 use crate::splitter::OpticalSplitter;
 use crate::switch::MonitorSwitch;
@@ -31,7 +39,8 @@ use pcs_des::SimTime;
 use pcs_hw::MachineSpec;
 use pcs_oskernel::{MachineSim, RunReport, SimConfig};
 use pcs_pktgen::{
-    ChunkedGenerator, Generator, PacketSource, PktgenConfig, SizeSource, TimedPacket, TxModel,
+    ChunkedGenerator, Generator, PacketSource, PktgenConfig, PublishingSource, SizeSource,
+    StreamCache, StreamRole, TimedPacket, TxModel,
 };
 use std::sync::Arc;
 
@@ -237,13 +246,49 @@ fn run_cell(
     rate: Option<f64>,
     repeat: u32,
     pipeline: PipelineConfig,
+    stats: &ExecStats,
 ) -> CellResult {
     if pipeline.is_streaming() && !suts.is_empty() {
-        run_cell_streaming(suts, cfg, rate, repeat, pipeline)
+        run_cell_streaming(suts, cfg, rate, repeat, pipeline, stats)
     } else {
         let (stream, achieved) = generate_run(cfg, rate, repeat);
         let reports = run_sniffers(suts, &stream);
         distill(achieved, &reports)
+    }
+}
+
+/// The cell's chunk source: the generator, optionally teed through or
+/// replaced by the content-addressed [`StreamCache`].
+///
+/// With a non-zero budget the first cell to need a (workload, rate,
+/// repeat) stream generates and publishes it; every concurrent or later
+/// cell — typically the same measurement point over a *different* SUT
+/// set — subscribes to the published chunks instead of running the
+/// generator again. Subscribed chunks flow through the very same switch
+/// accounting and splitter broadcast as generated ones, so results are
+/// byte-identical either way.
+fn cell_source(
+    cfg: &CycleConfig,
+    rate: Option<f64>,
+    repeat: u32,
+    pipeline: PipelineConfig,
+    stats: &ExecStats,
+) -> Box<dyn PacketSource> {
+    let generate =
+        || ChunkedGenerator::new(build_generator(cfg, rate, repeat), pipeline.chunk_packets);
+    if pipeline.stream_cache_bytes == 0 {
+        return Box::new(generate());
+    }
+    let cache = StreamCache::global();
+    match cache.acquire(stream_key(cfg, rate, repeat), pipeline.stream_cache_bytes) {
+        StreamRole::Produce(publisher) => {
+            stats.record_stream_generated();
+            Box::new(PublishingSource::new(generate(), publisher))
+        }
+        StreamRole::Subscribe(subscriber) => {
+            stats.record_stream_shared();
+            Box::new(subscriber)
+        }
     }
 }
 
@@ -259,9 +304,9 @@ fn run_cell_streaming(
     rate: Option<f64>,
     repeat: u32,
     pipeline: PipelineConfig,
+    stats: &ExecStats,
 ) -> CellResult {
-    let mut source =
-        ChunkedGenerator::new(build_generator(cfg, rate, repeat), pipeline.chunk_packets);
+    let mut source = cell_source(cfg, rate, repeat, pipeline, stats);
     let splitter = OpticalSplitter::new(suts.len() as u32);
     let (sender, outputs) = splitter.channel(pipeline.depth_chunks);
 
@@ -297,6 +342,9 @@ fn run_cell_streaming(
         delta.out_pkts, cfg.count,
         "switch must confirm every generated packet went out"
     );
+    if pipeline.stream_cache_bytes > 0 {
+        stats.note_stream_resident(StreamCache::global().resident_bytes());
+    }
     distill(account.achieved_mbps(), &reports)
 }
 
@@ -317,7 +365,7 @@ fn run_cell_cached(
         stats.record_cached();
         return hit;
     }
-    let result = run_cell(suts, cfg, rate, repeat, pipeline);
+    let result = run_cell(suts, cfg, rate, repeat, pipeline, stats);
     cache.insert(key, result.clone());
     stats.record_run();
     result
@@ -549,9 +597,9 @@ mod tests {
 
     #[test]
     fn streaming_cell_matches_materialized_cell_exactly() {
-        // run_cell bypasses the global cache, so every configuration
-        // below is genuinely recomputed — the comparison cannot be
-        // satisfied by a cache hit.
+        // run_cell bypasses the global run cache, and stream sharing is
+        // off, so every configuration below genuinely regenerates — the
+        // comparison cannot be satisfied by any cache hit.
         let suts = vec![
             Sut {
                 spec: MachineSpec::swan(),
@@ -563,15 +611,17 @@ mod tests {
             },
         ];
         let cfg = quick_cfg();
+        let stats = ExecStats::default();
         for rate in [Some(250.0), None] {
-            let reference = run_cell(&suts, &cfg, rate, 0, PipelineConfig::materialized());
+            let reference = run_cell(&suts, &cfg, rate, 0, PipelineConfig::materialized(), &stats);
             for chunk_packets in [1usize, 1009, 4096] {
                 for depth_chunks in [1usize, 4] {
                     let pipeline = PipelineConfig {
                         chunk_packets,
                         depth_chunks,
+                        stream_cache_bytes: 0,
                     };
-                    let streamed = run_cell(&suts, &cfg, rate, 0, pipeline);
+                    let streamed = run_cell(&suts, &cfg, rate, 0, pipeline, &stats);
                     assert_eq!(
                         reference, streamed,
                         "chunk={chunk_packets} depth={depth_chunks} rate={rate:?}"
@@ -579,6 +629,83 @@ mod tests {
                 }
             }
         }
+        assert_eq!(stats.streams_generated() + stats.streams_shared(), 0);
+    }
+
+    #[test]
+    fn stream_cache_on_and_off_compute_identical_cells() {
+        // Unique packet count: the stream cache is process-global and
+        // tests share one process, so this test owns its stream keys.
+        let mut cfg = CycleConfig::mwn(8_209, 77);
+        cfg.repeats = 1;
+        let suts = vec![
+            Sut {
+                spec: MachineSpec::swan(),
+                sim: SimConfig::default(),
+            },
+            Sut {
+                spec: MachineSpec::moorhen(),
+                sim: SimConfig::default(),
+            },
+        ];
+        let stats = ExecStats::default();
+        for rate in [Some(250.0), None] {
+            let off = PipelineConfig::streaming().with_stream_cache(0);
+            let reference = run_cell(&suts, &cfg, rate, 0, off, &stats);
+            // First cached run generates and publishes …
+            let cold = run_cell(&suts, &cfg, rate, 0, PipelineConfig::streaming(), &stats);
+            // … the second subscribes, through a *different* chunk size
+            // (subscribers take the producer's chunk boundaries).
+            let warm = run_cell(
+                &suts,
+                &cfg,
+                rate,
+                0,
+                PipelineConfig::with_chunk(1009),
+                &stats,
+            );
+            assert_eq!(reference, cold, "rate={rate:?}");
+            assert_eq!(reference, warm, "rate={rate:?}");
+        }
+        assert_eq!(stats.streams_generated(), 2);
+        assert_eq!(stats.streams_shared(), 2);
+        assert!(stats.peak_stream_bytes() > 0);
+    }
+
+    #[test]
+    fn sut_sets_share_one_generated_stream_per_point() {
+        // The acceptance criterion of the stream cache: N SUT sets at
+        // the same (rate, repeat) grid generate each stream exactly
+        // once. Unique packet count — see above.
+        let mut cfg = CycleConfig::mwn(8_101, 4242);
+        cfg.repeats = 2;
+        let rates = [Some(120.0), Some(360.0)];
+        let set_a = vec![Sut {
+            spec: MachineSpec::swan(),
+            sim: SimConfig::default(),
+        }];
+        let set_b = vec![
+            Sut {
+                spec: MachineSpec::moorhen(),
+                sim: SimConfig::default(),
+            },
+            Sut {
+                spec: MachineSpec::flamingo(),
+                sim: SimConfig::default(),
+            },
+        ];
+        let exec = ExecConfig::with_jobs(2);
+        run_sweep_exec(&set_a, &cfg, &rates, &exec);
+        assert_eq!(exec.stats.streams_generated(), 4, "rates × repeats");
+        assert_eq!(exec.stats.streams_shared(), 0);
+        run_sweep_exec(&set_b, &cfg, &rates, &exec);
+        assert_eq!(
+            exec.stats.streams_generated(),
+            4,
+            "a different SUT set must not regenerate any stream"
+        );
+        assert_eq!(exec.stats.streams_shared(), 4);
+        assert!(exec.stats.peak_stream_bytes() > 0);
     }
 
     #[test]
@@ -596,6 +723,7 @@ mod tests {
             Some(100.0),
             0,
             PipelineConfig::streaming(),
+            &ExecStats::default(),
         );
         assert_eq!(streamed.achieved_mbps, 0.0);
         assert_eq!(streamed.suts.len(), 1);

@@ -17,6 +17,13 @@
 //! shape ([`PipelineConfig`]) is an execution knob — results are
 //! byte-identical at any chunk size, queue depth or job count, and
 //! identical to the materialized reference path (`--chunk 0`).
+//!
+//! Across cells, generation itself is shared: streams are
+//! content-addressed ([`stream_key`]) in the process-global
+//! [`StreamCache`](pcs_pktgen::StreamCache), so N SUT sets measured at
+//! the same (workload, rate, repeat) grid generate each packet stream
+//! exactly once and subscribe to its chunks thereafter (`--stream-cache`;
+//! byte-budgeted, LRU-bounded, `off` for per-cell regeneration).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,11 +34,14 @@ pub mod sched;
 pub mod splitter;
 pub mod switch;
 
-pub use cache::{cell_key, CellKey, CellResult, CellSut, RunCache};
+pub use cache::{cell_key, stream_key, CellKey, CellResult, CellSut, RunCache};
 pub use cycle::{
     aggregate_point, run_point, run_sniffers, run_sweep, run_sweep_exec, standard_suts,
     CycleConfig, PointResult, Sut, SutPoint,
 };
-pub use sched::{available_parallelism, parallel_ordered, ExecConfig, ExecStats, PipelineConfig};
+pub use sched::{
+    available_parallelism, parallel_ordered, parse_stream_cache_bytes, ExecConfig, ExecStats,
+    PipelineConfig,
+};
 pub use splitter::{OpticalSplitter, SplitterOutput, SplitterSender};
 pub use switch::{IfCounters, MonitorSwitch};

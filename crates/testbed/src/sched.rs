@@ -17,6 +17,9 @@ use std::sync::{Arc, Mutex};
 pub struct ExecStats {
     cells_run: AtomicU64,
     cells_cached: AtomicU64,
+    streams_generated: AtomicU64,
+    streams_shared: AtomicU64,
+    peak_stream_bytes: AtomicU64,
 }
 
 impl ExecStats {
@@ -30,6 +33,23 @@ impl ExecStats {
         self.cells_cached.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a cell that generated (and published) its packet stream.
+    pub fn record_stream_generated(&self) {
+        self.streams_generated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cell that subscribed to an already-published stream
+    /// instead of regenerating it.
+    pub fn record_stream_shared(&self) {
+        self.streams_shared.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Note the stream cache's resident-byte level observed by a cell;
+    /// keeps the high-water mark.
+    pub fn note_stream_resident(&self, bytes: u64) {
+        self.peak_stream_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+
     /// Cells simulated so far.
     pub fn cells_run(&self) -> u64 {
         self.cells_run.load(Ordering::Relaxed)
@@ -38,6 +58,22 @@ impl ExecStats {
     /// Cells answered from the cache so far.
     pub fn cells_cached(&self) -> u64 {
         self.cells_cached.load(Ordering::Relaxed)
+    }
+
+    /// Packet streams generated (stream-cache misses) so far.
+    pub fn streams_generated(&self) -> u64 {
+        self.streams_generated.load(Ordering::Relaxed)
+    }
+
+    /// Packet streams consumed by subscription (stream-cache hits) so far.
+    pub fn streams_shared(&self) -> u64 {
+        self.streams_shared.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of resident cached stream bytes observed by this
+    /// execution's cells.
+    pub fn peak_stream_bytes(&self) -> u64 {
+        self.peak_stream_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -55,24 +91,30 @@ pub struct PipelineConfig {
     /// (clamped to ≥ 1). Peak pipeline memory is roughly
     /// `chunk_packets × (depth_chunks + 1) × ways` packets.
     pub depth_chunks: usize,
+    /// Byte budget of the process-global content-addressed stream cache
+    /// (`0` = off: every cell regenerates its own stream). Only the
+    /// streaming path consults the cache.
+    pub stream_cache_bytes: u64,
 }
 
 impl PipelineConfig {
     /// The streaming default: ~4k-packet chunks, four in flight per
-    /// sniffer.
+    /// sniffer, stream sharing on with the default byte budget.
     pub fn streaming() -> PipelineConfig {
         PipelineConfig {
             chunk_packets: pcs_pktgen::DEFAULT_CHUNK_PACKETS,
             depth_chunks: 4,
+            stream_cache_bytes: pcs_pktgen::DEFAULT_STREAM_CACHE_BYTES,
         }
     }
 
     /// The pre-pipeline reference: materialize the whole run, then fan
-    /// out.
+    /// out (no stream sharing).
     pub fn materialized() -> PipelineConfig {
         PipelineConfig {
             chunk_packets: 0,
             depth_chunks: 1,
+            stream_cache_bytes: 0,
         }
     }
 
@@ -84,10 +126,39 @@ impl PipelineConfig {
         }
     }
 
+    /// The same pipeline with an explicit stream-cache byte budget
+    /// (`0` = off).
+    pub fn with_stream_cache(mut self, stream_cache_bytes: u64) -> PipelineConfig {
+        self.stream_cache_bytes = stream_cache_bytes;
+        self
+    }
+
     /// Whether this configuration streams chunks (vs materializing).
     pub fn is_streaming(&self) -> bool {
         self.chunk_packets > 0
     }
+}
+
+/// Parse a `--stream-cache` argument: `on` (the default byte budget),
+/// `off` (`0`: no sharing), or an explicit byte budget with an optional
+/// `K`/`M`/`G` suffix (e.g. `256M`).
+pub fn parse_stream_cache_bytes(arg: &str) -> Result<u64, String> {
+    match arg {
+        "on" => return Ok(pcs_pktgen::DEFAULT_STREAM_CACHE_BYTES),
+        "off" => return Ok(0),
+        _ => {}
+    }
+    let (digits, shift) = match arg.as_bytes().last() {
+        Some(b'K') | Some(b'k') => (&arg[..arg.len() - 1], 10),
+        Some(b'M') | Some(b'm') => (&arg[..arg.len() - 1], 20),
+        Some(b'G') | Some(b'g') => (&arg[..arg.len() - 1], 30),
+        _ => (arg, 0),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(1u64 << shift))
+        .ok_or_else(|| format!("--stream-cache wants on, off or BYTES[K|M|G], got '{arg}'"))
 }
 
 impl Default for PipelineConfig {
@@ -246,6 +317,31 @@ mod tests {
         let exec = ExecConfig::with_jobs(2).with_pipeline(PipelineConfig::with_chunk(512));
         assert_eq!(exec.pipeline.chunk_packets, 512);
         assert_eq!(ExecConfig::serial().pipeline, PipelineConfig::streaming());
+        assert_eq!(
+            PipelineConfig::streaming().stream_cache_bytes,
+            pcs_pktgen::DEFAULT_STREAM_CACHE_BYTES
+        );
+        assert_eq!(PipelineConfig::materialized().stream_cache_bytes, 0);
+        let off = PipelineConfig::streaming().with_stream_cache(0);
+        assert_eq!(off.stream_cache_bytes, 0);
+        assert!(off.is_streaming(), "cache knob is independent of chunking");
+    }
+
+    #[test]
+    fn stream_cache_argument_parses() {
+        assert_eq!(
+            parse_stream_cache_bytes("on"),
+            Ok(pcs_pktgen::DEFAULT_STREAM_CACHE_BYTES)
+        );
+        assert_eq!(parse_stream_cache_bytes("off"), Ok(0));
+        assert_eq!(parse_stream_cache_bytes("4096"), Ok(4096));
+        assert_eq!(parse_stream_cache_bytes("8K"), Ok(8 << 10));
+        assert_eq!(parse_stream_cache_bytes("256M"), Ok(256 << 20));
+        assert_eq!(parse_stream_cache_bytes("2g"), Ok(2 << 30));
+        assert!(parse_stream_cache_bytes("").is_err());
+        assert!(parse_stream_cache_bytes("K").is_err());
+        assert!(parse_stream_cache_bytes("fast").is_err());
+        assert!(parse_stream_cache_bytes("99999999999999999999G").is_err());
     }
 
     #[test]
@@ -255,9 +351,17 @@ mod tests {
         cfg.stats.record_run();
         cfg.stats.record_cached();
         cfg.stats.record_cached();
+        cfg.stats.record_stream_generated();
+        cfg.stats.record_stream_shared();
+        cfg.stats.record_stream_shared();
+        cfg.stats.note_stream_resident(100);
+        cfg.stats.note_stream_resident(40);
         let shared = cfg.clone();
         assert_eq!(shared.stats.cells_run(), 1);
         assert_eq!(shared.stats.cells_cached(), 2);
+        assert_eq!(shared.stats.streams_generated(), 1);
+        assert_eq!(shared.stats.streams_shared(), 2);
+        assert_eq!(shared.stats.peak_stream_bytes(), 100, "high-water mark");
         assert!(ExecConfig::parallel().jobs >= 1);
     }
 }

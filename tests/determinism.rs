@@ -1,7 +1,7 @@
 //! Determinism guarantees of the parallel sweep engine: the same seed
 //! must produce byte-identical outputs at any worker count and any
-//! streaming-pipeline shape, and the in-process [`RunCache`] must be
-//! invisible in the results.
+//! streaming-pipeline shape, and the in-process [`RunCache`] and
+//! content-addressed stream cache must be invisible in the results.
 //!
 //! Each test uses a packet count no other test in this binary uses, so
 //! the process-global cache cannot leak cells between concurrently
@@ -103,7 +103,11 @@ fn streaming_pipeline_is_byte_identical_to_materialized() {
             // cell — pipeline shape is excluded from the cell key, so a
             // warm cache would make this comparison vacuous.
             RunCache::global().clear();
-            let exec = ExecConfig::with_jobs(jobs).with_pipeline(PipelineConfig::with_chunk(chunk));
+            // Stream sharing off, so every chunk size really re-chunks
+            // the generator instead of subscribing to the first run's
+            // published (producer-sized) chunks.
+            let exec = ExecConfig::with_jobs(jobs)
+                .with_pipeline(PipelineConfig::with_chunk(chunk).with_stream_cache(0));
             let streamed = figures::fig6_2_default_buffers(&scale, true, &exec);
             assert!(
                 exec.stats.cells_run() >= 1,
@@ -121,6 +125,41 @@ fn streaming_pipeline_is_byte_identical_to_materialized() {
             );
         }
     }
+}
+
+#[test]
+fn stream_cache_on_and_off_render_identical_csv() {
+    let _guard = CACHE_CLEAR_LOCK.lock().unwrap();
+    let scale = Scale {
+        count: 35_000,
+        repeats: 2,
+        rates: vec![Some(220.0), None],
+    };
+    // Reference: stream sharing off — every cell regenerates its stream.
+    RunCache::global().clear();
+    let off_exec =
+        ExecConfig::with_jobs(4).with_pipeline(PipelineConfig::streaming().with_stream_cache(0));
+    let off = figures::fig6_2_default_buffers(&scale, true, &off_exec);
+    assert!(off_exec.stats.cells_run() >= 1, "off run must simulate");
+    assert_eq!(
+        off_exec.stats.streams_generated() + off_exec.stats.streams_shared(),
+        0,
+        "--stream-cache off must never consult the stream cache"
+    );
+    // Sharing on (the default): byte-identical CSV and table.
+    RunCache::global().clear();
+    let on_exec = ExecConfig::with_jobs(4);
+    let on = figures::fig6_2_default_buffers(&scale, true, &on_exec);
+    assert!(
+        on_exec.stats.streams_generated() >= 1,
+        "on run must publish its streams"
+    );
+    assert_eq!(
+        off.to_csv(),
+        on.to_csv(),
+        "--stream-cache on/off must render the same CSV bytes"
+    );
+    assert_eq!(off.to_table(), on.to_table());
 }
 
 #[test]
