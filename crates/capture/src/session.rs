@@ -241,6 +241,8 @@ mod tests {
                 dropped_buffer: 7,
                 dropped_pool: 3,
                 delivered: 90,
+                kernel_residue: 0,
+                app_residue: 0,
             },
         };
         let s = Pcap::stats(&report, 2);

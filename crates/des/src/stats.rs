@@ -74,6 +74,142 @@ impl Accumulator {
     }
 }
 
+/// Histogram over `u64` values with power-of-two (log2) buckets.
+///
+/// Bucket 0 holds the value 0; bucket `i` (1 ≤ i ≤ 64) holds values in
+/// `[2^(i-1), 2^i - 1]` (bucket 64's upper bound saturates at `u64::MAX`).
+/// Recording is branch-free apart from the zero check, making it cheap
+/// enough for per-packet instrumentation, and the fixed bucket layout keeps
+/// rendered output byte-identical across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value lands in: 0 for 0, `floor(log2(v)) + 1`
+    /// otherwise.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `[lo, hi]` value range covered by bucket `index`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index <= 64, "log histogram has buckets 0..=64");
+        if index == 0 {
+            (0, 0)
+        } else {
+            let lo = 1u64 << (index - 1);
+            let hi = if index == 64 {
+                u64::MAX
+            } else {
+                (1u64 << index) - 1
+            };
+            (lo, hi)
+        }
+    }
+
+    /// Add one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in one bucket.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+
+    /// `(bucket_lo, bucket_hi, count)` for every non-empty bucket, in
+    /// ascending value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// Median of a slice (averaging the middle pair for even lengths).
 /// Returns 0 for an empty slice.
 pub fn median(xs: &[f64]) -> f64 {
@@ -135,6 +271,117 @@ mod tests {
         assert_eq!(a.min(), 0.0);
         assert_eq!(a.max(), 0.0);
         assert_eq!(a.stddev(), 0.0);
+    }
+
+    #[test]
+    fn accumulator_single_observation() {
+        // n = 1: mean/min/max echo the observation, variance is undefined
+        // so stddev must report 0 (not NaN).
+        let mut a = Accumulator::new();
+        a.add(42.5);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 42.5);
+        assert_eq!(a.min(), 42.5);
+        assert_eq!(a.max(), 42.5);
+        assert_eq!(a.stddev(), 0.0);
+        assert!(!a.stddev().is_nan());
+    }
+
+    #[test]
+    fn accumulator_zero_observations_have_no_nan() {
+        let a = Accumulator::new();
+        assert_eq!(a.count(), 0);
+        for v in [a.mean(), a.min(), a.max(), a.stddev()] {
+            assert_eq!(v, 0.0);
+            assert!(!v.is_nan());
+        }
+    }
+
+    #[test]
+    fn accumulator_two_observations_variance() {
+        // First n where the sample variance becomes defined.
+        let mut a = Accumulator::new();
+        a.add(1.0);
+        a.add(3.0);
+        // sample variance = ((1-2)^2 + (3-2)^2) / (2-1) = 2
+        assert!((a.stddev() - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_bucket_edges() {
+        // 0 is its own bucket; each power of two starts a new bucket and
+        // the value just below it closes the previous one.
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index(7), 3);
+        assert_eq!(LogHistogram::bucket_index(8), 4);
+        for i in 1..=63u32 {
+            let p = 1u64 << i;
+            assert_eq!(LogHistogram::bucket_index(p), i as usize + 1);
+            assert_eq!(LogHistogram::bucket_index(p - 1), i as usize);
+        }
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn log_histogram_bucket_bounds_partition_u64() {
+        assert_eq!(LogHistogram::bucket_bounds(0), (0, 0));
+        assert_eq!(LogHistogram::bucket_bounds(1), (1, 1));
+        assert_eq!(LogHistogram::bucket_bounds(2), (2, 3));
+        assert_eq!(LogHistogram::bucket_bounds(64).1, u64::MAX);
+        // Consecutive buckets tile the value space with no gap or overlap.
+        for i in 1..=63usize {
+            let (_, hi) = LogHistogram::bucket_bounds(i);
+            let (lo_next, _) = LogHistogram::bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo_next);
+        }
+        // Every value's bucket actually contains it.
+        for v in [0u64, 1, 2, 3, 4, 255, 256, 257, u64::MAX - 1, u64::MAX] {
+            let (lo, hi) = LogHistogram::bucket_bounds(LogHistogram::bucket_index(v));
+            assert!(lo <= v && v <= hi, "value {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn log_histogram_record_and_stats() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for v in [0u64, 1, 5, 5, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1035);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.bucket_count(0), 1); // the 0
+        assert_eq!(h.bucket_count(1), 1); // the 1
+        assert_eq!(h.bucket_count(3), 2); // both 5s in [4,7]
+        assert_eq!(h.bucket_count(11), 1); // 1024 in [1024,2047]
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![(0, 0, 1), (1, 1, 1), (4, 7, 2), (1024, 2047, 1)]
+        );
+    }
+
+    #[test]
+    fn log_histogram_merge() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(3);
+        b.record(300);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 303);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 300);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! experiments run <id>... [--scale quick|standard|full] [--jobs N]
 //!                         [--chunk N] [--depth N]
 //!                         [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR]
+//!                         [--trace PATH[:FILTER]] [--profile]
 //! experiments all [--scale ...] [--jobs N] [--chunk N] [--depth N]
 //!                 [--stream-cache ...] [--csv-dir DIR]
+//!                 [--trace PATH[:FILTER]] [--profile]
 //! ```
 //!
 //! Output is a text table per experiment (capture rate and CPU usage per
@@ -27,17 +29,59 @@
 //! chunk size, queue depth or stream-cache setting produces
 //! byte-identical tables and CSV files; the summary reports
 //! per-experiment wall-clock plus how many sweep cells were simulated vs
-//! served from the in-process run cache, how many packet streams were
-//! generated vs shared, and the peak resident stream bytes.
+//! served from the in-process run cache (with hit rates as
+//! percentages), how many packet streams were generated vs shared, and
+//! the peak resident stream bytes.
+//!
+//! `--trace PATH[:FILTER]` records every simulated packet's lifecycle —
+//! wire arrival, NIC ring, bus transfer, filter verdict, kernel buffer,
+//! application delivery, disk write — into Chrome trace-event JSON at
+//! `PATH` (loadable in Perfetto / `chrome://tracing`) plus a flat CSV
+//! sibling, and prints a per-stage drop-attribution table whose rows sum
+//! *exactly* to generated − delivered for every SUT. `FILTER` selects
+//! stages (e.g. `drops`, `wire,app`; see EXPERIMENTS.md). Tracing is an
+//! observation layer: tables and CSVs stay byte-identical, and `--trace
+//! off` (or omitting the flag) runs the branch-cheap untraced path.
+//! `--profile` prints host-side execution profiling per experiment:
+//! total/max cell wall time, worker-pool utilization, cache service
+//! times. Profiling reads the host clock, so its numbers (unlike
+//! everything else) vary run to run.
 
 use pcs_core::{all_experiments, ExecConfig, PipelineConfig, Scale};
 use pcs_testbed::{available_parallelism, parallel_ordered, parse_stream_cache_bytes};
+use pcs_trace::{export, DropAttribution, StageFilter, TraceCollector, TraceSpec};
+use std::collections::BTreeMap;
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Parse `--trace`'s `PATH[:FILTER]` argument (`off` disables tracing).
+fn parse_trace_arg(arg: &str) -> Result<Option<(String, StageFilter)>, String> {
+    if arg == "off" {
+        return Ok(None);
+    }
+    if let Some((path, filter)) = arg.rsplit_once(':') {
+        if !path.is_empty() {
+            let filter = StageFilter::parse(filter)
+                .map_err(|e| format!("--trace {arg}: bad stage filter: {e}"))?;
+            return Ok(Some((path.to_string(), filter)));
+        }
+    }
+    Ok(Some((arg.to_string(), StageFilter::all())))
+}
+
+/// Percentage helper for the cache summary: `part` out of `whole`.
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR]\n  experiments all [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder).\n--jobs N: worker-pool size (default: all host cores); results are identical at any N.\n--chunk N: packets per streamed chunk (default 4096; 0 = materialize the whole run first).\n--depth N: bounded splitter-queue depth in chunks per sniffer (default 4).\n--stream-cache: share identical packet streams across cells through a byte-budgeted\n                content-addressed cache (default on = 1 GiB; off regenerates per cell).\nAll four are execution knobs: tables and CSVs are byte-identical for any setting."
+        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--profile]\n  experiments all [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--profile]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder).\n--jobs N: worker-pool size (default: all host cores); results are identical at any N.\n--chunk N: packets per streamed chunk (default 4096; 0 = materialize the whole run first).\n--depth N: bounded splitter-queue depth in chunks per sniffer (default 4).\n--stream-cache: share identical packet streams across cells through a byte-budgeted\n                content-addressed cache (default on = 1 GiB; off regenerates per cell).\nAll four are execution knobs: tables and CSVs are byte-identical for any setting.\n--trace PATH[:FILTER]: write packet-lifecycle traces as Chrome trace-event JSON to PATH\n                (Perfetto-loadable) plus a CSV sibling, and print per-stage drop\n                attribution. FILTER picks stages: all, drops, wire, nic, bus, filter,\n                kernel, app, disk or exact stage names, comma-separated. 'off' disables.\n--profile: print host-side execution profiling (cell wall times, pool utilization,\n                cache service latencies) to stderr."
     );
     std::process::exit(2);
 }
@@ -60,6 +104,8 @@ fn main() {
             let mut csv_dir: Option<String> = None;
             let mut jobs = available_parallelism();
             let mut pipeline = PipelineConfig::default();
+            let mut trace: Option<(String, StageFilter)> = None;
+            let mut profile = false;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -116,6 +162,15 @@ fn main() {
                         i += 1;
                         csv_dir = Some(args.get(i).unwrap_or_else(|| usage()).clone());
                     }
+                    "--trace" => {
+                        i += 1;
+                        let n = args.get(i).unwrap_or_else(|| usage());
+                        trace = parse_trace_arg(n).unwrap_or_else(|msg| {
+                            eprintln!("{msg}");
+                            std::process::exit(2);
+                        });
+                    }
+                    "--profile" => profile = true,
                     other if other.starts_with("--") => usage(),
                     other => ids.push(other.to_string()),
                 }
@@ -151,9 +206,21 @@ fn main() {
                 "== {} experiment(s), --jobs {jobs} ({outer} concurrent × {inner} cell workers)",
                 selected.len()
             );
+            let collector = trace.as_ref().map(|(_, filter)| {
+                Arc::new(TraceCollector::new(TraceSpec {
+                    filter: *filter,
+                    ..TraceSpec::default()
+                }))
+            });
             let t_all = Instant::now();
             let results = parallel_ordered(selected, outer, |_, (id, desc, run)| {
-                let exec = ExecConfig::with_jobs(inner).with_pipeline(pipeline);
+                let mut exec = ExecConfig::with_jobs(inner).with_pipeline(pipeline);
+                if let Some(collector) = &collector {
+                    exec = exec.with_trace(Arc::clone(collector));
+                }
+                if profile {
+                    exec.stats.enable_profiling();
+                }
                 let t0 = Instant::now();
                 let e = run(&scale, &exec);
                 let wall = t0.elapsed().as_secs_f64();
@@ -199,10 +266,105 @@ fn main() {
                 );
             }
             eprintln!(
-                "== total: {total_run} cells run, {total_cached} served from cache; {total_generated} streams generated, {total_shared} shared, {:.1} MiB peak resident",
+                "== total: {total_run} cells run, {total_cached} served from cache ({:.1}% hit rate); {total_generated} streams generated, {total_shared} shared ({:.1}% share rate), {:.1} MiB peak resident",
+                percent(total_cached, total_run + total_cached),
+                percent(total_shared, total_generated + total_shared),
                 peak_stream_bytes as f64 / (1024.0 * 1024.0)
             );
+            if profile {
+                eprintln!("== profile (host-side; varies run to run):");
+                for (id, _desc, _e, wall, exec) in &results {
+                    let s = &exec.stats;
+                    let busy = s.cell_wall_ns() as f64 / 1e9;
+                    let util = percent(s.cell_wall_ns(), (wall * 1e9) as u64 * inner as u64);
+                    let hits = s.cells_cached().max(1);
+                    let subs = s.streams_shared().max(1);
+                    eprintln!(
+                        "==   {id:<12} sim {busy:>7.2}s over {inner} worker(s) ({util:.1}% pool util)  slowest cell {:.2}s  run-cache hit {:.1} µs avg  stream subscribe {:.1} µs avg",
+                        s.cell_wall_ns_max() as f64 / 1e9,
+                        s.run_cache_hit_ns() as f64 / 1e3 / hits as f64,
+                        s.stream_subscribe_ns() as f64 / 1e3 / subs as f64
+                    );
+                }
+            }
+            if let Some((path, _)) = &trace {
+                let collector = collector.expect("trace implies a collector");
+                let cells = collector.cells();
+                let json = export::chrome_trace_json(&cells);
+                export::validate_json(&json).expect("generated trace JSON must be valid");
+                std::fs::write(path, &json).expect("write trace json");
+                eprintln!(
+                    "== wrote {path} ({} traced cells; load in Perfetto)",
+                    cells.len()
+                );
+                let csv_path = {
+                    let p = std::path::Path::new(path).with_extension("csv");
+                    let p = p.to_string_lossy().into_owned();
+                    if p == *path {
+                        format!("{path}.events.csv")
+                    } else {
+                        p
+                    }
+                };
+                std::fs::write(&csv_path, export::events_csv(&cells)).expect("write trace csv");
+                eprintln!("== wrote {csv_path}");
+                // Per-SUT drop attribution, totalled over every traced
+                // cell. Each row partitions its generated packets
+                // exactly: generated = delivered + the seven loss
+                // buckets (summed over the SUT's applications).
+                let mut by_sut: BTreeMap<String, DropAttribution> = BTreeMap::new();
+                for cell in &cells {
+                    for sut in &cell.suts {
+                        let entry = by_sut.entry(sut.label.clone()).or_default();
+                        for attr in &sut.attributions {
+                            entry.absorb(attr);
+                        }
+                    }
+                }
+                eprintln!("== drop attribution (all traced cells, per SUT):");
+                eprint!("==   {:<24}", "sut");
+                for col in DropAttribution::COLUMNS {
+                    eprint!(" {col:>w$}", w = col.len().max(10));
+                }
+                eprintln!();
+                for (label, attr) in &by_sut {
+                    assert!(attr.balanced(), "{label}: attribution must balance");
+                    eprint!("==   {label:<24}");
+                    for (col, v) in DropAttribution::COLUMNS.iter().zip(attr.values()) {
+                        eprint!(" {v:>w$}", w = col.len().max(10));
+                    }
+                    eprintln!();
+                }
+            }
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_argument_parses() {
+        assert_eq!(parse_trace_arg("off"), Ok(None));
+        assert_eq!(
+            parse_trace_arg("out.json"),
+            Ok(Some(("out.json".into(), StageFilter::all())))
+        );
+        assert_eq!(
+            parse_trace_arg("out.json:drops"),
+            Ok(Some(("out.json".into(), StageFilter::drops())))
+        );
+        let (path, filter) = parse_trace_arg("t.json:wire,app").unwrap().unwrap();
+        assert_eq!(path, "t.json");
+        assert_ne!(filter, StageFilter::all());
+        assert!(parse_trace_arg("out.json:bogus").is_err());
+    }
+
+    #[test]
+    fn percent_is_safe_on_zero() {
+        assert_eq!(percent(1, 0), 0.0);
+        assert_eq!(percent(1, 4), 25.0);
     }
 }

@@ -35,4 +35,7 @@ pub mod stack;
 pub use config::{AppConfig, BufferConfig, SimConfig};
 pub use cpustate::{CpuAccounting, CpuState};
 pub use sim::{AppReport, CpuSample, MachineSim, RunReport};
-pub use stack::{BpfDevice, CapturedPacket, KernelFilter, LsfSocket, LsfState, StackStats};
+pub use stack::{
+    BpfDevice, CapturedPacket, DeliverOutcome, DropKind, KernelFilter, LsfSocket, LsfState,
+    StackStats,
+};

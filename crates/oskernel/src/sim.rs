@@ -21,10 +21,11 @@
 
 use crate::config::{AppConfig, SimConfig};
 use crate::cpustate::{CpuAccounting, CpuState};
-use crate::stack::{BpfDevice, CapturedPacket, LsfSocket, LsfState};
+use crate::stack::{BpfDevice, CapturedPacket, DropKind, LsfSocket, LsfState};
 use pcs_des::{EventQueue, SimDuration, SimTime};
 use pcs_hw::{InterruptScheme, MachineSpec, OsCosts};
 use pcs_pktgen::{PacketRef, PacketSource, SourceRefs};
+use pcs_trace::{DropAttribution, Stage, TraceReport, TraceSink, APP_NONE, SEQ_NONE};
 use pcs_wire::SimPacket;
 use std::collections::VecDeque;
 
@@ -39,6 +40,23 @@ const PIPE_CAPACITY: u64 = 64 * 1024;
 const DIRTY_LIMIT: u64 = 32 << 20;
 /// Disk write-back granule.
 const WRITEBACK_CHUNK: u64 = 1 << 20;
+
+/// Map one consumer's [`DeliverOutcome`] to its trace stages: the filter
+/// verdict, and (for accepted packets) whether the kernel stored or
+/// dropped it.
+fn consumer_stages(o: &crate::stack::DeliverOutcome) -> (Stage, Option<Stage>) {
+    if !o.accepted {
+        (Stage::FilterReject, None)
+    } else if o.stored {
+        (Stage::FilterAccept, Some(Stage::KernelEnqueue))
+    } else {
+        let dropped = match o.drop {
+            DropKind::Pool => Stage::KernelDropPool,
+            _ => Stage::KernelDropBuffer,
+        };
+        (Stage::FilterAccept, Some(dropped))
+    }
+}
 
 /// A packet injected into the NIC: either owned outright (ad-hoc
 /// streams, tests) or a shared reference into a generator chunk (the
@@ -88,6 +106,10 @@ enum Completion {
         packets: u64,
         bytes: u64,
         recorded: Vec<CapturedPacket>,
+        /// (seq, gen_ns, caplen) per packet, captured only when tracing:
+        /// app-delivery events and the wire→app latency histogram are
+        /// recorded when the chunk's processing completes.
+        traced: Vec<(u64, u64, u32)>,
     },
     GzipChunk {
         bytes: u64,
@@ -197,6 +219,10 @@ pub struct RunReport {
     pub offered: u64,
     /// Packets dropped at the NIC ring (kernel never saw them).
     pub nic_ring_drops: u64,
+    /// Packets still sitting in the NIC ring when the run stopped (the
+    /// kernel never picked them up; counted separately so the per-stage
+    /// attribution sums exactly to `offered`).
+    pub nic_ring_residue: u64,
     /// Per-application results.
     pub apps: Vec<AppReport>,
     /// 0.5 s cpusage samples (cumulative).
@@ -212,6 +238,9 @@ pub struct RunReport {
     pub disk_bytes: u64,
     /// Bytes pushed through the capture→gzip pipe.
     pub pipe_bytes: u64,
+    /// Event log and metrics, present when the sim ran with a tracing
+    /// sink ([`MachineSim::with_trace`]).
+    pub trace: Option<Box<TraceReport>>,
 }
 
 impl RunReport {
@@ -252,6 +281,32 @@ impl RunReport {
             return 0.0;
         }
         self.final_acct.iter().map(|a| a.utilisation()).sum::<f64>() / self.final_acct.len() as f64
+    }
+
+    /// Exhaustive per-stage drop attribution for one consumer: where every
+    /// generated packet ended up. The identity
+    /// `generated == delivered + dropped()` holds exactly
+    /// ([`DropAttribution::balanced`]) — this is the paper's
+    /// loss-localization analysis computed from end-of-run counters, not
+    /// from the (bounded) event log.
+    pub fn attribution(&self, app: usize) -> DropAttribution {
+        let s = &self.apps[app].stats;
+        DropAttribution {
+            generated: self.offered,
+            nic_drops: self.nic_ring_drops,
+            nic_residue: self.nic_ring_residue,
+            filter_rejects: s.rejected,
+            kernel_buffer_drops: s.dropped_buffer,
+            kernel_pool_drops: s.dropped_pool,
+            kernel_residue: s.kernel_residue,
+            app_residue: s.app_residue,
+            delivered: self.apps[app].received,
+        }
+    }
+
+    /// [`RunReport::attribution`] for every consumer.
+    pub fn attributions(&self) -> Vec<DropAttribution> {
+        (0..self.apps.len()).map(|i| self.attribution(i)).collect()
     }
 
     /// Mean CPU busy fraction across CPUs during the loaded window (up to
@@ -340,6 +395,10 @@ pub struct MachineSim {
     /// long after the last packet (§3.4).
     stop_at: Option<SimTime>,
     drain_timeout_ns: u64,
+
+    /// Lifecycle tracing; `TraceSink::Off` costs one branch per event
+    /// site.
+    trace: TraceSink,
 }
 
 impl MachineSim {
@@ -427,7 +486,15 @@ impl MachineSim {
             load_end: None,
             stop_at: None,
             drain_timeout_ns: cfg.drain_timeout_ns,
+            trace: TraceSink::Off,
         }
+    }
+
+    /// Attach a trace sink. With [`TraceSink::Off`] (the default) the
+    /// simulation is byte-identical to an untraced run.
+    pub fn with_trace(mut self, sink: TraceSink) -> MachineSim {
+        self.trace = sink;
+        self
     }
 
     /// Run the simulation over a timed packet source, to completion
@@ -489,7 +556,13 @@ impl MachineSim {
             match ev {
                 Event::Arrival(pkt) => {
                     self.offered += 1;
-                    self.note_arrival(now, pkt.packet().frame_len);
+                    let (seq, frame_len) = {
+                        let p = pkt.packet();
+                        (p.seq, p.frame_len as u64)
+                    };
+                    self.note_arrival(now, frame_len as u32);
+                    self.trace
+                        .emit(now.as_nanos(), Stage::Wire, seq, frame_len, APP_NONE, 1);
                     // The NIC's FIFO drains across the PCI bus, which it
                     // shares with the disk write-back traffic. When the
                     // bus is oversubscribed only a fraction of the frames
@@ -499,12 +572,39 @@ impl MachineSim {
                     self.pci_credit += self.spec.pci.service_fraction(demand);
                     if self.pci_credit < 1.0 {
                         self.nic_ring_drops += 1;
+                        self.trace.emit(
+                            now.as_nanos(),
+                            Stage::NicDropBus,
+                            seq,
+                            frame_len,
+                            APP_NONE,
+                            1,
+                        );
                     } else {
                         self.pci_credit -= 1.0;
                         if self.ring.len() < self.ring_slots {
                             self.ring.push_back(pkt);
+                            self.trace.emit(
+                                now.as_nanos(),
+                                Stage::NicEnqueue,
+                                seq,
+                                frame_len,
+                                APP_NONE,
+                                1,
+                            );
+                            if let Some(m) = self.trace.metrics_mut() {
+                                m.observe("nic_ring_depth", self.ring.len() as u64);
+                            }
                         } else {
                             self.nic_ring_drops += 1;
+                            self.trace.emit(
+                                now.as_nanos(),
+                                Stage::NicDropRing,
+                                seq,
+                                frame_len,
+                                APP_NONE,
+                                1,
+                            );
                         }
                     }
                     match src.next() {
@@ -529,6 +629,14 @@ impl MachineSim {
                     self.dirty_bytes -= chunk;
                     self.disk_bytes += chunk;
                     self.writeback_scheduled = false;
+                    self.trace.emit(
+                        now.as_nanos(),
+                        Stage::DiskWrite,
+                        SEQ_NONE,
+                        chunk,
+                        APP_NONE,
+                        1,
+                    );
                     // Track the write-back rate for PCI bus sharing.
                     let dt = now.since(self.last_writeback).as_nanos().max(1) as f64;
                     let inst = chunk as f64 * 1e9 / dt;
@@ -568,6 +676,30 @@ impl MachineSim {
                     .add(CpuState::Idle, end.since(cpu.idle_since).as_nanos());
             }
         }
+        // End-of-run residue accounting: packets still in flight when the
+        // controller stopped the run were never captured; attributing them
+        // to the buffer that held them keeps the per-stage drop identity
+        // exact (`generated == delivered + every loss bucket`).
+        let nic_ring_residue = self.ring.len() as u64;
+        for i in 0..self.apps.len() {
+            let received = self.apps[i].received;
+            match &mut self.stack {
+                Stack::Bpf(devs) => {
+                    devs[i].finalize_residue();
+                    devs[i].stats.app_residue = devs[i].stats.delivered - received;
+                }
+                Stack::Lsf(l) => {
+                    l.sockets[i].finalize_residue();
+                    l.sockets[i].stats.app_residue = l.sockets[i].stats.delivered - received;
+                }
+            }
+        }
+        if let Some(m) = self.trace.metrics_mut() {
+            m.set_gauge("dirty_bytes_final", self.dirty_bytes as f64);
+            m.set_gauge("pipe_used_final", self.pipe_used as f64);
+            m.inc("disk_bytes", self.disk_bytes);
+            m.inc("pipe_bytes", self.pipe_bytes_total);
+        }
         let apps = self
             .apps
             .iter()
@@ -582,10 +714,12 @@ impl MachineSim {
                 },
             })
             .collect();
+        let trace = std::mem::take(&mut self.trace).into_report().map(Box::new);
         RunReport {
             machine: self.spec.label(),
             offered: self.offered,
             nic_ring_drops: self.nic_ring_drops,
+            nic_ring_residue,
             apps,
             samples: self.samples,
             final_acct: self.cpus.iter().map(|c| c.acct).collect(),
@@ -593,6 +727,7 @@ impl MachineSim {
             elapsed: end,
             disk_bytes: self.disk_bytes + self.dirty_bytes,
             pipe_bytes: self.pipe_bytes_total,
+            trace,
         }
     }
 
@@ -807,10 +942,27 @@ impl MachineSim {
                 packets,
                 bytes,
                 recorded,
+                traced,
             } => {
                 self.apps[app].received += packets;
                 self.apps[app].received_bytes += bytes;
                 self.apps[app].captured.extend(recorded);
+                if !traced.is_empty() {
+                    let now_ns = now.as_nanos();
+                    for &(seq, gen_ns, caplen) in &traced {
+                        self.trace.emit(
+                            now_ns,
+                            Stage::AppDeliver,
+                            seq,
+                            caplen as u64,
+                            app as u16,
+                            1,
+                        );
+                        if let Some(m) = self.trace.metrics_mut() {
+                            m.observe("wire_to_app_latency_ns", now_ns.saturating_sub(gen_ns));
+                        }
+                    }
+                }
                 self.app_continue(now, app);
             }
             Completion::GzipChunk { bytes } => {
@@ -859,6 +1011,21 @@ impl MachineSim {
         self.irq_pending = true;
         let n = self.ring.len().min(MAX_IRQ_BATCH);
         let batch: Vec<PacketView> = self.ring.drain(..n).collect();
+        if self.trace.is_on() {
+            let bytes: u64 = batch.iter().map(|v| v.packet().frame_len as u64).sum();
+            self.trace.emit(
+                now.as_nanos(),
+                Stage::BusTransfer,
+                SEQ_NONE,
+                bytes,
+                APP_NONE,
+                n as u32,
+            );
+            if let Some(m) = self.trace.metrics_mut() {
+                m.observe("irq_batch_packets", n as u64);
+                m.inc("irq_fires", 1);
+            }
+        }
         let work = self.kernel_batch_work(now, &batch);
         self.submit(now, 0, work, true);
     }
@@ -874,25 +1041,42 @@ impl MachineSim {
         let mut soft_ns = 0u64;
         let recv_ns = now.as_nanos();
         let mut copy_total = 0u64;
+        let tracing = self.trace.is_on();
         for view in batch {
             let pkt = view.packet();
             let per_pkt = c.rx_pkt_ns;
             let mut consumer_ns = 0u64;
             match &mut self.stack {
                 Stack::Bpf(devs) => {
-                    for d in devs.iter_mut() {
+                    for (i, d) in devs.iter_mut().enumerate() {
                         let o = d.deliver(pkt, recv_ns);
                         consumer_ns +=
                             c.tap_pkt_ns + (o.filter_insns as f64 * c.filter_insn_ns) as u64;
                         copy_total += o.copied_bytes as u64;
+                        if tracing {
+                            let (verdict, kernel) = consumer_stages(&o);
+                            let len = pkt.frame_len as u64;
+                            self.trace.emit(recv_ns, verdict, pkt.seq, len, i as u16, 1);
+                            if let Some(k) = kernel {
+                                self.trace.emit(recv_ns, k, pkt.seq, len, i as u16, 1);
+                            }
+                        }
                     }
                 }
                 Stack::Lsf(l) => {
                     let outcomes = l.deliver(pkt, recv_ns);
-                    for o in outcomes {
+                    for (i, o) in outcomes.iter().enumerate() {
                         consumer_ns +=
                             c.tap_pkt_ns + (o.filter_insns as f64 * c.filter_insn_ns) as u64;
                         copy_total += o.copied_bytes as u64;
+                        if tracing {
+                            let (verdict, kernel) = consumer_stages(o);
+                            let len = pkt.frame_len as u64;
+                            self.trace.emit(recv_ns, verdict, pkt.seq, len, i as u16, 1);
+                            if let Some(k) = kernel {
+                                self.trace.emit(recv_ns, k, pkt.seq, len, i as u16, 1);
+                            }
+                        }
                     }
                 }
             }
@@ -1131,6 +1315,11 @@ impl MachineSim {
         } else {
             Vec::new()
         };
+        let traced = if self.trace.is_on() {
+            pkts.iter().map(|p| (p.seq, p.gen_ns, p.caplen)).collect()
+        } else {
+            Vec::new()
+        };
 
         Ok(Work {
             segments: vec![(CpuState::System, system_ns), (CpuState::User, user_ns)],
@@ -1139,6 +1328,7 @@ impl MachineSim {
                 packets: n,
                 bytes: cap_bytes,
                 recorded,
+                traced,
             },
         })
     }
@@ -1367,6 +1557,60 @@ mod tests {
             MaterializedSource::new(Arc::clone(&timed), 64),
         ));
         assert_eq!(format!("{owned:?}"), format!("{shared:?}"));
+    }
+
+    #[test]
+    fn traced_run_records_lifecycle_and_balances() {
+        use pcs_trace::TraceSpec;
+        let spec = pcs_hw::MachineSpec::moorhen();
+        let r = MachineSim::new(spec, SimConfig::default())
+            .with_trace(TraceSink::bounded(TraceSpec::default()))
+            .run(packets(200, 10));
+        let trace = r.trace.as_ref().expect("trace report present");
+        assert_eq!(trace.truncated, 0);
+        let count_stage = |s: Stage| trace.events.iter().filter(|e| e.stage == s).count() as u64;
+        assert_eq!(count_stage(Stage::Wire), 200);
+        assert_eq!(count_stage(Stage::NicEnqueue), 200);
+        assert_eq!(count_stage(Stage::AppDeliver), r.apps[0].received);
+        assert!(count_stage(Stage::BusTransfer) > 0);
+        // Sim-clock timestamps, monotone within the log.
+        assert!(trace.events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        let lat = trace
+            .metrics
+            .histogram("wire_to_app_latency_ns")
+            .expect("latency histogram");
+        assert_eq!(lat.count(), r.apps[0].received);
+        for a in r.attributions() {
+            assert!(a.balanced(), "unbalanced attribution: {a:?}");
+            assert_eq!(a.generated, 200);
+        }
+    }
+
+    #[test]
+    fn traced_run_is_identical_to_untraced_apart_from_trace() {
+        use pcs_trace::TraceSpec;
+        let spec = pcs_hw::MachineSpec::swan();
+        let plain = MachineSim::new(spec, SimConfig::default()).run(packets(300, 3));
+        let mut traced = MachineSim::new(spec, SimConfig::default())
+            .with_trace(TraceSink::bounded(TraceSpec::default()))
+            .run(packets(300, 3));
+        assert!(plain.trace.is_none());
+        assert!(traced.trace.is_some());
+        traced.trace = None;
+        assert_eq!(format!("{plain:?}"), format!("{traced:?}"));
+    }
+
+    #[test]
+    fn overloaded_run_attribution_stays_exact() {
+        // Back-to-back frames overload the stack: drops and end-of-run
+        // residue must still account for every generated packet.
+        let spec = pcs_hw::MachineSpec::swan();
+        let r = MachineSim::new(spec, SimConfig::default()).run(packets(20_000, 1));
+        for a in r.attributions() {
+            assert!(a.balanced(), "unbalanced: {a:?}");
+            assert_eq!(a.generated, 20_000);
+            assert_eq!(a.generated, r.offered);
+        }
     }
 
     #[test]

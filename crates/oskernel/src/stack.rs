@@ -103,6 +103,13 @@ impl KernelFilter {
 }
 
 /// Drop/delivery counters of one capture consumer.
+///
+/// Together with the NIC-level counters in `RunReport` these buckets give
+/// an exhaustive, no-special-cases account of every packet a consumer was
+/// offered: `accepted + rejected` packets entered the stack, of which
+/// `dropped_buffer + dropped_pool` died in the kernel, `kernel_residue +
+/// app_residue` were still in flight when the run stopped, and `received`
+/// (= `delivered - app_residue`) were fully processed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StackStats {
     /// Packets the filter accepted (libpcap's `ps_recv`).
@@ -116,6 +123,33 @@ pub struct StackStats {
     pub dropped_pool: u64,
     /// Packets handed to the application.
     pub delivered: u64,
+    /// Accepted + stored packets still sitting in a kernel buffer when the
+    /// run stopped (set by `finalize_residue`).
+    pub kernel_residue: u64,
+    /// Packets handed to the application but not yet processed when the
+    /// run stopped (set by the machine sim at shutdown).
+    pub app_residue: u64,
+}
+
+impl StackStats {
+    /// All kernel-level losses (buffer + pool), the uniform counterpart to
+    /// the NIC-level `nic_ring_drops`.
+    pub fn kernel_drops(&self) -> u64 {
+        self.dropped_buffer + self.dropped_pool
+    }
+}
+
+/// Which buffer killed a packet, when one did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DropKind {
+    /// Not dropped (stored, or rejected by the filter before buffering).
+    #[default]
+    None,
+    /// The consumer's kernel buffer (BPF double buffer, socket rmem, or
+    /// mmap ring) was full.
+    Buffer,
+    /// The shared kernel packet pool was exhausted (Linux refcounting).
+    Pool,
 }
 
 /// What happened when the kernel offered one packet to one consumer.
@@ -130,6 +164,8 @@ pub struct DeliverOutcome {
     pub copied_bytes: u32,
     /// The packet was stored (not dropped).
     pub stored: bool,
+    /// For accepted-but-not-stored packets: which buffer dropped it.
+    pub drop: DropKind,
 }
 
 // ---------------------------------------------------------------------
@@ -185,6 +221,7 @@ impl BpfDevice {
                 filter_insns: insns,
                 copied_bytes: 0,
                 stored: false,
+                drop: DropKind::None,
             };
         }
         self.stats.accepted += 1;
@@ -203,6 +240,7 @@ impl BpfDevice {
                     filter_insns: insns,
                     copied_bytes: 0,
                     stored: false,
+                    drop: DropKind::Buffer,
                 };
             }
         }
@@ -219,6 +257,7 @@ impl BpfDevice {
             filter_insns: insns,
             copied_bytes: caplen,
             stored: true,
+            drop: DropKind::None,
         }
     }
 
@@ -246,6 +285,18 @@ impl BpfDevice {
     /// Bytes currently buffered (both halves).
     pub fn buffered_bytes(&self) -> u64 {
         self.store_bytes + self.hold_bytes
+    }
+
+    /// Packets currently buffered (both halves).
+    pub fn buffered_packets(&self) -> u64 {
+        (self.store.len() + self.hold.len()) as u64
+    }
+
+    /// End-of-run accounting: record packets still buffered as
+    /// `kernel_residue` so the attribution identity stays exact for runs
+    /// that stop with data in flight.
+    pub fn finalize_residue(&mut self) {
+        self.stats.kernel_residue = self.buffered_packets();
     }
 
     /// The buffer half size.
@@ -305,6 +356,12 @@ impl LsfSocket {
     /// Packets queued.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// End-of-run accounting: record packets still queued as
+    /// `kernel_residue` (see [`BpfDevice::finalize_residue`]).
+    pub fn finalize_residue(&mut self) {
+        self.stats.kernel_residue = self.queue.len() as u64;
     }
 
     /// Dequeue up to `max` packets (the application's recvfrom loop /
@@ -387,6 +444,7 @@ impl LsfState {
                 filter_insns: insns,
                 copied_bytes: 0,
                 stored: false,
+                drop: DropKind::None,
             });
         }
         let truesize = skb_truesize(pkt.frame_len);
@@ -426,11 +484,13 @@ impl LsfState {
                     outcomes[i].stored = true;
                 } else {
                     s.stats.dropped_buffer += 1;
+                    outcomes[i].drop = DropKind::Buffer;
                 }
                 continue;
             }
             if !pool_ok {
                 s.stats.dropped_pool += 1;
+                outcomes[i].drop = DropKind::Pool;
                 continue;
             }
             let charge = skb_truesize(pkt.frame_len);
@@ -441,6 +501,7 @@ impl LsfState {
                 refs += 1;
             } else {
                 s.stats.dropped_buffer += 1;
+                outcomes[i].drop = DropKind::Buffer;
             }
         }
         if refs > 0 {

@@ -61,7 +61,12 @@ fn conservation_of_packets() {
                 r.machine, a.received, r.offered
             );
             assert_eq!(s.accepted + s.rejected + r.nic_ring_drops, r.offered);
-            assert_eq!(s.delivered, a.received);
+            assert_eq!(s.delivered, a.received + s.app_residue);
+            // The per-stage attribution must partition the offered
+            // packets exactly (the paper's loss-localization identity).
+            let attr = r.attribution(0);
+            assert!(attr.balanced(), "{}: {attr:?}", r.machine);
+            assert_eq!(attr.generated, r.offered);
         }
     }
 }

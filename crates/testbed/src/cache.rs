@@ -52,6 +52,12 @@ pub struct CellResult {
 /// field-by-field fingerprint.
 pub type CellKey = (u64, u64);
 
+/// A [`CellKey`] as one 128-bit value — the form trace exports use to
+/// identify cells.
+pub fn wide_key(key: CellKey) -> u128 {
+    ((key.0 as u128) << 64) | key.1 as u128
+}
+
 impl Fingerprintable for Sut {
     fn fingerprint(&self, fp: &mut Fingerprint) {
         self.spec.fingerprint(fp);

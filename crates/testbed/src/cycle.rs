@@ -30,8 +30,8 @@
 //! published chunks (CLI `--stream-cache`, byte-budgeted; `off`
 //! regenerates per cell, byte-identically).
 
-use crate::cache::{cell_key, stream_key, CellResult, CellSut, RunCache};
-use crate::sched::{parallel_ordered, ExecConfig, ExecStats, PipelineConfig};
+use crate::cache::{cell_key, stream_key, wide_key, CellResult, CellSut, RunCache};
+use crate::sched::{parallel_ordered, ExecConfig};
 use crate::splitter::OpticalSplitter;
 use crate::switch::MonitorSwitch;
 use pcs_des::stats::median;
@@ -42,7 +42,9 @@ use pcs_pktgen::{
     ChunkedGenerator, Generator, PacketSource, PktgenConfig, PublishingSource, SizeSource,
     StreamCache, StreamRole, TimedPacket, TxModel,
 };
+use pcs_trace::{SutTrace, TraceSink, TraceSpec};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One system under test: hardware plus kernel/application configuration.
 #[derive(Clone)]
@@ -238,23 +240,52 @@ fn distill(achieved_mbps: f64, reports: &[RunReport]) -> CellResult {
     }
 }
 
+/// Human-readable label of one cell — the (rate, repeat) coordinate a
+/// trace export names the cell by.
+pub fn cell_label(rate: Option<f64>, repeat: u32) -> String {
+    match rate {
+        Some(r) => format!("rate={r:?} rep={repeat}"),
+        None => format!("rate=full rep={repeat}"),
+    }
+}
+
 /// Run one cell — one repeat of one rate point over all SUTs — and
 /// distill the numbers every aggregation needs.
+///
+/// When `exec.trace` is set, every SUT simulates with an enabled sink
+/// and the cell's per-SUT event logs, metrics and drop attributions are
+/// recorded in the collector (first write wins; duplicates are
+/// identical by determinism). Tracing never changes the distilled
+/// numbers.
 fn run_cell(
     suts: &[Sut],
     cfg: &CycleConfig,
     rate: Option<f64>,
     repeat: u32,
-    pipeline: PipelineConfig,
-    stats: &ExecStats,
+    exec: &ExecConfig,
 ) -> CellResult {
-    if pipeline.is_streaming() && !suts.is_empty() {
-        run_cell_streaming(suts, cfg, rate, repeat, pipeline, stats)
+    let spec = exec.trace.as_ref().map(|collector| collector.spec());
+    let (achieved, mut reports) = if exec.pipeline.is_streaming() && !suts.is_empty() {
+        run_cell_streaming(suts, cfg, rate, repeat, exec, spec)
     } else {
         let (stream, achieved) = generate_run(cfg, rate, repeat);
-        let reports = run_sniffers(suts, &stream);
-        distill(achieved, &reports)
+        (achieved, run_sniffers_with(suts, &stream, spec))
+    };
+    let result = distill(achieved, &reports);
+    if let Some(collector) = &exec.trace {
+        let traces = suts
+            .iter()
+            .zip(reports.iter_mut())
+            .map(|(sut, report)| SutTrace {
+                label: sut.spec.label(),
+                report: report.trace.take().map(|boxed| *boxed).unwrap_or_default(),
+                attributions: report.attributions(),
+            })
+            .collect();
+        let key = wide_key(cell_key(suts, cfg, rate, repeat));
+        collector.record_cell(cell_label(rate, repeat), key, traces);
     }
+    result
 }
 
 /// The cell's chunk source: the generator, optionally teed through or
@@ -271,21 +302,26 @@ fn cell_source(
     cfg: &CycleConfig,
     rate: Option<f64>,
     repeat: u32,
-    pipeline: PipelineConfig,
-    stats: &ExecStats,
+    exec: &ExecConfig,
 ) -> Box<dyn PacketSource> {
+    let pipeline = exec.pipeline;
+    let stats = &exec.stats;
     let generate =
         || ChunkedGenerator::new(build_generator(cfg, rate, repeat), pipeline.chunk_packets);
     if pipeline.stream_cache_bytes == 0 {
         return Box::new(generate());
     }
     let cache = StreamCache::global();
+    let probe = stats.profiling().then(Instant::now);
     match cache.acquire(stream_key(cfg, rate, repeat), pipeline.stream_cache_bytes) {
         StreamRole::Produce(publisher) => {
             stats.record_stream_generated();
             Box::new(PublishingSource::new(generate(), publisher))
         }
         StreamRole::Subscribe(subscriber) => {
+            if let Some(t0) = probe {
+                stats.note_stream_subscribe(t0.elapsed().as_nanos() as u64);
+            }
             stats.record_stream_shared();
             Box::new(subscriber)
         }
@@ -303,10 +339,11 @@ fn run_cell_streaming(
     cfg: &CycleConfig,
     rate: Option<f64>,
     repeat: u32,
-    pipeline: PipelineConfig,
-    stats: &ExecStats,
-) -> CellResult {
-    let mut source = cell_source(cfg, rate, repeat, pipeline, stats);
+    exec: &ExecConfig,
+    trace: Option<TraceSpec>,
+) -> (f64, Vec<RunReport>) {
+    let pipeline = exec.pipeline;
+    let mut source = cell_source(cfg, rate, repeat, exec);
     let splitter = OpticalSplitter::new(suts.len() as u32);
     let (sender, outputs) = splitter.channel(pipeline.depth_chunks);
 
@@ -320,7 +357,12 @@ fn run_cell_streaming(
             .map(|(sut, output)| {
                 let spec = sut.spec;
                 let sim = sut.sim.clone();
-                scope.spawn(move || MachineSim::new(spec, sim).run_source(output))
+                let sink = trace.map(TraceSink::bounded).unwrap_or_default();
+                scope.spawn(move || {
+                    MachineSim::new(spec, sim)
+                        .with_trace(sink)
+                        .run_source(output)
+                })
             })
             .collect();
         while let Some(chunk) = source.next_chunk() {
@@ -343,31 +385,52 @@ fn run_cell_streaming(
         "switch must confirm every generated packet went out"
     );
     if pipeline.stream_cache_bytes > 0 {
-        stats.note_stream_resident(StreamCache::global().resident_bytes());
+        exec.stats
+            .note_stream_resident(StreamCache::global().resident_bytes());
     }
-    distill(account.achieved_mbps(), &reports)
+    (account.achieved_mbps(), reports)
 }
 
 /// [`run_cell`] through the process-global [`RunCache`]: figures that
 /// re-run the same baseline configuration pay for each cell once per
 /// process.
+///
+/// A cache hit whose trace the collector has not yet recorded re-runs
+/// the cell (counted as a run, not a hit): the memo table stores
+/// distilled numbers only, and determinism makes the re-run's trace the
+/// one the original computation would have produced.
 fn run_cell_cached(
     suts: &[Sut],
     cfg: &CycleConfig,
     rate: Option<f64>,
     repeat: u32,
-    pipeline: PipelineConfig,
-    stats: &ExecStats,
+    exec: &ExecConfig,
 ) -> CellResult {
     let key = cell_key(suts, cfg, rate, repeat);
     let cache = RunCache::global();
-    if let Some(hit) = cache.get(&key) {
-        stats.record_cached();
-        return hit;
+    let profiling = exec.stats.profiling();
+    let trace_missing = exec
+        .trace
+        .as_ref()
+        .is_some_and(|collector| !collector.contains(&cell_label(rate, repeat), wide_key(key)));
+    if !trace_missing {
+        let probe = profiling.then(Instant::now);
+        if let Some(hit) = cache.get(&key) {
+            if let Some(t0) = probe {
+                exec.stats
+                    .note_run_cache_hit(t0.elapsed().as_nanos() as u64);
+            }
+            exec.stats.record_cached();
+            return hit;
+        }
     }
-    let result = run_cell(suts, cfg, rate, repeat, pipeline, stats);
+    let started = profiling.then(Instant::now);
+    let result = run_cell(suts, cfg, rate, repeat, exec);
+    if let Some(t0) = started {
+        exec.stats.note_cell_wall(t0.elapsed().as_nanos() as u64);
+    }
     cache.insert(key, result.clone());
-    stats.record_run();
+    exec.stats.record_run();
     result
 }
 
@@ -425,7 +488,7 @@ pub fn aggregate_point(
 pub fn run_point(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>) -> PointResult {
     let exec = ExecConfig::serial();
     let cells: Vec<CellResult> = (0..cfg.repeats)
-        .map(|repeat| run_cell_cached(suts, cfg, rate, repeat, exec.pipeline, &exec.stats))
+        .map(|repeat| run_cell_cached(suts, cfg, rate, repeat, &exec))
         .collect();
     let labels: Vec<String> = suts.iter().map(|sut| sut.spec.label()).collect();
     aggregate_point(rate, cfg.count, &labels, &cells)
@@ -433,6 +496,15 @@ pub fn run_point(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>) -> PointRes
 
 /// Run all sniffers over one shared stream, concurrently.
 pub fn run_sniffers(suts: &[Sut], stream: &Arc<Vec<TimedPacket>>) -> Vec<RunReport> {
+    run_sniffers_with(suts, stream, None)
+}
+
+/// [`run_sniffers`], optionally with an enabled trace sink per SUT.
+fn run_sniffers_with(
+    suts: &[Sut],
+    stream: &Arc<Vec<TimedPacket>>,
+    trace: Option<TraceSpec>,
+) -> Vec<RunReport> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = suts
             .iter()
@@ -440,9 +512,10 @@ pub fn run_sniffers(suts: &[Sut], stream: &Arc<Vec<TimedPacket>>) -> Vec<RunRepo
                 let stream = Arc::clone(stream);
                 let spec = sut.spec;
                 let sim = sut.sim.clone();
+                let sink = trace.map(TraceSink::bounded).unwrap_or_default();
                 scope.spawn(move || {
                     let source = stream.iter().map(|tp| (tp.time, tp.packet.clone()));
-                    MachineSim::new(spec, sim).run(source)
+                    MachineSim::new(spec, sim).with_trace(sink).run(source)
                 })
             })
             .collect();
@@ -483,7 +556,7 @@ pub fn run_sweep_exec(
         .flat_map(|(ri, _)| (0..cfg.repeats).map(move |rep| (ri, rep)))
         .collect();
     let results: Vec<CellResult> = parallel_ordered(cells, exec.jobs, |_, (ri, repeat)| {
-        run_cell_cached(suts, cfg, rates[ri], repeat, exec.pipeline, &exec.stats)
+        run_cell_cached(suts, cfg, rates[ri], repeat, exec)
     });
     let labels: Vec<String> = suts.iter().map(|sut| sut.spec.label()).collect();
     rates
@@ -514,6 +587,7 @@ pub fn standard_suts(sim: SimConfig) -> Vec<Sut> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::PipelineConfig;
     use pcs_oskernel::BufferConfig;
 
     fn quick_cfg() -> CycleConfig {
@@ -611,9 +685,10 @@ mod tests {
             },
         ];
         let cfg = quick_cfg();
-        let stats = ExecStats::default();
+        let exec = ExecConfig::serial();
         for rate in [Some(250.0), None] {
-            let reference = run_cell(&suts, &cfg, rate, 0, PipelineConfig::materialized(), &stats);
+            let materialized = exec.clone().with_pipeline(PipelineConfig::materialized());
+            let reference = run_cell(&suts, &cfg, rate, 0, &materialized);
             for chunk_packets in [1usize, 1009, 4096] {
                 for depth_chunks in [1usize, 4] {
                     let pipeline = PipelineConfig {
@@ -621,7 +696,8 @@ mod tests {
                         depth_chunks,
                         stream_cache_bytes: 0,
                     };
-                    let streamed = run_cell(&suts, &cfg, rate, 0, pipeline, &stats);
+                    let streamed =
+                        run_cell(&suts, &cfg, rate, 0, &exec.clone().with_pipeline(pipeline));
                     assert_eq!(
                         reference, streamed,
                         "chunk={chunk_packets} depth={depth_chunks} rate={rate:?}"
@@ -629,7 +705,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(stats.streams_generated() + stats.streams_shared(), 0);
+        assert_eq!(
+            exec.stats.streams_generated() + exec.stats.streams_shared(),
+            0
+        );
     }
 
     #[test]
@@ -648,12 +727,12 @@ mod tests {
                 sim: SimConfig::default(),
             },
         ];
-        let stats = ExecStats::default();
+        let exec = ExecConfig::serial();
         for rate in [Some(250.0), None] {
             let off = PipelineConfig::streaming().with_stream_cache(0);
-            let reference = run_cell(&suts, &cfg, rate, 0, off, &stats);
+            let reference = run_cell(&suts, &cfg, rate, 0, &exec.clone().with_pipeline(off));
             // First cached run generates and publishes …
-            let cold = run_cell(&suts, &cfg, rate, 0, PipelineConfig::streaming(), &stats);
+            let cold = run_cell(&suts, &cfg, rate, 0, &exec);
             // … the second subscribes, through a *different* chunk size
             // (subscribers take the producer's chunk boundaries).
             let warm = run_cell(
@@ -661,15 +740,14 @@ mod tests {
                 &cfg,
                 rate,
                 0,
-                PipelineConfig::with_chunk(1009),
-                &stats,
+                &exec.clone().with_pipeline(PipelineConfig::with_chunk(1009)),
             );
             assert_eq!(reference, cold, "rate={rate:?}");
             assert_eq!(reference, warm, "rate={rate:?}");
         }
-        assert_eq!(stats.streams_generated(), 2);
-        assert_eq!(stats.streams_shared(), 2);
-        assert!(stats.peak_stream_bytes() > 0);
+        assert_eq!(exec.stats.streams_generated(), 2);
+        assert_eq!(exec.stats.streams_shared(), 2);
+        assert!(exec.stats.peak_stream_bytes() > 0);
     }
 
     #[test]
@@ -722,11 +800,82 @@ mod tests {
             &cfg,
             Some(100.0),
             0,
-            PipelineConfig::streaming(),
-            &ExecStats::default(),
+            &ExecConfig::serial(),
         );
         assert_eq!(streamed.achieved_mbps, 0.0);
         assert_eq!(streamed.suts.len(), 1);
+    }
+
+    #[test]
+    fn traced_cells_record_balanced_attributions_without_changing_results() {
+        use pcs_trace::TraceCollector;
+        // Unique packet count: run and stream caches are process-global.
+        let mut cfg = CycleConfig::mwn(8_317, 99);
+        cfg.repeats = 1;
+        let suts = vec![
+            Sut {
+                spec: MachineSpec::swan(),
+                sim: SimConfig::default(),
+            },
+            Sut {
+                spec: MachineSpec::moorhen(),
+                sim: SimConfig::default(),
+            },
+        ];
+        let collector = Arc::new(TraceCollector::new(TraceSpec::default()));
+        let exec = ExecConfig::serial().with_trace(Arc::clone(&collector));
+        let traced = run_cell_cached(&suts, &cfg, Some(300.0), 0, &exec);
+        assert_eq!(collector.len(), 1);
+        let cell = &collector.cells()[0];
+        assert_eq!(cell.label, "rate=300.0 rep=0");
+        assert_eq!(cell.suts.len(), 2);
+        for sut in &cell.suts {
+            assert!(!sut.report.events.is_empty(), "{}", sut.label);
+            assert!(!sut.attributions.is_empty(), "{}", sut.label);
+            for attr in &sut.attributions {
+                assert!(attr.balanced(), "{}: {attr:?}", sut.label);
+                assert_eq!(attr.generated, cfg.count);
+            }
+        }
+        // The same cell untraced must distill identically (the sink only
+        // observes) and be served from the run cache.
+        let untraced_exec = ExecConfig::serial();
+        let untraced = run_cell_cached(&suts, &cfg, Some(300.0), 0, &untraced_exec);
+        assert_eq!(format!("{traced:?}"), format!("{untraced:?}"));
+        assert_eq!(untraced_exec.stats.cells_cached(), 1);
+        // A fresh collector re-runs the cached cell to reproduce its
+        // trace (the memo table stores distilled numbers only).
+        let fresh = Arc::new(TraceCollector::new(TraceSpec::default()));
+        let retrace_exec = ExecConfig::serial().with_trace(Arc::clone(&fresh));
+        let retraced = run_cell_cached(&suts, &cfg, Some(300.0), 0, &retrace_exec);
+        assert_eq!(retrace_exec.stats.cells_run(), 1);
+        assert_eq!(retrace_exec.stats.cells_cached(), 0);
+        assert_eq!(format!("{traced:?}"), format!("{retraced:?}"));
+        assert_eq!(fresh.cells(), collector.cells(), "traces are reproducible");
+    }
+
+    #[test]
+    fn profiling_collects_host_side_timings() {
+        let mut cfg = CycleConfig::mwn(8_423, 5150);
+        cfg.repeats = 2;
+        let suts = vec![Sut {
+            spec: MachineSpec::flamingo(),
+            sim: SimConfig::default(),
+        }];
+        let exec = ExecConfig::serial();
+        exec.stats.enable_profiling();
+        assert!(exec.stats.profiling());
+        run_sweep_exec(&suts, &cfg, &[Some(200.0)], &exec);
+        assert!(exec.stats.cell_wall_ns() > 0);
+        assert!(exec.stats.cell_wall_ns_max() <= exec.stats.cell_wall_ns());
+        // Re-running hits the run cache; the hit latency is recorded.
+        run_sweep_exec(&suts, &cfg, &[Some(200.0)], &exec);
+        assert_eq!(exec.stats.cells_cached(), 2);
+        // (hit service time can legitimately round to 0 ns; just make
+        // sure nothing panicked and the counters stayed monotone)
+        let wall = exec.stats.cell_wall_ns();
+        run_sweep_exec(&suts, &cfg, &[Some(200.0)], &exec);
+        assert_eq!(exec.stats.cell_wall_ns(), wall, "hits don't count as runs");
     }
 
     #[test]

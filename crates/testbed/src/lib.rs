@@ -34,9 +34,9 @@ pub mod sched;
 pub mod splitter;
 pub mod switch;
 
-pub use cache::{cell_key, stream_key, CellKey, CellResult, CellSut, RunCache};
+pub use cache::{cell_key, stream_key, wide_key, CellKey, CellResult, CellSut, RunCache};
 pub use cycle::{
-    aggregate_point, run_point, run_sniffers, run_sweep, run_sweep_exec, standard_suts,
+    aggregate_point, cell_label, run_point, run_sniffers, run_sweep, run_sweep_exec, standard_suts,
     CycleConfig, PointResult, Sut, SutPoint,
 };
 pub use sched::{

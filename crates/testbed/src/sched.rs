@@ -8,11 +8,19 @@
 //! assigns cells to workers dynamically but writes every result back into
 //! its input-order slot.
 
+use pcs_trace::TraceCollector;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Counters a sweep (or a whole CLI run) accumulates while executing.
+///
+/// The cache/stream counters are always maintained (they are cheap
+/// relaxed increments). The host-side *profiling* set — per-cell wall
+/// time and cache-hit service latencies — is only collected after
+/// [`ExecStats::enable_profiling`] (CLI `--profile`), because it reads
+/// the host clock; it describes execution speed, never simulation
+/// results.
 #[derive(Debug, Default)]
 pub struct ExecStats {
     cells_run: AtomicU64,
@@ -20,6 +28,11 @@ pub struct ExecStats {
     streams_generated: AtomicU64,
     streams_shared: AtomicU64,
     peak_stream_bytes: AtomicU64,
+    profile: AtomicBool,
+    cell_wall_ns: AtomicU64,
+    cell_wall_ns_max: AtomicU64,
+    run_cache_hit_ns: AtomicU64,
+    stream_subscribe_ns: AtomicU64,
 }
 
 impl ExecStats {
@@ -74,6 +87,56 @@ impl ExecStats {
     /// execution's cells.
     pub fn peak_stream_bytes(&self) -> u64 {
         self.peak_stream_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Turn on host-side profiling for every execution sharing these
+    /// counters.
+    pub fn enable_profiling(&self) {
+        self.profile.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether host-side profiling is being collected.
+    pub fn profiling(&self) -> bool {
+        self.profile.load(Ordering::Relaxed)
+    }
+
+    /// Record one simulated cell's wall-clock time (profiling only).
+    pub fn note_cell_wall(&self, ns: u64) {
+        self.cell_wall_ns.fetch_add(ns, Ordering::Relaxed);
+        self.cell_wall_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record the service time of one run-cache hit (profiling only).
+    pub fn note_run_cache_hit(&self, ns: u64) {
+        self.run_cache_hit_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record the acquisition time of one stream-cache subscription
+    /// (profiling only).
+    pub fn note_stream_subscribe(&self, ns: u64) {
+        self.stream_subscribe_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total wall-clock nanoseconds spent simulating cells. Dividing by
+    /// `elapsed × jobs` gives the worker pool's utilization.
+    pub fn cell_wall_ns(&self) -> u64 {
+        self.cell_wall_ns.load(Ordering::Relaxed)
+    }
+
+    /// Slowest single cell's wall-clock nanoseconds.
+    pub fn cell_wall_ns_max(&self) -> u64 {
+        self.cell_wall_ns_max.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock nanoseconds spent serving run-cache hits.
+    pub fn run_cache_hit_ns(&self) -> u64 {
+        self.run_cache_hit_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock nanoseconds spent acquiring stream-cache
+    /// subscriptions.
+    pub fn stream_subscribe_ns(&self) -> u64 {
+        self.stream_subscribe_ns.load(Ordering::Relaxed)
     }
 }
 
@@ -180,6 +243,12 @@ pub struct ExecConfig {
     pub pipeline: PipelineConfig,
     /// Shared run/cache counters.
     pub stats: Arc<ExecStats>,
+    /// When set, every cell simulates with an enabled
+    /// [`TraceSink`](pcs_trace::TraceSink) and records its event log,
+    /// metrics and drop attribution here. `None` (the default) keeps the
+    /// sims on the branch-cheap off path and the results byte-identical
+    /// to an untraced run.
+    pub trace: Option<Arc<TraceCollector>>,
 }
 
 impl ExecConfig {
@@ -199,12 +268,19 @@ impl ExecConfig {
             jobs: jobs.max(1),
             pipeline: PipelineConfig::default(),
             stats: Arc::new(ExecStats::default()),
+            trace: None,
         }
     }
 
     /// The same execution with a different pipeline shape.
     pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> ExecConfig {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// The same execution with every cell traced into `collector`.
+    pub fn with_trace(mut self, collector: Arc<TraceCollector>) -> ExecConfig {
+        self.trace = Some(collector);
         self
     }
 }

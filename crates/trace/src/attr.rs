@@ -1,0 +1,126 @@
+//! Per-stage drop attribution: where every generated packet ended up.
+
+/// Exhaustive accounting of one consumer's view of a run: every generated
+/// packet lands in exactly one bucket, so
+/// `generated == delivered + dropped()` holds exactly (see
+/// [`DropAttribution::balanced`]). This reproduces the paper's
+/// loss-localization tables (which stage killed the packet), extended with
+/// end-of-run residue buckets so the identity is exact even for runs that
+/// stop with packets in flight.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropAttribution {
+    /// Packets offered to the NIC (equals packets generated for the cell).
+    pub generated: u64,
+    /// Lost at the NIC: bus too slow or RX ring full.
+    pub nic_drops: u64,
+    /// Still sitting in the NIC ring when the run stopped.
+    pub nic_residue: u64,
+    /// Rejected by this consumer's packet filter.
+    pub filter_rejects: u64,
+    /// Lost at the kernel: capture buffer full.
+    pub kernel_buffer_drops: u64,
+    /// Lost at the kernel: shared packet pool exhausted.
+    pub kernel_pool_drops: u64,
+    /// Accepted and stored, but still in a kernel buffer at stop.
+    pub kernel_residue: u64,
+    /// Handed to the application but not yet processed at stop.
+    pub app_residue: u64,
+    /// Fully processed by the application.
+    pub delivered: u64,
+}
+
+impl DropAttribution {
+    /// Column headers matching [`DropAttribution::values`].
+    pub const COLUMNS: [&'static str; 9] = [
+        "generated",
+        "nic_drops",
+        "nic_residue",
+        "filter_rejects",
+        "kernel_buffer_drops",
+        "kernel_pool_drops",
+        "kernel_residue",
+        "app_residue",
+        "delivered",
+    ];
+
+    /// All buckets in column order.
+    pub fn values(&self) -> [u64; 9] {
+        [
+            self.generated,
+            self.nic_drops,
+            self.nic_residue,
+            self.filter_rejects,
+            self.kernel_buffer_drops,
+            self.kernel_pool_drops,
+            self.kernel_residue,
+            self.app_residue,
+            self.delivered,
+        ]
+    }
+
+    /// Packets that did not reach the application: the sum of every
+    /// non-`delivered` bucket.
+    pub fn dropped(&self) -> u64 {
+        self.nic_drops
+            + self.nic_residue
+            + self.filter_rejects
+            + self.kernel_buffer_drops
+            + self.kernel_pool_drops
+            + self.kernel_residue
+            + self.app_residue
+    }
+
+    /// The conservation identity: every generated packet is accounted for.
+    pub fn balanced(&self) -> bool {
+        self.generated == self.delivered + self.dropped()
+    }
+
+    /// Add another attribution bucket-by-bucket (for roll-up tables).
+    pub fn absorb(&mut self, other: &DropAttribution) {
+        self.generated += other.generated;
+        self.nic_drops += other.nic_drops;
+        self.nic_residue += other.nic_residue;
+        self.filter_rejects += other.filter_rejects;
+        self.kernel_buffer_drops += other.kernel_buffer_drops;
+        self.kernel_pool_drops += other.kernel_pool_drops;
+        self.kernel_residue += other.kernel_residue;
+        self.app_residue += other.app_residue;
+        self.delivered += other.delivered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balance_and_absorb() {
+        let mut a = DropAttribution {
+            generated: 10,
+            nic_drops: 2,
+            filter_rejects: 1,
+            delivered: 7,
+            ..Default::default()
+        };
+        assert!(a.balanced());
+        assert_eq!(a.dropped(), 3);
+
+        let b = DropAttribution {
+            generated: 5,
+            kernel_buffer_drops: 5,
+            ..Default::default()
+        };
+        assert!(b.balanced());
+        a.absorb(&b);
+        assert_eq!(a.generated, 15);
+        assert_eq!(a.dropped(), 8);
+        assert!(a.balanced());
+
+        let broken = DropAttribution {
+            generated: 3,
+            delivered: 1,
+            ..Default::default()
+        };
+        assert!(!broken.balanced());
+    }
+}

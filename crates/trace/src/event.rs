@@ -1,0 +1,262 @@
+//! Packet-lifecycle trace events and the stage filter.
+
+/// A point in a packet's life (or a batch/byte-level transfer) inside one
+/// machine simulation.
+///
+/// The stages mirror the loss-localization analysis of Schneider 2005
+/// (Ch. 5–6): a frame arrives on the wire, is admitted to (or dropped at)
+/// the NIC ring, crosses the bus in an IRQ/DMA batch, passes the packet
+/// filter, is stored in (or dropped at) the kernel buffer, is delivered to
+/// the application, and — for recording workloads — eventually reaches the
+/// disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// Frame fully arrived at the NIC (end-of-reception on the wire).
+    Wire = 0,
+    /// Frame admitted to the NIC RX ring.
+    NicEnqueue = 1,
+    /// Frame lost: the PCI bus could not sustain the transfer rate.
+    NicDropBus = 2,
+    /// Frame lost: the NIC RX ring was full.
+    NicDropRing = 3,
+    /// An IRQ fired and a batch of ring slots was transferred to the host.
+    BusTransfer = 4,
+    /// The packet filter accepted the frame for one consumer.
+    FilterAccept = 5,
+    /// The packet filter rejected the frame for one consumer.
+    FilterReject = 6,
+    /// Frame stored in a kernel capture buffer (BPF store buffer or socket
+    /// receive queue).
+    KernelEnqueue = 7,
+    /// Frame lost: the kernel capture buffer was full.
+    KernelDropBuffer = 8,
+    /// Frame lost: the shared packet pool was exhausted (PF_PACKET).
+    KernelDropPool = 9,
+    /// Frame processed by the application (end of the capture path).
+    AppDeliver = 10,
+    /// Dirty bytes written back to disk.
+    DiskWrite = 11,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 12] = [
+        Stage::Wire,
+        Stage::NicEnqueue,
+        Stage::NicDropBus,
+        Stage::NicDropRing,
+        Stage::BusTransfer,
+        Stage::FilterAccept,
+        Stage::FilterReject,
+        Stage::KernelEnqueue,
+        Stage::KernelDropBuffer,
+        Stage::KernelDropPool,
+        Stage::AppDeliver,
+        Stage::DiskWrite,
+    ];
+
+    /// Stable snake_case name (used in exports and the `--trace` filter).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Wire => "wire",
+            Stage::NicEnqueue => "nic_enqueue",
+            Stage::NicDropBus => "nic_drop_bus",
+            Stage::NicDropRing => "nic_drop_ring",
+            Stage::BusTransfer => "bus_transfer",
+            Stage::FilterAccept => "filter_accept",
+            Stage::FilterReject => "filter_reject",
+            Stage::KernelEnqueue => "kernel_enqueue",
+            Stage::KernelDropBuffer => "kernel_drop_buffer",
+            Stage::KernelDropPool => "kernel_drop_pool",
+            Stage::AppDeliver => "app_deliver",
+            Stage::DiskWrite => "disk_write",
+        }
+    }
+
+    /// Coarse category for trace viewers (`cat` in Chrome trace JSON).
+    pub fn category(self) -> &'static str {
+        match self {
+            Stage::Wire => "wire",
+            Stage::NicEnqueue => "nic",
+            Stage::NicDropBus | Stage::NicDropRing => "drop",
+            Stage::BusTransfer => "bus",
+            Stage::FilterAccept | Stage::FilterReject => "filter",
+            Stage::KernelEnqueue => "kernel",
+            Stage::KernelDropBuffer | Stage::KernelDropPool => "drop",
+            Stage::AppDeliver => "app",
+            Stage::DiskWrite => "disk",
+        }
+    }
+
+    /// True for the stages where a packet leaves the pipeline without being
+    /// delivered.
+    pub fn is_drop(self) -> bool {
+        matches!(
+            self,
+            Stage::NicDropBus
+                | Stage::NicDropRing
+                | Stage::FilterReject
+                | Stage::KernelDropBuffer
+                | Stage::KernelDropPool
+        )
+    }
+}
+
+/// `seq` value for events that do not refer to a single packet
+/// (batch transfers, disk writebacks).
+pub const SEQ_NONE: u64 = u64::MAX;
+
+/// `app` value for events not tied to one consumer.
+pub const APP_NONE: u16 = u16::MAX;
+
+/// One trace event. Compact and `Copy`: the hot path appends these to a
+/// pre-sized `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation timestamp in nanoseconds.
+    pub t_ns: u64,
+    /// Lifecycle stage.
+    pub stage: Stage,
+    /// Generator sequence number of the packet, or [`SEQ_NONE`].
+    pub seq: u64,
+    /// Bytes involved (frame length, batch bytes, written bytes).
+    pub bytes: u64,
+    /// Consumer (application) index, or [`APP_NONE`].
+    pub app: u16,
+    /// Packets involved (1 for per-packet events, batch size for
+    /// [`Stage::BusTransfer`], chunk size for writebacks).
+    pub count: u32,
+}
+
+/// Bitmask over [`Stage`]s selecting which events a sink records.
+///
+/// Parsed from the `--trace PATH[:filter]` suffix: a comma-separated list
+/// of stage names or group aliases (`all`, `drops`, `nic`, `bus`, `filter`,
+/// `kernel`, `app`, `wire`, `disk`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageFilter(u16);
+
+impl Default for StageFilter {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl StageFilter {
+    /// Record every stage.
+    pub fn all() -> Self {
+        StageFilter((1u16 << Stage::ALL.len()) - 1)
+    }
+
+    /// Record nothing (metrics still accumulate).
+    pub fn none() -> Self {
+        StageFilter(0)
+    }
+
+    /// Only the packet-loss stages.
+    pub fn drops() -> Self {
+        let mut f = StageFilter::none();
+        for s in Stage::ALL {
+            if s.is_drop() {
+                f.insert(s);
+            }
+        }
+        f
+    }
+
+    /// Add one stage to the set.
+    pub fn insert(&mut self, stage: Stage) {
+        self.0 |= 1u16 << stage as u8;
+    }
+
+    /// Whether `stage` is recorded.
+    #[inline]
+    pub fn contains(&self, stage: Stage) -> bool {
+        self.0 & (1u16 << stage as u8) != 0
+    }
+
+    /// Parse a comma-separated filter spec. Empty input means `all`.
+    pub fn parse(spec: &str) -> Result<StageFilter, String> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Ok(StageFilter::all());
+        }
+        let mut f = StageFilter::none();
+        for part in spec.split(',') {
+            let part = part.trim();
+            match part {
+                "all" => f = StageFilter::all(),
+                "drops" => {
+                    for s in Stage::ALL {
+                        if s.is_drop() {
+                            f.insert(s);
+                        }
+                    }
+                }
+                "wire" => f.insert(Stage::Wire),
+                "nic" => {
+                    f.insert(Stage::NicEnqueue);
+                    f.insert(Stage::NicDropBus);
+                    f.insert(Stage::NicDropRing);
+                }
+                "bus" => f.insert(Stage::BusTransfer),
+                "filter" => {
+                    f.insert(Stage::FilterAccept);
+                    f.insert(Stage::FilterReject);
+                }
+                "kernel" => {
+                    f.insert(Stage::KernelEnqueue);
+                    f.insert(Stage::KernelDropBuffer);
+                    f.insert(Stage::KernelDropPool);
+                }
+                "app" => f.insert(Stage::AppDeliver),
+                "disk" => f.insert(Stage::DiskWrite),
+                other => {
+                    let stage = Stage::ALL.iter().find(|s| s.name() == other);
+                    match stage {
+                        Some(&s) => f.insert(s),
+                        None => {
+                            return Err(format!(
+                                "unknown trace filter term '{other}' (expected a stage \
+                                 name or one of: all, drops, wire, nic, bus, filter, \
+                                 kernel, app, disk)"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parse_groups_and_names() {
+        let f = StageFilter::parse("drops").unwrap();
+        assert!(f.contains(Stage::NicDropRing));
+        assert!(f.contains(Stage::FilterReject));
+        assert!(!f.contains(Stage::Wire));
+
+        let f = StageFilter::parse("wire,app_deliver").unwrap();
+        assert!(f.contains(Stage::Wire));
+        assert!(f.contains(Stage::AppDeliver));
+        assert!(!f.contains(Stage::NicEnqueue));
+
+        assert_eq!(StageFilter::parse("").unwrap(), StageFilter::all());
+        assert_eq!(StageFilter::parse("all").unwrap(), StageFilter::all());
+        assert!(StageFilter::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn every_stage_round_trips_through_its_name() {
+        for s in Stage::ALL {
+            let f = StageFilter::parse(s.name()).unwrap();
+            assert!(f.contains(s));
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Deterministic exports: Chrome trace-event JSON (Perfetto-loadable) and
+//! CSV.
+//!
+//! All rendering is integer-based or fixed-precision — no locale, no float
+//! shortest-round-trip — so identical traces serialize to byte-identical
+//! files on every platform.
+
+use std::fmt::Write as _;
+
+use crate::collect::CellTrace;
+use crate::event::{APP_NONE, SEQ_NONE};
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Microsecond timestamp with fixed 3-digit sub-µs precision, rendered
+/// from the integer nanosecond clock (Chrome trace `ts` is in µs).
+fn ts_us(t_ns: u64, out: &mut String) {
+    let _ = write!(out, "{}.{:03}", t_ns / 1000, t_ns % 1000);
+}
+
+/// Render collected cells as Chrome trace-event JSON.
+///
+/// Each cell becomes a process (`pid` = index in deterministic cell
+/// order), each SUT a thread. Packet-lifecycle events are instant events
+/// (`ph:"i"`); per-consumer drop attribution is emitted as counter events
+/// (`ph:"C"`) whose args carry the exact bucket counts; each SUT ends with
+/// a `metrics` summary event carrying its registry.
+pub fn chrome_trace_json(cells: &[CellTrace]) -> String {
+    let mut out = String::with_capacity(4096 + cells.len() * 1024);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        if *first {
+            *first = false;
+            out.push('\n');
+        } else {
+            out.push_str(",\n");
+        }
+    };
+    for (pid, cell) in cells.iter().enumerate() {
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":\""
+        );
+        escape_json(&cell.label, &mut out);
+        let _ = write!(out, " [{:032x}]\"}}}}", cell.key);
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_sort_index\",\
+             \"args\":{{\"sort_index\":{pid}}}}}"
+        );
+        for (tid, sut) in cell.suts.iter().enumerate() {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\""
+            );
+            escape_json(&sut.label, &mut out);
+            out.push_str("\"}}");
+            let mut end_ns: u64 = 0;
+            for ev in &sut.report.events {
+                end_ns = end_ns.max(ev.t_ns);
+                sep(&mut out, &mut first);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":",
+                    ev.stage.name(),
+                    ev.stage.category()
+                );
+                ts_us(ev.t_ns, &mut out);
+                let _ = write!(out, ",\"pid\":{pid},\"tid\":{tid},\"args\":{{");
+                let mut first_arg = true;
+                let mut arg = |out: &mut String, k: &str, v: u64| {
+                    if !first_arg {
+                        out.push(',');
+                    }
+                    first_arg = false;
+                    let _ = write!(out, "\"{k}\":{v}");
+                };
+                if ev.seq != SEQ_NONE {
+                    arg(&mut out, "seq", ev.seq);
+                }
+                arg(&mut out, "bytes", ev.bytes);
+                arg(&mut out, "count", ev.count as u64);
+                if ev.app != APP_NONE {
+                    arg(&mut out, "app", ev.app as u64);
+                }
+                out.push_str("}}");
+            }
+            // Exact drop attribution per consumer, as counter events. These
+            // come from the sim's end-of-run accounting, not the (bounded)
+            // event buffer, so the bucket sums are exact even when the
+            // event log truncated.
+            for (app, attr) in sut.attributions.iter().enumerate() {
+                sep(&mut out, &mut first);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"drop_attribution/app{app}\",\"ph\":\"C\",\"ts\":"
+                );
+                ts_us(end_ns, &mut out);
+                let _ = write!(out, ",\"pid\":{pid},\"tid\":{tid},\"args\":{{");
+                for (i, (col, v)) in crate::DropAttribution::COLUMNS
+                    .iter()
+                    .zip(attr.values())
+                    .enumerate()
+                {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{col}\":{v}");
+                }
+                out.push_str("}}");
+            }
+            // Metrics summary for the SUT.
+            sep(&mut out, &mut first);
+            out.push_str(
+                "{\"name\":\"metrics\",\"cat\":\"summary\",\"ph\":\"i\",\"s\":\"t\",\"ts\":",
+            );
+            ts_us(end_ns, &mut out);
+            let _ = write!(out, ",\"pid\":{pid},\"tid\":{tid},\"args\":{{");
+            let mut first_arg = true;
+            let key = |out: &mut String, first_arg: &mut bool, k: &str| {
+                if !*first_arg {
+                    out.push(',');
+                }
+                *first_arg = false;
+                out.push('"');
+                escape_json(k, out);
+                out.push_str("\":");
+            };
+            key(&mut out, &mut first_arg, "truncated_events");
+            let _ = write!(out, "{}", sut.report.truncated);
+            for (name, v) in sut.report.metrics.counters() {
+                key(&mut out, &mut first_arg, &format!("counter/{name}"));
+                let _ = write!(out, "{v}");
+            }
+            for (name, v) in sut.report.metrics.gauges() {
+                key(&mut out, &mut first_arg, &format!("gauge/{name}"));
+                let _ = write!(out, "{v:.6}");
+            }
+            for (name, h) in sut.report.metrics.histograms() {
+                key(&mut out, &mut first_arg, &format!("hist/{name}/count"));
+                let _ = write!(out, "{}", h.count());
+                key(&mut out, &mut first_arg, &format!("hist/{name}/min"));
+                let _ = write!(out, "{}", h.min());
+                key(&mut out, &mut first_arg, &format!("hist/{name}/max"));
+                let _ = write!(out, "{}", h.max());
+                key(&mut out, &mut first_arg, &format!("hist/{name}/mean"));
+                let _ = write!(out, "{:.3}", h.mean());
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render collected cells as a flat CSV (one row per event).
+pub fn events_csv(cells: &[CellTrace]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("cell_key,cell,sut,t_ns,stage,category,seq,bytes,app,count\n");
+    for cell in cells {
+        for sut in &cell.suts {
+            for ev in &sut.report.events {
+                let _ = write!(out, "{:032x},", cell.key);
+                csv_field(&cell.label, &mut out);
+                out.push(',');
+                csv_field(&sut.label, &mut out);
+                let _ = write!(
+                    out,
+                    ",{},{},{},",
+                    ev.t_ns,
+                    ev.stage.name(),
+                    ev.stage.category()
+                );
+                if ev.seq != SEQ_NONE {
+                    let _ = write!(out, "{}", ev.seq);
+                }
+                let _ = write!(out, ",{},", ev.bytes);
+                if ev.app != APP_NONE {
+                    let _ = write!(out, "{}", ev.app);
+                }
+                let _ = writeln!(out, ",{}", ev.count);
+            }
+        }
+    }
+    out
+}
+
+/// Quote a CSV field if it contains a comma, quote, or newline.
+fn csv_field(s: &str, out: &mut String) {
+    if s.contains([',', '"', '\n']) {
+        out.push('"');
+        out.push_str(&s.replace('"', "\"\""));
+        out.push('"');
+    } else {
+        out.push_str(s);
+    }
+}
+
+/// Minimal JSON well-formedness checker (the build has no serde_json).
+///
+/// Accepts exactly the RFC 8259 grammar; used by tests and smoke checks to
+/// prove emitted traces parse before they ever reach Perfetto.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos:?}")),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(format!("bad \\u escape at byte {}", *pos)),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control char at byte {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b[int_start] == b'0' && *pos > int_start + 1 {
+        return Err(format!("leading zero at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::SutTrace;
+    use crate::event::{Stage, TraceEvent};
+    use crate::sink::TraceReport;
+    use crate::DropAttribution;
+
+    fn sample_cells() -> Vec<CellTrace> {
+        let mut metrics = crate::MetricsRegistry::new();
+        metrics.inc("irq_fires", 2);
+        metrics.set_gauge("final_depth", 1.25);
+        metrics.observe("latency_ns", 1500);
+        vec![CellTrace {
+            label: "count=10 seed=1 rate=100 repeat=0".into(),
+            key: 0xdead_beef,
+            suts: vec![SutTrace {
+                label: "FreeBSD \"tcpdump\"".into(),
+                report: TraceReport {
+                    events: vec![
+                        TraceEvent {
+                            t_ns: 0,
+                            stage: Stage::Wire,
+                            seq: 0,
+                            bytes: 60,
+                            app: APP_NONE,
+                            count: 1,
+                        },
+                        TraceEvent {
+                            t_ns: 1234,
+                            stage: Stage::AppDeliver,
+                            seq: 0,
+                            bytes: 60,
+                            app: 0,
+                            count: 1,
+                        },
+                    ],
+                    truncated: 0,
+                    metrics,
+                },
+                attributions: vec![DropAttribution {
+                    generated: 10,
+                    nic_drops: 1,
+                    delivered: 9,
+                    ..Default::default()
+                }],
+            }],
+        }]
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_deterministic() {
+        let cells = sample_cells();
+        let a = chrome_trace_json(&cells);
+        let b = chrome_trace_json(&cells);
+        assert_eq!(a, b);
+        validate_json(&a).expect("emitted trace JSON must be well-formed");
+        assert!(a.contains("\"process_name\""));
+        assert!(a.contains("\"app_deliver\""));
+        assert!(a.contains("drop_attribution/app0"));
+        assert!(a.contains("\"generated\":10"));
+        // escaped quote from the SUT label survived
+        assert!(a.contains("FreeBSD \\\"tcpdump\\\""));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let cells = sample_cells();
+        let csv = events_csv(&cells);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "cell_key,cell,sut,t_ns,stage,category,seq,bytes,app,count"
+        );
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("app_deliver"));
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e3",
+            "[1,2,3]",
+            "{\"a\":{\"b\":[true,false,null,\"x\\n\\u0041\"]}}",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+        for bad in ["{", "[1,]", "{\"a\":}", "01", "\"\\q\"", "[] []", "{'a':1}"] {
+            assert!(validate_json(bad).is_err(), "accepted bad JSON: {bad}");
+        }
+    }
+}

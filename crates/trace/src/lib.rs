@@ -1,0 +1,36 @@
+//! # pcs-trace — deterministic tracing and metrics for the capture sims
+//!
+//! A zero-cost-when-disabled observability layer for the `pcapbench`
+//! reproduction of Schneider 2005. Three pieces:
+//!
+//! * **Packet-lifecycle events** ([`Stage`], [`TraceEvent`], [`TraceSink`])
+//!   — wire arrival, NIC ring enqueue/drop, bus transfer, filter
+//!   accept/reject, kernel-buffer enqueue/drop, app delivery, disk write —
+//!   recorded into bounded per-sim buffers, timestamped with the *sim
+//!   clock*, so identical seeds produce byte-identical traces.
+//! * **Metrics** ([`MetricsRegistry`]) — named counters, gauges, and
+//!   log-bucketed histograms (wire→app latency, queue depths, batch
+//!   sizes), plus exact per-stage [`DropAttribution`] reproducing the
+//!   paper's loss-localization tables.
+//! * **Export** ([`export`]) — Chrome trace-event JSON (Perfetto-loadable)
+//!   and CSV, with a deterministic cross-cell [`TraceCollector`].
+//!
+//! The disabled path is one enum-discriminant branch per event site
+//! ([`TraceSink::Off`]); `--trace off` runs are byte-identical to an
+//! uninstrumented build's output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod collect;
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod sink;
+
+pub use attr::DropAttribution;
+pub use collect::{CellTrace, SutTrace, TraceCollector};
+pub use event::{Stage, StageFilter, TraceEvent, APP_NONE, SEQ_NONE};
+pub use metrics::MetricsRegistry;
+pub use sink::{TraceReport, TraceSink, TraceSpec, DEFAULT_EVENT_CAP};

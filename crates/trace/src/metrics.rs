@@ -1,0 +1,147 @@
+//! Named counters, gauges, and log-bucketed histograms for one machine sim.
+
+use std::collections::BTreeMap;
+
+use pcs_des::stats::LogHistogram;
+
+/// Per-sim metrics registry.
+///
+/// Keys are `BTreeMap`s so iteration order — and therefore every rendered
+/// export — is deterministic. Lookups on the hot path are by `&str` and
+/// only allocate the first time a name is seen.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to the named counter.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += by,
+            None => {
+                self.counters.insert(name.to_owned(), by);
+            }
+        }
+    }
+
+    /// Set the named gauge to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = value,
+            None => {
+                self.gauges.insert(name.to_owned(), value);
+            }
+        }
+    }
+
+    /// Record one observation into the named log-bucketed histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = LogHistogram::new();
+                h.record(value);
+                self.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Counter value, 0 if never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &LogHistogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold another registry into this one (counters add, gauges take the
+    /// other's value, histograms merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in other.counters() {
+            self.inc(name, v);
+        }
+        for (name, v) in other.gauges() {
+            self.set_gauge(name, v);
+        }
+        for (name, h) in other.histograms() {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.to_owned(), h.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_basics() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        m.inc("packets", 3);
+        m.inc("packets", 2);
+        m.set_gauge("depth", 1.5);
+        m.set_gauge("depth", 2.5);
+        m.observe("latency_ns", 100);
+        m.observe("latency_ns", 900);
+        assert_eq!(m.counter("packets"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("depth"), Some(2.5));
+        assert_eq!(m.histogram("latency_ns").unwrap().count(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn registry_merge() {
+        let mut a = MetricsRegistry::new();
+        a.inc("n", 1);
+        a.observe("h", 4);
+        let mut b = MetricsRegistry::new();
+        b.inc("n", 2);
+        b.observe("h", 8);
+        b.set_gauge("g", 7.0);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.gauge("g"), Some(7.0));
+    }
+}

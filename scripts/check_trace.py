@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by `experiments --trace`.
+
+Checks, in order:
+
+1. the file parses as JSON (an independent parser from the Rust emitter);
+2. the trace has the expected envelope (``displayTimeUnit``,
+   ``traceEvents``) and every event carries the required keys for its
+   phase;
+3. every ``drop_attribution/appN`` counter balances exactly:
+   generated == delivered + the seven loss buckets;
+4. optionally (``--golden FILE``) the event-count summary line matches a
+   checked-in snapshot, pinning the traced simulation's event population.
+
+Prints the summary line on success so CI logs show what was validated.
+Regenerate the snapshot by re-running with ``--update-golden`` after an
+intentional simulation change.
+"""
+
+import argparse
+import json
+import sys
+
+ATTR_COLUMNS = [
+    "generated",
+    "nic_drops",
+    "nic_residue",
+    "filter_rejects",
+    "kernel_buffer_drops",
+    "kernel_pool_drops",
+    "kernel_residue",
+    "app_residue",
+    "delivered",
+]
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--golden", help="compare the summary line to this snapshot file")
+    ap.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="rewrite the --golden file with the observed summary",
+    )
+    args = ap.parse_args()
+
+    with open(args.trace, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"not valid JSON: {e}")
+
+    if doc.get("displayTimeUnit") != "ns":
+        fail(f"displayTimeUnit must be 'ns', got {doc.get('displayTimeUnit')!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    pids = set()
+    counts = {"M": 0, "i": 0, "C": 0}
+    attributions = 0
+    for ev in events:
+        ph = ev.get("ph")
+        if ph not in counts:
+            fail(f"unexpected phase {ph!r} in {ev}")
+        counts[ph] += 1
+        if "pid" not in ev:
+            fail(f"event without pid: {ev}")
+        process_scoped = ph == "M" and ev.get("name") in ("process_name", "process_sort_index")
+        if not process_scoped and "tid" not in ev:
+            fail(f"thread-scoped event without tid: {ev}")
+        pids.add(ev["pid"])
+        if ph != "M" and "ts" not in ev:
+            fail(f"non-metadata event without ts: {ev}")
+        if ph == "C" and str(ev.get("name", "")).startswith("drop_attribution/"):
+            a = ev["args"]
+            missing = [c for c in ATTR_COLUMNS if c not in a]
+            if missing:
+                fail(f"{ev['name']} missing buckets {missing}")
+            drops = sum(a[c] for c in ATTR_COLUMNS if c not in ("generated", "delivered"))
+            if a["generated"] != a["delivered"] + drops:
+                fail(
+                    f"{ev['name']} (pid {ev['pid']}, tid {ev.get('tid')}): "
+                    f"generated {a['generated']} != delivered {a['delivered']} + drops {drops}"
+                )
+            attributions += 1
+
+    if attributions == 0:
+        fail("no drop_attribution counters found")
+
+    summary = (
+        f"cells={len(pids)} metadata={counts['M']} instants={counts['i']} "
+        f"counters={counts['C']} attributions={attributions}"
+    )
+    print(f"check_trace: OK: {summary}")
+
+    if args.golden:
+        if args.update_golden:
+            with open(args.golden, "w", encoding="utf-8") as f:
+                f.write(summary + "\n")
+            print(f"check_trace: wrote golden snapshot {args.golden}")
+        else:
+            with open(args.golden, "r", encoding="utf-8") as f:
+                expected = f.read().strip()
+            if summary != expected:
+                fail(
+                    f"event counts drifted from golden snapshot {args.golden}:\n"
+                    f"  expected: {expected}\n"
+                    f"  observed: {summary}\n"
+                    "if the simulation changed intentionally, regenerate with --update-golden"
+                )
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,7 @@
 //! | [`pktgen`] | the enhanced packet generator (two-stage size distributions) |
 //! | [`hw`] | CPU/memory/PCI/NIC/disk models, the four machine presets |
 //! | [`oskernel`] | the simulated capture stacks (BPF device, PF_PACKET, mmap ring) |
+//! | [`trace`] | deterministic packet-lifecycle tracing, metrics, drop attribution |
 //! | [`capture`] | libpcap-style sessions and the measurement application |
 //! | [`profiling`] | cpusage + trimusage |
 //! | [`testbed`] | splitter, switch, measurement cycle |
@@ -57,6 +58,7 @@ pub use pcs_pcapfile as pcapfile;
 pub use pcs_pktgen as pktgen;
 pub use pcs_profiling as profiling;
 pub use pcs_testbed as testbed;
+pub use pcs_trace as trace;
 pub use pcs_wire as wire;
 pub use pcs_zdeflate as zdeflate;
 
