@@ -56,18 +56,23 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Parse `--trace`'s `PATH[:FILTER]` argument (`off` disables tracing).
-fn parse_trace_arg(arg: &str) -> Result<Option<(String, StageFilter)>, String> {
+///
+/// The suffix after the last `:` is taken as a stage filter only when it
+/// parses as one; anything else falls back to treating the whole argument
+/// as the path, so paths that merely contain a colon (`C:\t.json`,
+/// `out:1/x.json`) still work.
+fn parse_trace_arg(arg: &str) -> Option<(String, StageFilter)> {
     if arg == "off" {
-        return Ok(None);
+        return None;
     }
     if let Some((path, filter)) = arg.rsplit_once(':') {
         if !path.is_empty() {
-            let filter = StageFilter::parse(filter)
-                .map_err(|e| format!("--trace {arg}: bad stage filter: {e}"))?;
-            return Ok(Some((path.to_string(), filter)));
+            if let Ok(filter) = StageFilter::parse(filter) {
+                return Some((path.to_string(), filter));
+            }
         }
     }
-    Ok(Some((arg.to_string(), StageFilter::all())))
+    Some((arg.to_string(), StageFilter::all()))
 }
 
 /// Percentage helper for the cache summary: `part` out of `whole`.
@@ -165,10 +170,7 @@ fn main() {
                     "--trace" => {
                         i += 1;
                         let n = args.get(i).unwrap_or_else(|| usage());
-                        trace = parse_trace_arg(n).unwrap_or_else(|msg| {
-                            eprintln!("{msg}");
-                            std::process::exit(2);
-                        });
+                        trace = parse_trace_arg(n);
                     }
                     "--profile" => profile = true,
                     other if other.starts_with("--") => usage(),
@@ -197,6 +199,16 @@ fn main() {
             };
             if let Some(dir) = &csv_dir {
                 std::fs::create_dir_all(dir).expect("create csv dir");
+            }
+            // Fail fast: the trace JSON (and its CSV sibling, which lands
+            // in the same directory) is written after the whole sweep, so
+            // make sure its directory exists before any work starts.
+            if let Some((path, _)) = &trace {
+                if let Some(parent) = std::path::Path::new(path).parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent).expect("create trace dir");
+                    }
+                }
             }
             // Two-level pool: up to `outer` experiments in flight, each
             // sweeping its cells over `inner` workers, ≈ jobs total.
@@ -347,19 +359,27 @@ mod tests {
 
     #[test]
     fn trace_argument_parses() {
-        assert_eq!(parse_trace_arg("off"), Ok(None));
+        assert_eq!(parse_trace_arg("off"), None);
         assert_eq!(
             parse_trace_arg("out.json"),
-            Ok(Some(("out.json".into(), StageFilter::all())))
+            Some(("out.json".into(), StageFilter::all()))
         );
         assert_eq!(
             parse_trace_arg("out.json:drops"),
-            Ok(Some(("out.json".into(), StageFilter::drops())))
+            Some(("out.json".into(), StageFilter::drops()))
         );
-        let (path, filter) = parse_trace_arg("t.json:wire,app").unwrap().unwrap();
+        let (path, filter) = parse_trace_arg("t.json:wire,app").unwrap();
         assert_eq!(path, "t.json");
         assert_ne!(filter, StageFilter::all());
-        assert!(parse_trace_arg("out.json:bogus").is_err());
+        // A colon suffix that isn't a stage filter is part of the path.
+        assert_eq!(
+            parse_trace_arg("C:\\t.json"),
+            Some(("C:\\t.json".into(), StageFilter::all()))
+        );
+        assert_eq!(
+            parse_trace_arg("out:1/x.json"),
+            Some(("out:1/x.json".into(), StageFilter::all()))
+        );
     }
 
     #[test]

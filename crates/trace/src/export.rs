@@ -154,7 +154,13 @@ pub fn chrome_trace_json(cells: &[CellTrace]) -> String {
             }
             for (name, v) in sut.report.metrics.gauges() {
                 key(&mut out, &mut first_arg, &format!("gauge/{name}"));
-                let _ = write!(out, "{v:.6}");
+                // JSON has no NaN/inf literals; a non-finite gauge becomes
+                // null rather than corrupting the whole file.
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.6}");
+                } else {
+                    out.push_str("null");
+                }
             }
             for (name, h) in sut.report.metrics.histograms() {
                 key(&mut out, &mut first_arg, &format!("hist/{name}/count"));
@@ -450,6 +456,21 @@ mod tests {
         assert!(a.contains("\"generated\":10"));
         // escaped quote from the SUT label survived
         assert!(a.contains("FreeBSD \\\"tcpdump\\\""));
+    }
+
+    #[test]
+    fn non_finite_gauges_stay_valid_json() {
+        let mut cells = sample_cells();
+        cells[0].suts[0].report.metrics.set_gauge("bad", f64::NAN);
+        cells[0].suts[0]
+            .report
+            .metrics
+            .set_gauge("worse", f64::INFINITY);
+        let json = chrome_trace_json(&cells);
+        validate_json(&json).expect("non-finite gauges must not corrupt the JSON");
+        assert!(json.contains("\"gauge/bad\":null"));
+        assert!(json.contains("\"gauge/worse\":null"));
+        assert!(json.contains("\"gauge/final_depth\":1.250000"));
     }
 
     #[test]
