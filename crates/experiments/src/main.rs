@@ -7,9 +7,11 @@
 //!                         [--chunk N] [--depth N]
 //!                         [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR]
 //!                         [--trace PATH[:FILTER]] [--profile]
+//!                         [--faults SPEC[:SEED]] [--oracle]
 //! experiments all [--scale ...] [--jobs N] [--chunk N] [--depth N]
 //!                 [--stream-cache ...] [--csv-dir DIR]
 //!                 [--trace PATH[:FILTER]] [--profile]
+//!                 [--faults SPEC[:SEED]] [--oracle]
 //! ```
 //!
 //! Output is a text table per experiment (capture rate and CPU usage per
@@ -46,8 +48,20 @@
 //! total/max cell wall time, worker-pool utilization, cache service
 //! times. Profiling reads the host clock, so its numbers (unlike
 //! everything else) vary run to run.
+//!
+//! `--faults SPEC[:SEED]` arms a deterministic fault plan — seeded
+//! windows of NIC-ring stalls, bus-contention bursts, IRQ jitter,
+//! kernel-buffer shrinks, application pauses, splitter hiccups and
+//! stream-cache squeezes (`SPEC` is fault names joined with `+`, or
+//! `chaos` for all of them; see EXPERIMENTS.md). The same `SPEC:SEED`
+//! produces byte-identical tables and CSVs at any `--jobs`, `--chunk`,
+//! `--depth` or `--stream-cache` setting. `--oracle` validates every
+//! cell against the sim-wide invariant oracle (packet conservation,
+//! buffer bounds, monotonic clocks, rate sanity) and reports how many
+//! cells passed; a violation aborts the run.
 
 use pcs_core::{all_experiments, ExecConfig, PipelineConfig, Scale};
+use pcs_faultsim::FaultPlan;
 use pcs_testbed::{available_parallelism, parallel_ordered, parse_stream_cache_bytes};
 use pcs_trace::{export, DropAttribution, StageFilter, TraceCollector, TraceSpec};
 use std::collections::BTreeMap;
@@ -75,6 +89,24 @@ fn parse_trace_arg(arg: &str) -> Option<(String, StageFilter)> {
     Some((arg.to_string(), StageFilter::all()))
 }
 
+/// Parse one of the integer execution knobs (`--jobs`, `--chunk`,
+/// `--depth`). All three share one error-message shape; they differ only
+/// in the smallest value they accept (`--chunk 0` selects the
+/// materialized path, the other two need at least 1).
+fn parse_knob(flag: &str, min: usize, arg: &str) -> Result<usize, String> {
+    let kind = if min == 0 { "non-negative" } else { "positive" };
+    arg.parse::<usize>()
+        .ok()
+        .filter(|&n| n >= min)
+        .ok_or_else(|| format!("{flag} wants a {kind} integer, got '{arg}'"))
+}
+
+/// Report a bad argument and exit with the CLI-error status.
+fn bail(msg: String) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
 /// Percentage helper for the cache summary: `part` out of `whole`.
 fn percent(part: u64, whole: u64) -> f64 {
     if whole == 0 {
@@ -86,7 +118,7 @@ fn percent(part: u64, whole: u64) -> f64 {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--profile]\n  experiments all [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--profile]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder).\n--jobs N: worker-pool size (default: all host cores); results are identical at any N.\n--chunk N: packets per streamed chunk (default 4096; 0 = materialize the whole run first).\n--depth N: bounded splitter-queue depth in chunks per sniffer (default 4).\n--stream-cache: share identical packet streams across cells through a byte-budgeted\n                content-addressed cache (default on = 1 GiB; off regenerates per cell).\nAll four are execution knobs: tables and CSVs are byte-identical for any setting.\n--trace PATH[:FILTER]: write packet-lifecycle traces as Chrome trace-event JSON to PATH\n                (Perfetto-loadable) plus a CSV sibling, and print per-stage drop\n                attribution. FILTER picks stages: all, drops, wire, nic, bus, filter,\n                kernel, app, disk or exact stage names, comma-separated. 'off' disables.\n--profile: print host-side execution profiling (cell wall times, pool utilization,\n                cache service latencies) to stderr."
+        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--profile] [--faults SPEC[:SEED]] [--oracle]\n  experiments all [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--profile] [--faults SPEC[:SEED]] [--oracle]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder).\n--jobs N: worker-pool size (default: all host cores); results are identical at any N.\n--chunk N: packets per streamed chunk (default 4096; 0 = materialize the whole run first).\n--depth N: bounded splitter-queue depth in chunks per sniffer (default 4).\n--stream-cache: share identical packet streams across cells through a byte-budgeted\n                content-addressed cache (default on = 1 GiB; off regenerates per cell).\nAll four are execution knobs: tables and CSVs are byte-identical for any setting.\n--trace PATH[:FILTER]: write packet-lifecycle traces as Chrome trace-event JSON to PATH\n                (Perfetto-loadable) plus a CSV sibling, and print per-stage drop\n                attribution. FILTER picks stages: all, drops, wire, nic, bus, filter,\n                kernel, app, disk or exact stage names, comma-separated. 'off' disables.\n--profile: print host-side execution profiling (cell wall times, pool utilization,\n                cache service latencies) to stderr.\n--faults SPEC[:SEED]: arm a deterministic fault plan. SPEC is fault names joined\n                with '+' (ringstall busburst irqjitter kshrink apppause hiccup\n                squeeze), or 'chaos' for all, or 'off' (default). Same SPEC:SEED =>\n                byte-identical output at any --jobs/--chunk/--depth/--stream-cache.\n--oracle: validate every cell against the sim-wide invariant oracle (packet\n                conservation, buffer bounds, clock monotonicity, rate sanity);\n                any violation aborts the run."
     );
     std::process::exit(2);
 }
@@ -111,37 +143,28 @@ fn main() {
             let mut pipeline = PipelineConfig::default();
             let mut trace: Option<(String, StageFilter)> = None;
             let mut profile = false;
+            let mut faults: Option<FaultPlan> = None;
+            let mut oracle = false;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     "--chunk" => {
                         i += 1;
                         let n = args.get(i).unwrap_or_else(|| usage());
-                        pipeline.chunk_packets = n.parse::<usize>().unwrap_or_else(|_| {
-                            eprintln!("--chunk wants a non-negative integer, got '{n}'");
-                            std::process::exit(2);
-                        });
+                        pipeline.chunk_packets =
+                            parse_knob("--chunk", 0, n).unwrap_or_else(|msg| bail(msg));
                     }
                     "--depth" => {
                         i += 1;
                         let n = args.get(i).unwrap_or_else(|| usage());
-                        pipeline.depth_chunks = n
-                            .parse::<usize>()
-                            .ok()
-                            .filter(|&n| n >= 1)
-                            .unwrap_or_else(|| {
-                                eprintln!("--depth wants a positive integer, got '{n}'");
-                                std::process::exit(2);
-                            });
+                        pipeline.depth_chunks =
+                            parse_knob("--depth", 1, n).unwrap_or_else(|msg| bail(msg));
                     }
                     "--stream-cache" => {
                         i += 1;
                         let n = args.get(i).unwrap_or_else(|| usage());
                         pipeline.stream_cache_bytes =
-                            parse_stream_cache_bytes(n).unwrap_or_else(|msg| {
-                                eprintln!("{msg}");
-                                std::process::exit(2);
-                            });
+                            parse_stream_cache_bytes(n).unwrap_or_else(|msg| bail(msg));
                     }
                     "--scale" => {
                         i += 1;
@@ -154,15 +177,14 @@ fn main() {
                     "--jobs" => {
                         i += 1;
                         let n = args.get(i).unwrap_or_else(|| usage());
-                        jobs = n
-                            .parse::<usize>()
-                            .ok()
-                            .filter(|&n| n >= 1)
-                            .unwrap_or_else(|| {
-                                eprintln!("--jobs wants a positive integer, got '{n}'");
-                                std::process::exit(2);
-                            });
+                        jobs = parse_knob("--jobs", 1, n).unwrap_or_else(|msg| bail(msg));
                     }
+                    "--faults" => {
+                        i += 1;
+                        let n = args.get(i).unwrap_or_else(|| usage());
+                        faults = FaultPlan::parse(n).unwrap_or_else(|msg| bail(msg));
+                    }
+                    "--oracle" => oracle = true,
                     "--csv-dir" => {
                         i += 1;
                         csv_dir = Some(args.get(i).unwrap_or_else(|| usage()).clone());
@@ -218,6 +240,10 @@ fn main() {
                 "== {} experiment(s), --jobs {jobs} ({outer} concurrent × {inner} cell workers)",
                 selected.len()
             );
+            let faults = faults.map(Arc::new);
+            if let Some(plan) = &faults {
+                eprintln!("== faults armed: {plan}");
+            }
             let collector = trace.as_ref().map(|(_, filter)| {
                 Arc::new(TraceCollector::new(TraceSpec {
                     filter: *filter,
@@ -226,7 +252,12 @@ fn main() {
             });
             let t_all = Instant::now();
             let results = parallel_ordered(selected, outer, |_, (id, desc, run)| {
-                let mut exec = ExecConfig::with_jobs(inner).with_pipeline(pipeline);
+                let mut exec = ExecConfig::with_jobs(inner)
+                    .with_pipeline(pipeline)
+                    .with_oracle(oracle);
+                if let Some(plan) = &faults {
+                    exec = exec.with_faults(Arc::clone(plan));
+                }
                 if let Some(collector) = &collector {
                     exec = exec.with_trace(Arc::clone(collector));
                 }
@@ -283,6 +314,13 @@ fn main() {
                 percent(total_shared, total_generated + total_shared),
                 peak_stream_bytes as f64 / (1024.0 * 1024.0)
             );
+            if oracle {
+                let validated: u64 = results
+                    .iter()
+                    .map(|(_, _, _, _, exec)| exec.stats.cells_validated())
+                    .sum();
+                eprintln!("== oracle: {validated} cells validated, every invariant held");
+            }
             if profile {
                 eprintln!("== profile (host-side; varies run to run):");
                 for (id, _desc, _e, wall, exec) in &results {
@@ -386,5 +424,93 @@ mod tests {
     fn percent_is_safe_on_zero() {
         assert_eq!(percent(1, 0), 0.0);
         assert_eq!(percent(1, 4), 25.0);
+    }
+
+    #[test]
+    fn knob_errors_share_one_shape() {
+        assert_eq!(
+            parse_knob("--chunk", 0, "x").unwrap_err(),
+            "--chunk wants a non-negative integer, got 'x'"
+        );
+        assert_eq!(
+            parse_knob("--depth", 1, "0").unwrap_err(),
+            "--depth wants a positive integer, got '0'"
+        );
+        assert_eq!(
+            parse_knob("--jobs", 1, "-3").unwrap_err(),
+            "--jobs wants a positive integer, got '-3'"
+        );
+        assert_eq!(parse_knob("--chunk", 0, "0"), Ok(0));
+        assert_eq!(parse_knob("--depth", 1, "4"), Ok(4));
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // The three parsers take attacker-ish strings straight from
+            // argv: no byte soup may panic them. The vendored proptest
+            // has no String strategy, so fuzz bytes and lossily decode.
+            #[test]
+            fn trace_arg_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+                let arg = String::from_utf8_lossy(&bytes).into_owned();
+                let _ = parse_trace_arg(&arg);
+            }
+
+            #[test]
+            fn stream_cache_arg_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+                let arg = String::from_utf8_lossy(&bytes).into_owned();
+                let _ = parse_stream_cache_bytes(&arg);
+            }
+
+            #[test]
+            fn knob_arg_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64), min in 0usize..2) {
+                let arg = String::from_utf8_lossy(&bytes).into_owned();
+                let _ = parse_knob("--jobs", min, &arg);
+            }
+
+            #[test]
+            fn faults_arg_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+                let arg = String::from_utf8_lossy(&bytes).into_owned();
+                let _ = FaultPlan::parse(&arg);
+            }
+
+            // Valid inputs round-trip exactly.
+            #[test]
+            fn knob_round_trips(n in 0usize..1_000_000) {
+                prop_assert_eq!(parse_knob("--chunk", 0, &n.to_string()), Ok(n));
+                if n >= 1 {
+                    prop_assert_eq!(parse_knob("--depth", 1, &n.to_string()), Ok(n));
+                }
+            }
+
+            #[test]
+            fn stream_cache_round_trips(n in 0u64..4_096) {
+                prop_assert_eq!(parse_stream_cache_bytes(&n.to_string()), Ok(n));
+                prop_assert_eq!(parse_stream_cache_bytes(&format!("{n}K")), Ok(n << 10));
+                prop_assert_eq!(parse_stream_cache_bytes(&format!("{n}M")), Ok(n << 20));
+                prop_assert_eq!(parse_stream_cache_bytes(&format!("{n}G")), Ok(n << 30));
+            }
+
+            #[test]
+            fn trace_arg_plain_paths_round_trip(bytes in proptest::collection::vec(any::<u8>(), 1..32)) {
+                // Colon- and 'off'-free paths must come back verbatim with
+                // the identity filter.
+                let path: String = bytes
+                    .iter()
+                    .map(|b| char::from(b'a' + (b % 26)))
+                    .collect();
+                prop_assume!(path != "off");
+                prop_assert_eq!(
+                    parse_trace_arg(&path),
+                    Some((path.clone(), StageFilter::all()))
+                );
+                // And a known-good stage suffix is split off.
+                let (p, f) = parse_trace_arg(&format!("{path}:drops")).unwrap();
+                prop_assert_eq!(p, path);
+                prop_assert_eq!(f, StageFilter::drops());
+            }
+        }
     }
 }

@@ -1,0 +1,258 @@
+//! The sim-wide invariant oracle.
+//!
+//! Machine-checked statements of what *every* run — faulted or not —
+//! must satisfy. The testbed calls [`Oracle::check_report`] on every
+//! machine report of every cell when armed (`--oracle` on the CLI,
+//! always on under `cfg(debug_assertions)`, which includes the test
+//! profile), so any future change that breaks conservation or a bound
+//! fails loudly with the cell label attached.
+
+use pcs_hw::MachineSpec;
+use pcs_oskernel::RunReport;
+
+/// Headroom factor over the sender's link rate for the achieved-rate
+/// sanity check (framing-accounting differences).
+const RATE_HEADROOM: f64 = 1.1;
+
+/// Validates run reports against the simulation's conservation laws and
+/// bounds. All methods are stateless; `label` names the offending cell
+/// in the error.
+pub struct Oracle;
+
+impl Oracle {
+    /// Check every invariant one machine's [`RunReport`] must satisfy:
+    ///
+    /// 1. **NIC conservation** — `nic_ring_drops + nic_ring_residue ≤
+    ///    offered`, and the residue fits in the configured RX ring.
+    /// 2. **Filter conservation** (per app) — every packet the kernel
+    ///    picked up was either accepted or rejected:
+    ///    `accepted + rejected == offered - nic_ring_drops - nic_ring_residue`.
+    /// 3. **Kernel conservation** (per app) — every accepted packet was
+    ///    delivered, dropped, or left in a kernel buffer:
+    ///    `accepted == delivered + dropped_buffer + dropped_pool + kernel_residue`.
+    /// 4. **Application conservation** (per app) —
+    ///    `delivered == received + app_residue`.
+    /// 5. **Attribution balance** — [`pcs_trace::DropAttribution::balanced`]
+    ///    per app (the roll-up of 1–4).
+    /// 6. **Range sanity** — capture rates and CPU utilisations in [0, 1].
+    /// 7. **Clock monotonicity** — cpusage sample times never go
+    ///    backwards, and the run's `elapsed` is past the last sample.
+    pub fn check_report(label: &str, spec: &MachineSpec, report: &RunReport) -> Result<(), String> {
+        let err = |what: String| Err(format!("oracle[{label}/{}]: {what}", report.machine));
+
+        let nic_gone = report.nic_ring_drops + report.nic_ring_residue;
+        if nic_gone > report.offered {
+            return err(format!(
+                "NIC accounted for more packets than arrived: drops {} + residue {} > offered {}",
+                report.nic_ring_drops, report.nic_ring_residue, report.offered
+            ));
+        }
+        if report.nic_ring_residue > spec.nic.rx_ring_slots as u64 {
+            return err(format!(
+                "NIC ring residue {} exceeds the configured {} slots",
+                report.nic_ring_residue, spec.nic.rx_ring_slots
+            ));
+        }
+        let seen = report.offered - nic_gone;
+        for (i, app) in report.apps.iter().enumerate() {
+            let s = &app.stats;
+            if s.accepted + s.rejected != seen {
+                return err(format!(
+                    "app {i}: filter saw {} + {} packets, kernel picked up {seen}",
+                    s.accepted, s.rejected
+                ));
+            }
+            if s.accepted != s.delivered + s.dropped_buffer + s.dropped_pool + s.kernel_residue {
+                return err(format!(
+                    "app {i}: accepted {} != delivered {} + buffer {} + pool {} + residue {}",
+                    s.accepted, s.delivered, s.dropped_buffer, s.dropped_pool, s.kernel_residue
+                ));
+            }
+            if s.delivered != app.received + s.app_residue {
+                return err(format!(
+                    "app {i}: delivered {} != received {} + app residue {}",
+                    s.delivered, app.received, s.app_residue
+                ));
+            }
+            let attr = report.attribution(i);
+            if !attr.balanced() {
+                return err(format!(
+                    "app {i}: attribution unbalanced: generated {} != delivered {} + dropped {}",
+                    attr.generated,
+                    attr.delivered,
+                    attr.dropped()
+                ));
+            }
+            let rate = report.capture_rate(i);
+            if !(0.0..=1.0).contains(&rate) {
+                return err(format!("app {i}: capture rate {rate} outside [0, 1]"));
+            }
+        }
+        for acct in &report.final_acct {
+            let u = acct.utilisation();
+            if !(0.0..=1.0).contains(&u) {
+                return err(format!("CPU utilisation {u} outside [0, 1]"));
+            }
+        }
+        let mut last = None;
+        for sample in &report.samples {
+            if let Some(prev) = last {
+                if sample.t < prev {
+                    return err(format!(
+                        "cpusage sample clock went backwards: {:?} after {:?}",
+                        sample.t, prev
+                    ));
+                }
+            }
+            last = Some(sample.t);
+        }
+        if let Some(prev) = last {
+            if report.elapsed < prev {
+                return err(format!(
+                    "elapsed {:?} precedes the last sample at {:?}",
+                    report.elapsed, prev
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Check the generator-side achieved rate: finite and inside
+    /// [0, link rate × 1.1] Mbit/s — the sender's physical line rate
+    /// plus framing-accounting headroom, so the bound follows the
+    /// testbed's NIC (GbE in the thesis setup, 10 GigE in ext-10gige).
+    pub fn check_rate(label: &str, achieved_mbps: f64, link_mbps: f64) -> Result<(), String> {
+        let ceiling = link_mbps * RATE_HEADROOM;
+        if !achieved_mbps.is_finite() || !(0.0..=ceiling).contains(&achieved_mbps) {
+            return Err(format!(
+                "oracle[{label}]: achieved rate {achieved_mbps} Mbit/s outside [0, {ceiling}]"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_des::SimTime;
+    use pcs_oskernel::{AppReport, StackStats};
+
+    fn clean_report() -> RunReport {
+        let stats = StackStats {
+            accepted: 90,
+            rejected: 5,
+            dropped_buffer: 3,
+            dropped_pool: 1,
+            delivered: 80,
+            kernel_residue: 6,
+            app_residue: 2,
+        };
+        RunReport {
+            machine: "test".into(),
+            offered: 100,
+            nic_ring_drops: 4,
+            nic_ring_residue: 1,
+            apps: vec![AppReport {
+                received: 78,
+                received_bytes: 0,
+                stats,
+                captured: Vec::new(),
+            }],
+            samples: Vec::new(),
+            final_acct: Vec::new(),
+            load_acct: None,
+            elapsed: SimTime::from_secs(1),
+            disk_bytes: 0,
+            pipe_bytes: 0,
+            trace: None,
+        }
+    }
+
+    fn spec() -> MachineSpec {
+        MachineSpec::moorhen()
+    }
+
+    #[test]
+    fn clean_report_passes() {
+        Oracle::check_report("t", &spec(), &clean_report()).unwrap();
+    }
+
+    #[test]
+    fn lost_packet_is_caught() {
+        let mut r = clean_report();
+        r.apps[0].received -= 1; // one delivered packet vanished
+        let e = Oracle::check_report("t", &spec(), &r).unwrap_err();
+        assert!(e.contains("delivered"), "{e}");
+    }
+
+    #[test]
+    fn filter_miscount_is_caught() {
+        let mut r = clean_report();
+        r.apps[0].stats.rejected += 1;
+        let e = Oracle::check_report("t", &spec(), &r).unwrap_err();
+        assert!(e.contains("filter"), "{e}");
+    }
+
+    #[test]
+    fn kernel_miscount_is_caught() {
+        let mut r = clean_report();
+        r.apps[0].stats.kernel_residue += 1; // filter identity stays intact
+        let e = Oracle::check_report("t", &spec(), &r).unwrap_err();
+        assert!(e.contains("accepted"), "{e}");
+    }
+
+    #[test]
+    fn oversized_ring_residue_is_caught() {
+        let mut r = clean_report();
+        let slots = spec().nic.rx_ring_slots as u64;
+        r.offered += slots + 100;
+        r.nic_ring_residue += slots + 100;
+        let e = Oracle::check_report("t", &spec(), &r).unwrap_err();
+        assert!(e.contains("ring residue"), "{e}");
+    }
+
+    #[test]
+    fn backwards_sample_clock_is_caught() {
+        let mut r = clean_report();
+        r.samples = vec![
+            pcs_oskernel::CpuSample {
+                t: SimTime::from_millis(500),
+                per_cpu: Vec::new(),
+            },
+            pcs_oskernel::CpuSample {
+                t: SimTime::from_millis(400),
+                per_cpu: Vec::new(),
+            },
+        ];
+        let e = Oracle::check_report("t", &spec(), &r).unwrap_err();
+        assert!(e.contains("backwards"), "{e}");
+    }
+
+    #[test]
+    fn empty_run_passes() {
+        let mut r = clean_report();
+        r.offered = 0;
+        r.nic_ring_drops = 0;
+        r.nic_ring_residue = 0;
+        r.apps[0] = AppReport {
+            received: 0,
+            received_bytes: 0,
+            stats: StackStats::default(),
+            captured: Vec::new(),
+        };
+        Oracle::check_report("t", &spec(), &r).unwrap();
+    }
+
+    #[test]
+    fn rate_bounds_follow_the_sender_link() {
+        Oracle::check_rate("t", 0.0, 1_000.0).unwrap();
+        Oracle::check_rate("t", 970.0, 1_000.0).unwrap();
+        assert!(Oracle::check_rate("t", -1.0, 1_000.0).is_err());
+        assert!(Oracle::check_rate("t", 2_000.0, 1_000.0).is_err());
+        assert!(Oracle::check_rate("t", f64::NAN, 1_000.0).is_err());
+        // A 10 GigE sender raises the ceiling with it (ext-10gige).
+        Oracle::check_rate("t", 2_000.0, 10_000.0).unwrap();
+        assert!(Oracle::check_rate("t", 11_500.0, 10_000.0).is_err());
+    }
+}

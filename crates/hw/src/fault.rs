@@ -1,0 +1,37 @@
+//! NIC/bus-level fault-injection hooks.
+//!
+//! The machine simulation carries an `Option<Box<dyn …>>` of this trait;
+//! `None` — no fault plan armed — costs exactly one branch per arrival,
+//! the same zero-cost-when-off pattern the trace sink uses. An armed
+//! implementation must derive its answers **only** from the simulated
+//! clock (`now_ns`) and its own seeded state, never from host time or
+//! call order, so a faulted run stays byte-identical at any worker
+//! count or pipeline shape.
+
+/// Deterministic NIC/bus fault hooks, consulted on the simulation clock.
+///
+/// Every method has a no-fault default, so an implementation overrides
+/// only the faults its plan arms.
+pub trait NicBusFault: Send {
+    /// Effective RX descriptor ring size at `now_ns`, given the
+    /// configured `base` slot count. A "ring stall" fault returns a
+    /// smaller value while a stall window is active — as if the driver
+    /// stopped replenishing descriptors.
+    fn ring_slots(&mut self, _now_ns: u64, base: usize) -> usize {
+        base
+    }
+
+    /// Extra demand (bytes/s) on the shared I/O bus at `now_ns` — foreign
+    /// DMA traffic contending with the NIC during a bus-burst window.
+    fn bus_extra_demand_bps(&mut self, _now_ns: u64) -> u64 {
+        0
+    }
+
+    /// Additional interrupt hold-off at `now_ns`: how many nanoseconds
+    /// the NIC must wait before it may fire (0 = no jitter). While an
+    /// IRQ-jitter window is active this returns the time remaining until
+    /// the window closes.
+    fn irq_extra_gap_ns(&mut self, _now_ns: u64) -> u64 {
+        0
+    }
+}

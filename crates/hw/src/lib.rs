@@ -14,6 +14,7 @@ pub mod bus;
 pub mod cost;
 pub mod cpu;
 pub mod disk;
+pub mod fault;
 pub mod fingerprint;
 pub mod machine;
 pub mod memory;
@@ -23,6 +24,7 @@ pub use bus::{PciBus, PciKind};
 pub use cost::{os_costs, OsCosts, OsKind};
 pub use cpu::{CpuArch, CpuSpec};
 pub use disk::{write_benchmark, DiskModel, WriteBenchResult};
+pub use fault::NicBusFault;
 pub use machine::MachineSpec;
 pub use memory::{MemoryKind, MemorySystem};
 pub use nic::{InterruptScheme, NicModel};

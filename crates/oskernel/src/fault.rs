@@ -1,0 +1,32 @@
+//! Kernel-level fault-injection hooks.
+//!
+//! Extends the NIC/bus hooks from [`pcs_hw::NicBusFault`] with the two
+//! faults that live above the driver: kernel capture-buffer shrink and
+//! application backpressure pauses. `MachineSim` consults an armed
+//! implementation through `Option<Box<dyn MachineFaults>>` — `None`
+//! costs one branch per site, exactly like the trace sink.
+//!
+//! Implementations must answer from the simulated clock and seeded
+//! state only, never from host time, so faulted runs remain
+//! byte-identical at any worker count.
+
+/// Deterministic kernel/application fault hooks.
+///
+/// Every method defaults to "no fault", so a plan overrides only what
+/// it arms.
+pub trait MachineFaults: pcs_hw::NicBusFault {
+    /// Effective kernel capture-buffer capacity at `now_ns`, in
+    /// permille of the configured size (1000 = unchanged). A
+    /// kernel-shrink window returns a small value; outside the window
+    /// the full capacity is restored automatically.
+    fn buffer_permille(&mut self, _now_ns: u64) -> u32 {
+        1000
+    }
+
+    /// If application `app` is backpressure-paused at `now_ns`, the
+    /// sim-clock nanosecond at which it may resume reading; `None`
+    /// when the app runs normally.
+    fn app_pause_until_ns(&mut self, _now_ns: u64, _app: usize) -> Option<u64> {
+        None
+    }
+}

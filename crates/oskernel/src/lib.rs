@@ -29,11 +29,13 @@
 
 pub mod config;
 pub mod cpustate;
+pub mod fault;
 pub mod sim;
 pub mod stack;
 
 pub use config::{AppConfig, BufferConfig, SimConfig};
 pub use cpustate::{CpuAccounting, CpuState};
+pub use fault::MachineFaults;
 pub use sim::{AppReport, CpuSample, MachineSim, RunReport};
 pub use stack::{
     BpfDevice, CapturedPacket, DeliverOutcome, DropKind, KernelFilter, LsfSocket, LsfState,

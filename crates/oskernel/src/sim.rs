@@ -21,6 +21,7 @@
 
 use crate::config::{AppConfig, SimConfig};
 use crate::cpustate::{CpuAccounting, CpuState};
+use crate::fault::MachineFaults;
 use crate::stack::{BpfDevice, CapturedPacket, DropKind, LsfSocket, LsfState};
 use pcs_des::{EventQueue, SimDuration, SimTime};
 use pcs_hw::{InterruptScheme, MachineSpec, OsCosts};
@@ -399,6 +400,13 @@ pub struct MachineSim {
     /// Lifecycle tracing; `TraceSink::Off` costs one branch per event
     /// site.
     trace: TraceSink,
+
+    /// Armed fault plan; `None` (the default) costs one branch per hook
+    /// site, mirroring the trace sink.
+    faults: Option<Box<dyn MachineFaults>>,
+    /// Latest IRQ-jitter gate already scheduled, so a jitter window
+    /// queues one wakeup instead of one per arrival.
+    fault_irq_gate: SimTime,
 }
 
 impl MachineSim {
@@ -487,6 +495,8 @@ impl MachineSim {
             stop_at: None,
             drain_timeout_ns: cfg.drain_timeout_ns,
             trace: TraceSink::Off,
+            faults: None,
+            fault_irq_gate: SimTime::ZERO,
         }
     }
 
@@ -494,6 +504,13 @@ impl MachineSim {
     /// simulation is byte-identical to an untraced run.
     pub fn with_trace(mut self, sink: TraceSink) -> MachineSim {
         self.trace = sink;
+        self
+    }
+
+    /// Arm a fault plan. With `None` (the default) the simulation is
+    /// byte-identical to an unfaulted run.
+    pub fn with_faults(mut self, faults: Option<Box<dyn MachineFaults>>) -> MachineSim {
+        self.faults = faults;
         self
     }
 
@@ -568,7 +585,12 @@ impl MachineSim {
                     // bus is oversubscribed only a fraction of the frames
                     // make it to host memory (fractional credit keeps the
                     // model deterministic).
-                    let demand = self.arrival_ema_bps as u64 + self.writeback_ema_bps as u64;
+                    let mut demand = self.arrival_ema_bps as u64 + self.writeback_ema_bps as u64;
+                    let mut ring_slots = self.ring_slots;
+                    if let Some(f) = self.faults.as_deref_mut() {
+                        demand = demand.saturating_add(f.bus_extra_demand_bps(now.as_nanos()));
+                        ring_slots = f.ring_slots(now.as_nanos(), ring_slots);
+                    }
                     self.pci_credit += self.spec.pci.service_fraction(demand);
                     if self.pci_credit < 1.0 {
                         self.nic_ring_drops += 1;
@@ -582,7 +604,7 @@ impl MachineSim {
                         );
                     } else {
                         self.pci_credit -= 1.0;
-                        if self.ring.len() < self.ring_slots {
+                        if self.ring.len() < ring_slots {
                             self.ring.push_back(pkt);
                             self.trace.emit(
                                 now.as_nanos(),
@@ -990,6 +1012,17 @@ impl MachineSim {
         if self.irq_pending || self.ring.is_empty() {
             return;
         }
+        if let Some(f) = self.faults.as_deref_mut() {
+            let extra = f.irq_extra_gap_ns(now.as_nanos());
+            if extra > 0 {
+                let until = now + SimDuration::from_nanos(extra);
+                if until > self.fault_irq_gate {
+                    self.fault_irq_gate = until;
+                    self.queue.schedule(until, Event::IrqGate);
+                }
+                return;
+            }
+        }
         match self.spec.nic.interrupts {
             InterruptScheme::Moderated { min_gap_ns } => {
                 if now < self.next_irq_allowed {
@@ -1024,6 +1057,15 @@ impl MachineSim {
             if let Some(m) = self.trace.metrics_mut() {
                 m.observe("irq_batch_packets", n as u64);
                 m.inc("irq_fires", 1);
+            }
+        }
+        if let Some(f) = self.faults.as_deref_mut() {
+            let permille = f.buffer_permille(now.as_nanos());
+            match &mut self.stack {
+                Stack::Bpf(devs) => devs
+                    .iter_mut()
+                    .for_each(|d| d.set_capacity_permille(permille)),
+                Stack::Lsf(l) => l.set_capacity_permille(permille),
             }
         }
         let work = self.kernel_batch_work(now, &batch);
@@ -1126,6 +1168,9 @@ impl MachineSim {
         if self.apps[app].state != AppState::Blocked {
             return;
         }
+        if self.fault_pause_app(now, app) {
+            return;
+        }
         if !self.apps[app].pending.is_empty() {
             self.apps[app].state = AppState::Running;
             self.app_process_pending(now, app);
@@ -1161,8 +1206,27 @@ impl MachineSim {
         }
     }
 
+    /// If an armed plan pauses `app` at `now`, park it until the window
+    /// closes and return `true`.
+    fn fault_pause_app(&mut self, now: SimTime, app: usize) -> bool {
+        if let Some(f) = self.faults.as_deref_mut() {
+            if let Some(resume_ns) = f.app_pause_until_ns(now.as_nanos(), app) {
+                self.apps[app].state = AppState::Sleeping;
+                self.queue.schedule(
+                    SimTime::from_nanos(resume_ns.max(now.as_nanos() + 1)),
+                    Event::AppResume(app),
+                );
+                return true;
+            }
+        }
+        false
+    }
+
     /// FreeBSD: process copied-out packets in user space, chunked.
     fn app_process_pending(&mut self, now: SimTime, app: usize) {
+        if self.fault_pause_app(now, app) {
+            return;
+        }
         let n = self.apps[app].pending.len().min(APP_CHUNK);
         if n == 0 {
             self.app_continue(now, app);
@@ -1622,5 +1686,54 @@ mod tests {
         let (w, b) = r.worst_best();
         assert_eq!((w, b), (1.0, 1.0));
         assert!(r.mean_cpu_usage() >= 0.0 && r.mean_cpu_usage() <= 1.0);
+    }
+
+    #[test]
+    fn unfaulted_run_is_identical_with_and_without_the_hooks() {
+        // All-default hooks: every injection site asks and gets the base
+        // value back.
+        struct Inert;
+        impl pcs_hw::NicBusFault for Inert {}
+        impl MachineFaults for Inert {}
+
+        let spec = pcs_hw::MachineSpec::swan();
+        let plain = MachineSim::new(spec, SimConfig::default()).run(packets(300, 3));
+        let disarmed = MachineSim::new(spec, SimConfig::default())
+            .with_faults(None)
+            .run(packets(300, 3));
+        let inert = MachineSim::new(spec, SimConfig::default())
+            .with_faults(Some(Box::new(Inert)))
+            .run(packets(300, 3));
+        assert_eq!(format!("{plain:?}"), format!("{disarmed:?}"));
+        assert_eq!(format!("{plain:?}"), format!("{inert:?}"));
+    }
+
+    #[test]
+    fn ring_stall_fault_moves_drops_into_the_nic_bucket() {
+        // A hook that pins the RX ring to one slot for the whole run:
+        // back-to-back arrivals must overflow at the NIC, and the
+        // attribution identity must stay exact.
+        struct Stall;
+        impl pcs_hw::NicBusFault for Stall {
+            fn ring_slots(&mut self, _now_ns: u64, _base: usize) -> usize {
+                1
+            }
+        }
+        impl MachineFaults for Stall {}
+
+        let spec = pcs_hw::MachineSpec::swan();
+        let plain = MachineSim::new(spec, SimConfig::default()).run(packets(2_000, 3));
+        let stalled = MachineSim::new(spec, SimConfig::default())
+            .with_faults(Some(Box::new(Stall)))
+            .run(packets(2_000, 3));
+        assert!(
+            stalled.nic_ring_drops > plain.nic_ring_drops,
+            "stall must overflow the ring: {} vs {}",
+            stalled.nic_ring_drops,
+            plain.nic_ring_drops
+        );
+        for a in stalled.attributions() {
+            assert!(a.balanced(), "unbalanced under fault: {a:?}");
+        }
     }
 }

@@ -178,12 +178,25 @@ fn bpf_slot_bytes(caplen: u32) -> u64 {
     ((18 + caplen as u64) + 3) & !3
 }
 
+/// Capacity under a fault-injected shrink: `base` scaled by
+/// `permille`/1000. Exact at 1000 (the no-fault fast path) so an
+/// unfaulted run admits on precisely the configured bound.
+fn scaled_capacity(base: u64, permille: u32) -> u64 {
+    if permille == 1000 {
+        base
+    } else {
+        base.saturating_mul(permille as u64) / 1000
+    }
+}
+
 /// One `/dev/bpfN` device: filter + double buffer (§2.1.1, Fig. 2.1).
 #[derive(Debug)]
 pub struct BpfDevice {
     filter: Option<KernelFilter>,
     snaplen: u32,
     half_capacity: u64,
+    /// Fault-injected capacity scale (1000 = full size).
+    capacity_permille: u32,
     store: VecDeque<CapturedPacket>,
     store_bytes: u64,
     hold: VecDeque<CapturedPacket>,
@@ -199,12 +212,20 @@ impl BpfDevice {
             filter: filter.map(KernelFilter::new),
             snaplen,
             half_capacity,
+            capacity_permille: 1000,
             store: VecDeque::new(),
             store_bytes: 0,
             hold: VecDeque::new(),
             hold_bytes: 0,
             stats: StackStats::default(),
         }
+    }
+
+    /// Fault hook: scale the admission capacity to `permille`/1000 of
+    /// the configured half size (1000 restores it). Already-stored
+    /// packets are never evicted; only future admissions see the shrink.
+    pub fn set_capacity_permille(&mut self, permille: u32) {
+        self.capacity_permille = permille;
     }
 
     /// Offer one packet (called from interrupt context in the real
@@ -227,7 +248,7 @@ impl BpfDevice {
         self.stats.accepted += 1;
         let caplen = pkt.frame_len.min(accept_len).min(self.snaplen);
         let slot = bpf_slot_bytes(caplen);
-        if self.store_bytes + slot > self.half_capacity {
+        if self.store_bytes + slot > scaled_capacity(self.half_capacity, self.capacity_permille) {
             // STORE full and a packet is waiting: rotate if HOLD is free.
             if self.hold.is_empty() {
                 std::mem::swap(&mut self.store, &mut self.hold);
@@ -325,6 +346,8 @@ pub struct LsfSocket {
     snaplen: u32,
     /// Per-socket receive budget in bytes (rmem).
     rmem: u64,
+    /// Fault-injected capacity scale (1000 = full size).
+    capacity_permille: u32,
     queue: VecDeque<CapturedPacket>,
     queue_bytes: u64,
     /// mmap variant: ring capacity replaces the rmem accounting and the
@@ -341,11 +364,19 @@ impl LsfSocket {
             filter: filter.map(KernelFilter::new),
             snaplen,
             rmem,
+            capacity_permille: 1000,
             queue: VecDeque::new(),
             queue_bytes: 0,
             mmap,
             stats: StackStats::default(),
         }
+    }
+
+    /// Fault hook: scale the admission budget to `permille`/1000 of the
+    /// configured rmem/ring size (1000 restores it). Queued packets are
+    /// never evicted; only future admissions see the shrink.
+    pub fn set_capacity_permille(&mut self, permille: u32) {
+        self.capacity_permille = permille;
     }
 
     /// True when packets await the application.
@@ -404,6 +435,8 @@ pub struct LsfState {
     pub sockets: Vec<LsfSocket>,
     /// Shared pool capacity in bytes.
     pool_capacity: u64,
+    /// Fault-injected capacity scale (1000 = full size).
+    capacity_permille: u32,
     pool_bytes: u64,
     /// seq → (remaining refs, pooled truesize) for refcounted packets.
     refs: HashMap<u64, (u32, u64)>,
@@ -416,8 +449,18 @@ impl LsfState {
         LsfState {
             sockets,
             pool_capacity,
+            capacity_permille: 1000,
             pool_bytes: 0,
             refs: HashMap::new(),
+        }
+    }
+
+    /// Fault hook: scale the pool and every socket's budget to
+    /// `permille`/1000 of their configured sizes (1000 restores them).
+    pub fn set_capacity_permille(&mut self, permille: u32) {
+        self.capacity_permille = permille;
+        for s in &mut self.sockets {
+            s.set_capacity_permille(permille);
         }
     }
 
@@ -459,7 +502,9 @@ impl LsfState {
             .zip(&self.sockets)
             .filter(|(a, s)| a.is_some() && !s.mmap)
             .count() as u32;
-        let pool_ok = non_mmap_accepts == 0 || self.pool_bytes + truesize <= self.pool_capacity;
+        let pool_ok = non_mmap_accepts == 0
+            || self.pool_bytes + truesize
+                <= scaled_capacity(self.pool_capacity, self.capacity_permille);
         let mut refs = 0u32;
         for (i, s) in self.sockets.iter_mut().enumerate() {
             let caplen = match accepts[i] {
@@ -477,7 +522,7 @@ impl LsfState {
                 // mmap ring: bounded by its own ring bytes; kernel copies
                 // caplen into the ring.
                 let charge = s.charge_of(&cap);
-                if s.queue_bytes + charge <= s.rmem {
+                if s.queue_bytes + charge <= scaled_capacity(s.rmem, s.capacity_permille) {
                     s.queue_bytes += charge;
                     s.queue.push_back(cap);
                     outcomes[i].copied_bytes = caplen;
@@ -494,7 +539,7 @@ impl LsfState {
                 continue;
             }
             let charge = skb_truesize(pkt.frame_len);
-            if s.queue_bytes + charge <= s.rmem {
+            if s.queue_bytes + charge <= scaled_capacity(s.rmem, s.capacity_permille) {
                 s.queue_bytes += charge;
                 s.queue.push_back(cap);
                 outcomes[i].stored = true;

@@ -21,6 +21,7 @@
 
 use crate::cycle::{CycleConfig, Sut};
 use pcs_des::{Fingerprint, Fingerprintable};
+use pcs_faultsim::FaultPlan;
 use pcs_pktgen::StreamKey;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
@@ -74,6 +75,20 @@ impl Fingerprintable for Sut {
 /// participate: the streamed and materialized paths compute identical
 /// results, so a cell cached by one answers for all.
 pub fn cell_key(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>, repeat: u32) -> CellKey {
+    cell_key_faulted(suts, cfg, rate, repeat, None)
+}
+
+/// [`cell_key`] with the armed fault plan folded in. An armed plan
+/// deterministically changes a cell's results, so it must key the cache;
+/// `None` writes nothing extra, keeping unfaulted keys byte-identical to
+/// what they were before fault injection existed.
+pub fn cell_key_faulted(
+    suts: &[Sut],
+    cfg: &CycleConfig,
+    rate: Option<f64>,
+    repeat: u32,
+    faults: Option<&FaultPlan>,
+) -> CellKey {
     let mut fp = Fingerprint::new();
     fp.seq(suts);
     fp.u64(cfg.count);
@@ -84,6 +99,9 @@ pub fn cell_key(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>, repeat: u32)
     cfg.tx.fingerprint(&mut fp);
     fp.option(&rate);
     fp.u32(repeat);
+    if let Some(plan) = faults {
+        plan.fingerprint(&mut fp);
+    }
     fp.finish()
 }
 
@@ -220,6 +238,22 @@ mod tests {
         assert_eq!(
             stream_key(&cfg, Some(100.0), 1),
             stream_key(&shifted, Some(100.0), 0)
+        );
+    }
+
+    #[test]
+    fn fault_plans_key_the_cache() {
+        let cfg = CycleConfig::fixed(1_000, 512, 42);
+        let base = cell_key(&suts(), &cfg, Some(100.0), 0);
+        let none = cell_key_faulted(&suts(), &cfg, Some(100.0), 0, None);
+        assert_eq!(base, none, "no plan armed must not change the key");
+        let plan = FaultPlan::parse("ringstall:7").unwrap().unwrap();
+        let armed = cell_key_faulted(&suts(), &cfg, Some(100.0), 0, Some(&plan));
+        assert_ne!(base, armed);
+        let reseeded = FaultPlan::parse("ringstall:8").unwrap().unwrap();
+        assert_ne!(
+            armed,
+            cell_key_faulted(&suts(), &cfg, Some(100.0), 0, Some(&reseeded))
         );
     }
 

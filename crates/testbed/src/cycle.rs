@@ -30,12 +30,13 @@
 //! published chunks (CLI `--stream-cache`, byte-budgeted; `off`
 //! regenerates per cell, byte-identically).
 
-use crate::cache::{cell_key, stream_key, wide_key, CellResult, CellSut, RunCache};
+use crate::cache::{cell_key_faulted, stream_key, wide_key, CellResult, CellSut, RunCache};
 use crate::sched::{parallel_ordered, ExecConfig};
 use crate::splitter::OpticalSplitter;
 use crate::switch::MonitorSwitch;
 use pcs_des::stats::median;
 use pcs_des::SimTime;
+use pcs_faultsim::{FaultPlan, Oracle};
 use pcs_hw::MachineSpec;
 use pcs_oskernel::{MachineSim, RunReport, SimConfig};
 use pcs_pktgen::{
@@ -269,8 +270,27 @@ fn run_cell(
         run_cell_streaming(suts, cfg, rate, repeat, exec, spec)
     } else {
         let (stream, achieved) = generate_run(cfg, rate, repeat);
-        (achieved, run_sniffers_with(suts, &stream, spec))
+        (
+            achieved,
+            run_sniffers_with(suts, &stream, spec, exec.faults.as_deref()),
+        )
     };
+    // The invariant oracle: always armed in debug/test builds, opt-in
+    // (`--oracle`) in release. A violation is a simulation bug, never a
+    // measurement outcome, so it panics with the cell coordinate.
+    if exec.oracle || cfg!(debug_assertions) {
+        let label = cell_label(rate, repeat);
+        let link_mbps = cfg.tx.link_bps as f64 / 1e6;
+        if let Err(violation) = Oracle::check_rate(&label, achieved, link_mbps) {
+            panic!("{violation}");
+        }
+        for (sut, report) in suts.iter().zip(&reports) {
+            if let Err(violation) = Oracle::check_report(&label, &sut.spec, report) {
+                panic!("{violation}");
+            }
+        }
+        exec.stats.record_validated();
+    }
     let result = distill(achieved, &reports);
     if let Some(collector) = &exec.trace {
         let traces = suts
@@ -282,7 +302,13 @@ fn run_cell(
                 attributions: report.attributions(),
             })
             .collect();
-        let key = wide_key(cell_key(suts, cfg, rate, repeat));
+        let key = wide_key(cell_key_faulted(
+            suts,
+            cfg,
+            rate,
+            repeat,
+            exec.faults.as_deref(),
+        ));
         collector.record_cell(cell_label(rate, repeat), key, traces);
     }
     result
@@ -306,14 +332,22 @@ fn cell_source(
 ) -> Box<dyn PacketSource> {
     let pipeline = exec.pipeline;
     let stats = &exec.stats;
+    // An armed cache-squeeze fault starves the stream cache's byte
+    // budget — an execution perturbation (eviction churn, re-generation)
+    // that must leave results byte-identical.
+    let budget = exec
+        .faults
+        .as_deref()
+        .map(|plan| plan.clamp_stream_budget(pipeline.stream_cache_bytes))
+        .unwrap_or(pipeline.stream_cache_bytes);
     let generate =
         || ChunkedGenerator::new(build_generator(cfg, rate, repeat), pipeline.chunk_packets);
-    if pipeline.stream_cache_bytes == 0 {
+    if budget == 0 {
         return Box::new(generate());
     }
     let cache = StreamCache::global();
     let probe = stats.profiling().then(Instant::now);
-    match cache.acquire(stream_key(cfg, rate, repeat), pipeline.stream_cache_bytes) {
+    match cache.acquire(stream_key(cfg, rate, repeat), budget) {
         StreamRole::Produce(publisher) => {
             stats.record_stream_generated();
             Box::new(PublishingSource::new(generate(), publisher))
@@ -350,6 +384,7 @@ fn run_cell_streaming(
     let mut switch = MonitorSwitch::thesis_setup();
     let before = switch.snmp_read(8);
     let mut account = RateAccount::new();
+    let faults = exec.faults.as_deref();
     let reports: Vec<RunReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = suts
             .iter()
@@ -358,14 +393,24 @@ fn run_cell_streaming(
                 let spec = sut.spec;
                 let sim = sut.sim.clone();
                 let sink = trace.map(TraceSink::bounded).unwrap_or_default();
+                let armed = faults.map(FaultPlan::arm_machine);
                 scope.spawn(move || {
                     MachineSim::new(spec, sim)
                         .with_trace(sink)
+                        .with_faults(armed)
                         .run_source(output)
                 })
             })
             .collect();
+        let mut chunk_index = 0u64;
         while let Some(chunk) = source.next_chunk() {
+            // Splitter hiccup: a host-side producer stall. The splitter's
+            // bounded queues absorb or backpressure it; results must stay
+            // byte-identical.
+            if let Some(us) = faults.and_then(|plan| plan.splitter_hiccup_us(chunk_index)) {
+                std::thread::sleep(std::time::Duration::from_micros(us));
+            }
+            chunk_index += 1;
             for tp in chunk.iter() {
                 switch.forward(&tp.packet);
                 account.note(tp);
@@ -406,7 +451,7 @@ fn run_cell_cached(
     repeat: u32,
     exec: &ExecConfig,
 ) -> CellResult {
-    let key = cell_key(suts, cfg, rate, repeat);
+    let key = cell_key_faulted(suts, cfg, rate, repeat, exec.faults.as_deref());
     let cache = RunCache::global();
     let profiling = exec.stats.profiling();
     let trace_missing = exec
@@ -496,14 +541,16 @@ pub fn run_point(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>) -> PointRes
 
 /// Run all sniffers over one shared stream, concurrently.
 pub fn run_sniffers(suts: &[Sut], stream: &Arc<Vec<TimedPacket>>) -> Vec<RunReport> {
-    run_sniffers_with(suts, stream, None)
+    run_sniffers_with(suts, stream, None, None)
 }
 
-/// [`run_sniffers`], optionally with an enabled trace sink per SUT.
+/// [`run_sniffers`], optionally with an enabled trace sink and/or an
+/// armed fault plan per SUT.
 fn run_sniffers_with(
     suts: &[Sut],
     stream: &Arc<Vec<TimedPacket>>,
     trace: Option<TraceSpec>,
+    faults: Option<&FaultPlan>,
 ) -> Vec<RunReport> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = suts
@@ -513,9 +560,13 @@ fn run_sniffers_with(
                 let spec = sut.spec;
                 let sim = sut.sim.clone();
                 let sink = trace.map(TraceSink::bounded).unwrap_or_default();
+                let armed = faults.map(FaultPlan::arm_machine);
                 scope.spawn(move || {
                     let source = stream.iter().map(|tp| (tp.time, tp.packet.clone()));
-                    MachineSim::new(spec, sim).with_trace(sink).run(source)
+                    MachineSim::new(spec, sim)
+                        .with_trace(sink)
+                        .with_faults(armed)
+                        .run(source)
                 })
             })
             .collect();

@@ -8,6 +8,7 @@
 //! assigns cells to workers dynamically but writes every result back into
 //! its input-order slot.
 
+use pcs_faultsim::FaultPlan;
 use pcs_trace::TraceCollector;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -25,6 +26,7 @@ use std::sync::{Arc, Mutex};
 pub struct ExecStats {
     cells_run: AtomicU64,
     cells_cached: AtomicU64,
+    cells_validated: AtomicU64,
     streams_generated: AtomicU64,
     streams_shared: AtomicU64,
     peak_stream_bytes: AtomicU64,
@@ -44,6 +46,11 @@ impl ExecStats {
     /// Record a cell served from the [`crate::RunCache`].
     pub fn record_cached(&self) {
         self.cells_cached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cell whose reports the invariant oracle checked.
+    pub fn record_validated(&self) {
+        self.cells_validated.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a cell that generated (and published) its packet stream.
@@ -71,6 +78,11 @@ impl ExecStats {
     /// Cells answered from the cache so far.
     pub fn cells_cached(&self) -> u64 {
         self.cells_cached.load(Ordering::Relaxed)
+    }
+
+    /// Cells the invariant oracle validated so far.
+    pub fn cells_validated(&self) -> u64 {
+        self.cells_validated.load(Ordering::Relaxed)
     }
 
     /// Packet streams generated (stream-cache misses) so far.
@@ -249,6 +261,15 @@ pub struct ExecConfig {
     /// sims on the branch-cheap off path and the results byte-identical
     /// to an untraced run.
     pub trace: Option<Arc<TraceCollector>>,
+    /// When set, every cell simulates under this fault plan
+    /// ([`FaultPlan::arm_machine`] per machine, plus the host-side
+    /// splitter/cache perturbations). `None` (the default) keeps the sims
+    /// on the branch-cheap off path and results byte-identical to today.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Run the invariant oracle on every cell's reports. Always on under
+    /// `cfg(debug_assertions)` (the test profiles); this flag arms it in
+    /// release builds (`--oracle`).
+    pub oracle: bool,
 }
 
 impl ExecConfig {
@@ -269,6 +290,8 @@ impl ExecConfig {
             pipeline: PipelineConfig::default(),
             stats: Arc::new(ExecStats::default()),
             trace: None,
+            faults: None,
+            oracle: false,
         }
     }
 
@@ -281,6 +304,19 @@ impl ExecConfig {
     /// The same execution with every cell traced into `collector`.
     pub fn with_trace(mut self, collector: Arc<TraceCollector>) -> ExecConfig {
         self.trace = Some(collector);
+        self
+    }
+
+    /// The same execution with `plan` armed on every cell.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> ExecConfig {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The same execution with the invariant oracle armed (it is always
+    /// on in debug/test builds regardless of this flag).
+    pub fn with_oracle(mut self, oracle: bool) -> ExecConfig {
+        self.oracle = oracle;
         self
     }
 }

@@ -59,33 +59,42 @@ impl DropAttribution {
     }
 
     /// Packets that did not reach the application: the sum of every
-    /// non-`delivered` bucket.
+    /// non-`delivered` bucket. Saturates rather than overflowing when
+    /// roll-ups over many cells push bucket sums past `u64::MAX`.
     pub fn dropped(&self) -> u64 {
         self.nic_drops
-            + self.nic_residue
-            + self.filter_rejects
-            + self.kernel_buffer_drops
-            + self.kernel_pool_drops
-            + self.kernel_residue
-            + self.app_residue
+            .saturating_add(self.nic_residue)
+            .saturating_add(self.filter_rejects)
+            .saturating_add(self.kernel_buffer_drops)
+            .saturating_add(self.kernel_pool_drops)
+            .saturating_add(self.kernel_residue)
+            .saturating_add(self.app_residue)
     }
 
     /// The conservation identity: every generated packet is accounted for.
+    /// Summed in 128 bits so the check stays exact even where
+    /// [`DropAttribution::dropped`] would saturate.
     pub fn balanced(&self) -> bool {
-        self.generated == self.delivered + self.dropped()
+        let accounted: u128 = self.values().iter().skip(1).map(|&v| v as u128).sum();
+        self.generated as u128 == accounted
     }
 
     /// Add another attribution bucket-by-bucket (for roll-up tables).
+    /// Each bucket saturates at `u64::MAX` instead of wrapping.
     pub fn absorb(&mut self, other: &DropAttribution) {
-        self.generated += other.generated;
-        self.nic_drops += other.nic_drops;
-        self.nic_residue += other.nic_residue;
-        self.filter_rejects += other.filter_rejects;
-        self.kernel_buffer_drops += other.kernel_buffer_drops;
-        self.kernel_pool_drops += other.kernel_pool_drops;
-        self.kernel_residue += other.kernel_residue;
-        self.app_residue += other.app_residue;
-        self.delivered += other.delivered;
+        self.generated = self.generated.saturating_add(other.generated);
+        self.nic_drops = self.nic_drops.saturating_add(other.nic_drops);
+        self.nic_residue = self.nic_residue.saturating_add(other.nic_residue);
+        self.filter_rejects = self.filter_rejects.saturating_add(other.filter_rejects);
+        self.kernel_buffer_drops = self
+            .kernel_buffer_drops
+            .saturating_add(other.kernel_buffer_drops);
+        self.kernel_pool_drops = self
+            .kernel_pool_drops
+            .saturating_add(other.kernel_pool_drops);
+        self.kernel_residue = self.kernel_residue.saturating_add(other.kernel_residue);
+        self.app_residue = self.app_residue.saturating_add(other.app_residue);
+        self.delivered = self.delivered.saturating_add(other.delivered);
     }
 }
 
@@ -122,5 +131,133 @@ mod tests {
             ..Default::default()
         };
         assert!(!broken.balanced());
+    }
+
+    #[test]
+    fn near_max_sums_do_not_overflow() {
+        // A roll-up whose buckets individually approach u64::MAX must
+        // neither panic (debug) nor wrap (release): dropped() saturates
+        // and balanced() widens to 128 bits.
+        let huge = DropAttribution {
+            generated: u64::MAX,
+            nic_drops: u64::MAX / 2,
+            kernel_buffer_drops: u64::MAX / 2,
+            delivered: 1,
+            ..Default::default()
+        };
+        assert_eq!(huge.dropped(), u64::MAX - 1);
+        assert!(huge.balanced());
+        let mut a = huge;
+        a.absorb(&huge);
+        assert_eq!(a.generated, u64::MAX);
+        assert_eq!(a.dropped(), u64::MAX);
+    }
+
+    /// Build an attribution from nine bucket values in column order.
+    fn from_values(v: &[u64; 9]) -> DropAttribution {
+        DropAttribution {
+            generated: v[0],
+            nic_drops: v[1],
+            nic_residue: v[2],
+            filter_rejects: v[3],
+            kernel_buffer_drops: v[4],
+            kernel_pool_drops: v[5],
+            kernel_residue: v[6],
+            app_residue: v[7],
+            delivered: v[8],
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A strategy over arbitrary bucket vectors, mixing small counts
+        /// with values near `u64::MAX` so saturation paths are exercised.
+        fn buckets() -> impl Strategy<Value = [u64; 9]> {
+            proptest::collection::vec(
+                prop_oneof![
+                    (0u64..1_000_000).boxed(),
+                    (u64::MAX - 1_000..=u64::MAX).boxed(),
+                ],
+                9..10,
+            )
+            .prop_map(|v| {
+                let mut a = [0u64; 9];
+                a.copy_from_slice(&v);
+                a
+            })
+        }
+
+        proptest! {
+            // absorb is commutative and associative bucket-wise: u64
+            // saturating addition is both, and absorb applies it
+            // independently per bucket.
+            #[test]
+            fn absorb_is_commutative(x in buckets(), y in buckets()) {
+                let (a, b) = (from_values(&x), from_values(&y));
+                let mut ab = a;
+                ab.absorb(&b);
+                let mut ba = b;
+                ba.absorb(&a);
+                prop_assert_eq!(ab, ba);
+            }
+
+            #[test]
+            fn absorb_is_associative(x in buckets(), y in buckets(), z in buckets()) {
+                let (a, b, c) = (from_values(&x), from_values(&y), from_values(&z));
+                let mut bc = b;
+                bc.absorb(&c);
+                let mut a_bc = a;
+                a_bc.absorb(&bc);
+                let mut ab = a;
+                ab.absorb(&b);
+                let mut ab_c = ab;
+                ab_c.absorb(&c);
+                prop_assert_eq!(a_bc, ab_c);
+            }
+
+            // Any way of splitting `generated` packets across the eight
+            // outcome buckets balances, and absorbing balanced
+            // attributions stays balanced (non-saturating regime).
+            #[test]
+            fn arbitrary_decompositions_balance(
+                x in proptest::collection::vec(0u64..1_000_000_000, 8..9),
+                y in proptest::collection::vec(0u64..1_000_000_000, 8..9),
+            ) {
+                let make = |outcomes: &[u64]| {
+                    let mut v = [0u64; 9];
+                    v[1..9].copy_from_slice(outcomes);
+                    v[0] = outcomes.iter().sum();
+                    from_values(&v)
+                };
+                let a = make(&x);
+                let b = make(&y);
+                prop_assert!(a.balanced());
+                prop_assert_eq!(a.generated, a.delivered + a.dropped());
+                let mut sum = a;
+                sum.absorb(&b);
+                prop_assert!(sum.balanced());
+            }
+
+            // Near-max sums must not overflow: dropped() saturates,
+            // balanced() and absorb() never panic or wrap.
+            #[test]
+            fn near_max_never_overflows(x in buckets(), y in buckets()) {
+                let (a, b) = (from_values(&x), from_values(&y));
+                let _ = a.dropped();
+                let _ = a.balanced();
+                let mut sum = a;
+                sum.absorb(&b);
+                let _ = sum.dropped();
+                let _ = sum.balanced();
+                for (i, &v) in sum.values().iter().enumerate() {
+                    prop_assert!(
+                        v >= x[i].max(y[i]),
+                        "bucket {} shrank: {} < max({}, {})", i, v, x[i], y[i]
+                    );
+                }
+            }
+        }
     }
 }

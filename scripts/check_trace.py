@@ -13,8 +13,8 @@ Checks, in order:
    checked-in snapshot, pinning the traced simulation's event population.
 
 Prints the summary line on success so CI logs show what was validated.
-Regenerate the snapshot by re-running with ``--update-golden`` after an
-intentional simulation change.
+Regenerate the snapshot by re-running with ``--regen`` after an
+intentional simulation change (``--update-golden`` is the older alias).
 """
 
 import argparse
@@ -44,6 +44,7 @@ def main() -> None:
     ap.add_argument("trace", help="Chrome trace-event JSON file")
     ap.add_argument("--golden", help="compare the summary line to this snapshot file")
     ap.add_argument(
+        "--regen",
         "--update-golden",
         action="store_true",
         help="rewrite the --golden file with the observed summary",
@@ -101,7 +102,7 @@ def main() -> None:
     print(f"check_trace: OK: {summary}")
 
     if args.golden:
-        if args.update_golden:
+        if args.regen:
             with open(args.golden, "w", encoding="utf-8") as f:
                 f.write(summary + "\n")
             print(f"check_trace: wrote golden snapshot {args.golden}")
@@ -113,7 +114,9 @@ def main() -> None:
                     f"event counts drifted from golden snapshot {args.golden}:\n"
                     f"  expected: {expected}\n"
                     f"  observed: {summary}\n"
-                    "if the simulation changed intentionally, regenerate with --update-golden"
+                    "if the simulation changed intentionally, regenerate with:\n"
+                    f"  python3 scripts/check_trace.py {args.trace} "
+                    f"--golden {args.golden} --regen"
                 )
 
 

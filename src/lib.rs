@@ -23,6 +23,7 @@
 //! | [`pktgen`] | the enhanced packet generator (two-stage size distributions) |
 //! | [`hw`] | CPU/memory/PCI/NIC/disk models, the four machine presets |
 //! | [`oskernel`] | the simulated capture stacks (BPF device, PF_PACKET, mmap ring) |
+//! | [`faultsim`] | deterministic fault injection + the sim-wide invariant oracle |
 //! | [`trace`] | deterministic packet-lifecycle tracing, metrics, drop attribution |
 //! | [`capture`] | libpcap-style sessions and the measurement application |
 //! | [`profiling`] | cpusage + trimusage |
@@ -52,6 +53,7 @@ pub use pcs_bpf as bpf;
 pub use pcs_capture as capture;
 pub use pcs_core as core;
 pub use pcs_des as des;
+pub use pcs_faultsim as faultsim;
 pub use pcs_hw as hw;
 pub use pcs_oskernel as oskernel;
 pub use pcs_pcapfile as pcapfile;

@@ -12,7 +12,8 @@
 
 use pcapbench::core::{figures, ExecConfig, PipelineConfig, Scale};
 use pcapbench::testbed::RunCache;
-use std::sync::Mutex;
+use proptest::prelude::*;
+use std::sync::{Mutex, OnceLock};
 
 /// Serializes the tests that flush the process-global run cache.
 static CACHE_CLEAR_LOCK: Mutex<()> = Mutex::new(());
@@ -81,49 +82,74 @@ fn warm_cache_reproduces_cold_run_exactly() {
     assert_eq!(cold.to_csv(), reran.to_csv());
 }
 
-#[test]
-fn streaming_pipeline_is_byte_identical_to_materialized() {
-    let _guard = CACHE_CLEAR_LOCK.lock().unwrap();
-    let scale = Scale {
+/// The matrix test's shared scale (packet count unique to this binary).
+fn matrix_scale() -> Scale {
+    Scale {
         count: 33_000,
         repeats: 2,
         rates: vec![Some(250.0), None],
-    };
-    // Reference: the materialized pre-pipeline path, freshly computed.
-    RunCache::global().clear();
-    let ref_exec = ExecConfig::with_jobs(1).with_pipeline(PipelineConfig::materialized());
-    let reference = figures::fig6_2_default_buffers(&scale, true, &ref_exec);
-    assert!(
-        ref_exec.stats.cells_run() >= 1,
-        "reference must actually simulate"
-    );
-    for chunk in [1usize, 1009, 4096] {
-        for jobs in [1usize, 4] {
-            // Flush the cache so the streamed run really recomputes every
-            // cell — pipeline shape is excluded from the cell key, so a
-            // warm cache would make this comparison vacuous.
-            RunCache::global().clear();
-            // Stream sharing off, so every chunk size really re-chunks
-            // the generator instead of subscribing to the first run's
-            // published (producer-sized) chunks.
-            let exec = ExecConfig::with_jobs(jobs)
-                .with_pipeline(PipelineConfig::with_chunk(chunk).with_stream_cache(0));
-            let streamed = figures::fig6_2_default_buffers(&scale, true, &exec);
-            assert!(
-                exec.stats.cells_run() >= 1,
-                "--chunk {chunk} --jobs {jobs} must recompute, not hit the cache"
-            );
-            assert_eq!(
-                reference.to_csv(),
-                streamed.to_csv(),
-                "--chunk {chunk} --jobs {jobs} must render the same CSV bytes as the materialized path"
-            );
-            assert_eq!(
-                reference.to_table(),
-                streamed.to_table(),
-                "--chunk {chunk} --jobs {jobs} must render the same table bytes as the materialized path"
-            );
-        }
+    }
+}
+
+/// The materialized single-worker reference rendering, computed once.
+/// Callers must hold [`CACHE_CLEAR_LOCK`].
+fn matrix_reference() -> &'static (String, String) {
+    static REFERENCE: OnceLock<(String, String)> = OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        RunCache::global().clear();
+        let exec = ExecConfig::with_jobs(1).with_pipeline(PipelineConfig::materialized());
+        let reference = figures::fig6_2_default_buffers(&matrix_scale(), true, &exec);
+        assert!(
+            exec.stats.cells_run() >= 1,
+            "reference must actually simulate"
+        );
+        (reference.to_csv(), reference.to_table())
+    })
+}
+
+proptest! {
+    // Every sampled (jobs, chunk, depth, stream-cache) execution shape
+    // must render byte-identically to the materialized single-worker
+    // reference. Each case is a whole sweep, so the case count is pinned
+    // low here on purpose — CI's elevated PROPTEST_CASES sweep targets
+    // the cheap parser/attribution properties, not this matrix.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn streaming_pipeline_is_byte_identical_to_materialized(
+        jobs in 1usize..=4,
+        chunk in prop_oneof![Just(1usize), 2usize..=8_192],
+        depth in 1usize..=8,
+        cache_on in any::<bool>(),
+    ) {
+        let _guard = CACHE_CLEAR_LOCK.lock().unwrap();
+        let (ref_csv, ref_table) = matrix_reference();
+        // Flush the run cache so the streamed run really recomputes every
+        // cell — pipeline shape is excluded from the cell key, so a warm
+        // cache would make this comparison vacuous. The stream cache is
+        // part of the sampled shape: off forces every cell to re-chunk
+        // the generator, on shares the producer's chunk boundaries.
+        RunCache::global().clear();
+        let mut pipeline = PipelineConfig::with_chunk(chunk)
+            .with_stream_cache(if cache_on { 1 << 30 } else { 0 });
+        pipeline.depth_chunks = depth;
+        let exec = ExecConfig::with_jobs(jobs).with_pipeline(pipeline);
+        let streamed = figures::fig6_2_default_buffers(&matrix_scale(), true, &exec);
+        prop_assert!(
+            exec.stats.cells_run() >= 1,
+            "--chunk {} --jobs {} must recompute, not hit the cache", chunk, jobs
+        );
+        prop_assert_eq!(
+            ref_csv,
+            &streamed.to_csv(),
+            "--jobs {} --chunk {} --depth {} cache {} must render the reference CSV bytes",
+            jobs, chunk, depth, cache_on
+        );
+        prop_assert_eq!(
+            ref_table,
+            &streamed.to_table(),
+            "--jobs {} --chunk {} --depth {} cache {} must render the reference table bytes",
+            jobs, chunk, depth, cache_on
+        );
     }
 }
 

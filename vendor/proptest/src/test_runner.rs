@@ -16,8 +16,16 @@ impl Config {
 }
 
 impl Default for Config {
+    /// 256 cases, overridable through the `PROPTEST_CASES` environment
+    /// variable (as in the real crate) so CI can run elevated-case
+    /// sweeps without touching the tests.
     fn default() -> Config {
-        Config { cases: 256 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(256);
+        Config { cases }
     }
 }
 
