@@ -12,12 +12,15 @@
 //! memory), which is where their advantage on multi-core hosts comes
 //! from. The `injection` group isolates the machine-sim ingest path:
 //! per-packet cloning (`MachineSim::run`) vs shared references into
-//! pre-generated chunks (`MachineSim::run_refs`). The `stream-cache`
-//! group runs the same sweep with sharing off, cold (each iteration
-//! generates and publishes) and warm (every cell subscribes to already
-//! published chunks).
+//! pre-generated chunks (`MachineSim::run_refs`). The `sched_overhead`
+//! group pins the event-scheduled pipeline's dispatch cost against the
+//! bare pcs-des event-queue floor on the same arrival chain. The
+//! `stream-cache` group runs the same sweep with sharing off, cold
+//! (each iteration generates and publishes) and warm (every cell
+//! subscribes to already published chunks).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcs_des::EventQueue;
 use pcs_hw::MachineSpec;
 use pcs_oskernel::{MachineSim, SimConfig};
 use pcs_pktgen::{
@@ -159,6 +162,61 @@ fn bench_injection(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_sched_overhead(c: &mut Criterion) {
+    // The event-scheduled stage pipeline's dispatch cost on the
+    // injection micro-bench, against the bare pcs-des event queue
+    // running the same self-scheduling arrival chain with no stage
+    // work. The gap between the two is everything the simulator does
+    // per packet (stages + scheduler + stacks); the floor is what the
+    // refactor's dispatch machinery alone costs. Numbers are pinned in
+    // BENCH_SCHED.json — `full-pipeline` must stay in family with the
+    // pre-refactor `injection/cloned` figure.
+    const COUNT: u64 = 40_000;
+    let mut source = ChunkedGenerator::new(
+        Generator::new(
+            PktgenConfig {
+                count: COUNT,
+                ..PktgenConfig::default()
+            },
+            TxModel::syskonnect(),
+            4242,
+        ),
+        4096,
+    );
+    let mut packets: Vec<TimedPacket> = Vec::new();
+    while let Some(chunk) = source.next_chunk() {
+        packets.extend(chunk.iter().cloned());
+    }
+    let mut g = c.benchmark_group("sched_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(COUNT));
+    g.bench_function("full-pipeline", |b| {
+        b.iter(|| {
+            MachineSim::new(MachineSpec::swan(), SimConfig::default())
+                .run(packets.iter().map(|tp| (tp.time, tp.packet.clone())))
+        })
+    });
+    g.bench_function("event-queue-floor", |b| {
+        b.iter(|| {
+            let mut queue = EventQueue::new();
+            let mut it = packets.iter();
+            if let Some(tp) = it.next() {
+                queue.schedule(tp.time, 0u64);
+            }
+            let mut popped = 0u64;
+            while let Some((_, seq)) = queue.pop() {
+                popped += 1;
+                if let Some(tp) = it.next() {
+                    queue.schedule(tp.time, seq + 1);
+                }
+            }
+            assert_eq!(popped, COUNT);
+            popped
+        })
+    });
+    g.finish();
+}
+
 fn bench_stream_cache(c: &mut Criterion) {
     let (suts, cfg, rates) = sweep_inputs();
     let cells = (rates.len() * cfg.repeats as usize) as u64;
@@ -203,6 +261,7 @@ criterion_group!(
     bench_sweep,
     bench_pipeline,
     bench_injection,
+    bench_sched_overhead,
     bench_stream_cache
 );
 criterion_main!(sweep);

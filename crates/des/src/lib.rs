@@ -8,6 +8,8 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time;
 //! * [`EventQueue`] — a stable (FIFO-on-ties) pending-event set;
+//! * [`RunQueue`] — a deterministic two-class (kernel/user) per-CPU run
+//!   queue with strict priority and a bounded starvation-avoidance yield;
 //! * [`Pcg32`] / [`SplitMix64`] — deterministic PRNG streams, so that a run
 //!   seed fully determines the generated packet sequence (the paper's
 //!   reproducibility requirement, §3.2);
@@ -24,10 +26,12 @@
 pub mod fingerprint;
 pub mod queue;
 pub mod rng;
+pub mod runq;
 pub mod stats;
 pub mod time;
 
 pub use fingerprint::{Fingerprint, Fingerprintable};
 pub use queue::EventQueue;
 pub use rng::{Pcg32, SplitMix64};
+pub use runq::{RunQueue, WorkClass};
 pub use time::{SimDuration, SimTime};

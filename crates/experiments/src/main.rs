@@ -118,7 +118,7 @@ fn percent(part: u64, whole: u64) -> f64 {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--profile] [--faults SPEC[:SEED]] [--oracle]\n  experiments all [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--profile] [--faults SPEC[:SEED]] [--oracle]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder).\n--jobs N: worker-pool size (default: all host cores); results are identical at any N.\n--chunk N: packets per streamed chunk (default 4096; 0 = materialize the whole run first).\n--depth N: bounded splitter-queue depth in chunks per sniffer (default 4).\n--stream-cache: share identical packet streams across cells through a byte-budgeted\n                content-addressed cache (default on = 1 GiB; off regenerates per cell).\nAll four are execution knobs: tables and CSVs are byte-identical for any setting.\n--trace PATH[:FILTER]: write packet-lifecycle traces as Chrome trace-event JSON to PATH\n                (Perfetto-loadable) plus a CSV sibling, and print per-stage drop\n                attribution. FILTER picks stages: all, drops, wire, nic, bus, filter,\n                kernel, app, disk or exact stage names, comma-separated. 'off' disables.\n--profile: print host-side execution profiling (cell wall times, pool utilization,\n                cache service latencies) to stderr.\n--faults SPEC[:SEED]: arm a deterministic fault plan. SPEC is fault names joined\n                with '+' (ringstall busburst irqjitter kshrink apppause hiccup\n                squeeze), or 'chaos' for all, or 'off' (default). Same SPEC:SEED =>\n                byte-identical output at any --jobs/--chunk/--depth/--stream-cache.\n--oracle: validate every cell against the sim-wide invariant oracle (packet\n                conservation, buffer bounds, clock monotonicity, rate sanity);\n                any violation aborts the run."
+        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--profile] [--faults SPEC[:SEED]] [--oracle]\n  experiments all [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--profile] [--faults SPEC[:SEED]] [--oracle]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder).\n--jobs N: worker-pool size (default: all host cores); results are identical at any N.\n--chunk N: packets per streamed chunk (default 4096; 0 = materialize the whole run first).\n--depth N: bounded splitter-queue depth in chunks per sniffer (default 4).\n--stream-cache: share identical packet streams across cells through a byte-budgeted\n                content-addressed cache (default on = 1 GiB; off regenerates per cell).\nAll four are execution knobs: tables and CSVs are byte-identical for any setting.\n--trace PATH[:FILTER]: write packet-lifecycle traces as Chrome trace-event JSON to PATH\n                (Perfetto-loadable) plus a CSV sibling, and print per-stage drop\n                attribution. FILTER picks stages: all, drops, wire, nic, bus, filter,\n                kernel, app, disk, sched (per-CPU scheduler dispatch timelines) or exact\n                stage names, comma-separated. 'off' disables.\n--profile: print host-side execution profiling (cell wall times, pool utilization,\n                cache service latencies) to stderr.\n--faults SPEC[:SEED]: arm a deterministic fault plan. SPEC is fault names joined\n                with '+' (ringstall busburst irqjitter kshrink apppause preempt\n                hiccup squeeze), or 'chaos' for all, or 'off' (default). Same SPEC:SEED =>\n                byte-identical output at any --jobs/--chunk/--depth/--stream-cache.\n--oracle: validate every cell against the sim-wide invariant oracle (packet\n                conservation, buffer bounds, clock monotonicity, rate sanity);\n                any violation aborts the run."
     );
     std::process::exit(2);
 }

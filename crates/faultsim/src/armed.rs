@@ -9,7 +9,7 @@
 
 use crate::plan::{FaultKind, FaultPlan};
 use pcs_des::SplitMix64;
-use pcs_hw::NicBusFault;
+use pcs_hw::{NicBusFault, SchedFault};
 use pcs_oskernel::MachineFaults;
 
 const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -35,6 +35,12 @@ const KERNEL_SHRINK_PERMILLE: u32 = 8;
 /// App-pause window: the application stops reading until the window ends.
 const APP_PAUSE_PERIOD_NS: u64 = 50_000_000;
 const APP_PAUSE_DUR_NS: u64 = 30_000_000;
+
+/// Preempt window: a foreign task holds the core at each dispatch, for
+/// at most one scheduler slice per work item.
+const PREEMPT_PERIOD_NS: u64 = 25_000_000;
+const PREEMPT_DUR_NS: u64 = 4_000_000;
+const PREEMPT_SLICE_NS: u64 = 150_000;
 
 /// Periodic seeded fault windows: within each period of `period_ns`,
 /// one window of `dur_ns` sits at a pseudorandom offset derived from
@@ -72,7 +78,43 @@ impl Windows {
     }
 }
 
-/// [`NicBusFault`] + [`MachineFaults`] for one armed [`FaultPlan`].
+/// The host-scheduler preemption hook for an armed plan: while a window
+/// is active, every dispatch is charged the remaining window — capped at
+/// one scheduler slice — as extra occupancy before the work runs.
+///
+/// Usable standalone (it implements [`SchedFault`] alone) or as the
+/// scheduler half of [`ArmedMachineFaults`].
+pub struct FaultyScheduler {
+    preempt: Option<Windows>,
+}
+
+impl FaultyScheduler {
+    /// The scheduler hook for `plan`; inert unless `preempt` is armed.
+    pub fn new(plan: &FaultPlan) -> FaultyScheduler {
+        FaultyScheduler {
+            preempt: plan.has(FaultKind::Preempt).then(|| {
+                Windows::new(
+                    plan.seed(),
+                    FaultKind::Preempt,
+                    PREEMPT_PERIOD_NS,
+                    PREEMPT_DUR_NS,
+                )
+            }),
+        }
+    }
+}
+
+impl SchedFault for FaultyScheduler {
+    fn preempt_extra_ns(&mut self, now_ns: u64, _cpu: usize) -> u64 {
+        match self.preempt.and_then(|w| w.active_until(now_ns)) {
+            Some(end) => (end - now_ns).min(PREEMPT_SLICE_NS),
+            None => 0,
+        }
+    }
+}
+
+/// [`NicBusFault`] + [`SchedFault`] + [`MachineFaults`] for one armed
+/// [`FaultPlan`].
 ///
 /// Built via [`FaultPlan::arm_machine`]; one instance per simulated
 /// machine.
@@ -82,6 +124,7 @@ pub struct ArmedMachineFaults {
     irq_jitter: Option<Windows>,
     kernel_shrink: Option<Windows>,
     app_pause: Option<Windows>,
+    sched: FaultyScheduler,
 }
 
 impl ArmedMachineFaults {
@@ -108,7 +151,14 @@ impl ArmedMachineFaults {
                 KERNEL_SHRINK_DUR_NS,
             ),
             app_pause: w(FaultKind::AppPause, APP_PAUSE_PERIOD_NS, APP_PAUSE_DUR_NS),
+            sched: FaultyScheduler::new(plan),
         }
+    }
+}
+
+impl SchedFault for ArmedMachineFaults {
+    fn preempt_extra_ns(&mut self, now_ns: u64, cpu: usize) -> u64 {
+        self.sched.preempt_extra_ns(now_ns, cpu)
     }
 }
 
@@ -184,6 +234,7 @@ mod tests {
             assert_eq!(f.irq_extra_gap_ns(t), 0);
             assert_eq!(f.buffer_permille(t), 1000);
             assert_eq!(f.app_pause_until_ns(t, 0), None);
+            assert_eq!(f.preempt_extra_ns(t, 0), 0);
         }
     }
 
@@ -196,14 +247,34 @@ mod tests {
         let mut jitter = false;
         let mut shrink = false;
         let mut pause = false;
+        let mut preempted = false;
         for t in (0..400_000_000u64).step_by(100_000) {
             stalled |= f.ring_slots(t, 256) < 256;
             burst |= f.bus_extra_demand_bps(t) > 0;
             jitter |= f.irq_extra_gap_ns(t) > 0;
             shrink |= f.buffer_permille(t) < 1000;
             pause |= f.app_pause_until_ns(t, 0).is_some();
+            preempted |= f.preempt_extra_ns(t, 0) > 0;
         }
-        assert!(stalled && burst && jitter && shrink && pause);
+        assert!(stalled && burst && jitter && shrink && pause && preempted);
+    }
+
+    #[test]
+    fn preempt_hold_is_capped_at_one_slice() {
+        let plan = FaultPlan::parse("preempt:9").unwrap().unwrap();
+        let mut f = FaultyScheduler::new(&plan);
+        let mut fired = false;
+        for t in (0..400_000_000u64).step_by(50_000) {
+            let extra = f.preempt_extra_ns(t, 1);
+            assert!(extra <= PREEMPT_SLICE_NS, "hold {extra} exceeds the slice");
+            fired |= extra > 0;
+        }
+        assert!(fired, "an armed preempt plan should eventually hold a core");
+        let quiet = FaultPlan::parse("ringstall:9").unwrap().unwrap();
+        let mut q = FaultyScheduler::new(&quiet);
+        assert!((0..400_000_000u64)
+            .step_by(50_000)
+            .all(|t| q.preempt_extra_ns(t, 0) == 0));
     }
 
     #[test]

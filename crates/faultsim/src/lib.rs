@@ -10,9 +10,10 @@
 //! * [`FaultPlan`] — a seeded schedule of faults parsed from
 //!   `--faults SPEC[:SEED]` and fingerprinted like every other piece of
 //!   configuration. Machine-side faults (ring stalls, bus bursts, IRQ
-//!   jitter, kernel-buffer shrink, app pauses) are injected through the
-//!   hook traits [`pcs_hw::NicBusFault`] / [`pcs_oskernel::MachineFaults`]
-//!   and deterministically change results; host-side faults (splitter
+//!   jitter, kernel-buffer shrink, app pauses, scheduler preemption)
+//!   are injected through the hook traits [`pcs_hw::NicBusFault`] /
+//!   [`pcs_hw::SchedFault`] / [`pcs_oskernel::MachineFaults`] and
+//!   deterministically change results; host-side faults (splitter
 //!   hiccups, stream-cache squeeze) stress the pipeline machinery and
 //!   must **not** change results.
 //! * [`Oracle`] — the sim-wide invariants every run must satisfy:
@@ -30,6 +31,6 @@ mod armed;
 mod oracle;
 mod plan;
 
-pub use armed::ArmedMachineFaults;
+pub use armed::{ArmedMachineFaults, FaultyScheduler};
 pub use oracle::Oracle;
 pub use plan::{FaultKind, FaultPlan};

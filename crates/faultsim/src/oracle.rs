@@ -37,6 +37,9 @@ impl Oracle {
     /// 6. **Range sanity** — capture rates and CPU utilisations in [0, 1].
     /// 7. **Clock monotonicity** — cpusage sample times never go
     ///    backwards, and the run's `elapsed` is past the last sample.
+    /// 8. **Scheduler serialisation** — when the report carries `sched`
+    ///    trace events, the spans on each CPU are monotone and never
+    ///    overlap: a CPU runs one work item at a time.
     pub fn check_report(label: &str, spec: &MachineSpec, report: &RunReport) -> Result<(), String> {
         let err = |what: String| Err(format!("oracle[{label}/{}]: {what}", report.machine));
 
@@ -112,6 +115,27 @@ impl Oracle {
                     "elapsed {:?} precedes the last sample at {:?}",
                     report.elapsed, prev
                 ));
+            }
+        }
+        if let Some(trace) = &report.trace {
+            // Sched events are emitted in dispatch order, so each CPU's
+            // spans must already be sorted — and disjoint, because a CPU
+            // runs one work item at a time.
+            let mut cpu_free: Vec<u64> = Vec::new();
+            for ev in &trace.sched {
+                let cpu = ev.cpu as usize;
+                if cpu >= cpu_free.len() {
+                    cpu_free.resize(cpu + 1, 0);
+                }
+                if ev.t_ns < cpu_free[cpu] {
+                    return err(format!(
+                        "cpu{cpu}: {} dispatched at {} ns while busy until {} ns",
+                        ev.kind.name(),
+                        ev.t_ns,
+                        cpu_free[cpu]
+                    ));
+                }
+                cpu_free[cpu] = ev.t_ns + ev.dur_ns;
             }
         }
         Ok(())
@@ -242,6 +266,31 @@ mod tests {
             captured: Vec::new(),
         };
         Oracle::check_report("t", &spec(), &r).unwrap();
+    }
+
+    #[test]
+    fn overlapping_sched_spans_are_caught() {
+        use pcs_trace::{SchedEvent, TraceReport, WorkKind};
+        let span = |t_ns: u64, dur_ns: u64, cpu: u16| SchedEvent {
+            t_ns,
+            dur_ns,
+            cpu,
+            app: 0,
+            kind: WorkKind::KernelBatch,
+        };
+        let mut r = clean_report();
+        // Disjoint per CPU — interleaving across CPUs is fine.
+        r.trace = Some(Box::new(TraceReport {
+            events: Vec::new(),
+            sched: vec![span(0, 100, 0), span(50, 100, 1), span(100, 50, 0)],
+            truncated: 0,
+            metrics: Default::default(),
+        }));
+        Oracle::check_report("t", &spec(), &r).unwrap();
+        // Overlap on one CPU: dispatched while still busy.
+        r.trace.as_mut().unwrap().sched = vec![span(0, 100, 0), span(99, 10, 0)];
+        let e = Oracle::check_report("t", &spec(), &r).unwrap_err();
+        assert!(e.contains("while busy"), "{e}");
     }
 
     #[test]

@@ -14,7 +14,7 @@ const SQUEEZE_BUDGET: u64 = 1 << 20;
 
 /// One kind of injectable fault.
 ///
-/// The first five are **machine-side**: they perturb the simulated
+/// The first six are **machine-side**: they perturb the simulated
 /// hardware/kernel on the sim clock and deterministically change
 /// results. The last two are **host-side**: they stress the execution
 /// machinery (splitter queues, the stream cache) and must leave results
@@ -36,6 +36,9 @@ pub enum FaultKind {
     /// The application stops reading for the window — backlog moves
     /// into the app-residue / kernel buckets.
     AppPause,
+    /// A foreign task preempts the capture workers at dispatch — the
+    /// host scheduler charges extra occupancy before each work item.
+    Preempt,
     /// Host-side: the splitter producer stalls briefly on some chunks.
     SplitterHiccup,
     /// Host-side: the stream cache runs under a starvation budget.
@@ -44,12 +47,13 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// Every kind, in canonical (sorted) order.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::RingStall,
         FaultKind::BusBurst,
         FaultKind::IrqJitter,
         FaultKind::KernelShrink,
         FaultKind::AppPause,
+        FaultKind::Preempt,
         FaultKind::SplitterHiccup,
         FaultKind::CacheSqueeze,
     ];
@@ -62,6 +66,7 @@ impl FaultKind {
             FaultKind::IrqJitter => "irqjitter",
             FaultKind::KernelShrink => "kshrink",
             FaultKind::AppPause => "apppause",
+            FaultKind::Preempt => "preempt",
             FaultKind::SplitterHiccup => "hiccup",
             FaultKind::CacheSqueeze => "squeeze",
         }
@@ -77,6 +82,7 @@ impl FaultKind {
             FaultKind::AppPause => 5,
             FaultKind::SplitterHiccup => 6,
             FaultKind::CacheSqueeze => 7,
+            FaultKind::Preempt => 8,
         }
     }
 
@@ -104,7 +110,7 @@ impl FaultPlan {
         let bad = || {
             format!(
                 "--faults wants off, chaos or fault names joined with '+' \
-                 (ringstall busburst irqjitter kshrink apppause hiccup squeeze), \
+                 (ringstall busburst irqjitter kshrink apppause preempt hiccup squeeze), \
                  optionally ':SEED', got '{arg}'"
             )
         };

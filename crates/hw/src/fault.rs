@@ -35,3 +35,20 @@ pub trait NicBusFault: Send {
         0
     }
 }
+
+/// Deterministic CPU-scheduler fault hooks, consulted at work-item
+/// dispatch on the simulation clock.
+///
+/// Models a host scheduler preempting the capture machine's workers: an
+/// armed implementation returns extra occupancy (in nanoseconds) charged
+/// to the CPU before the dispatched work item's own cost, as if a
+/// foreign task held the core. The same determinism contract as
+/// [`NicBusFault`] applies: answers derive only from `now_ns`, the CPU
+/// index, and seeded state.
+pub trait SchedFault: Send {
+    /// Extra nanoseconds CPU `cpu` is held by a preempting task when a
+    /// work item is dispatched at `now_ns` (0 = no preemption).
+    fn preempt_extra_ns(&mut self, _now_ns: u64, _cpu: usize) -> u64 {
+        0
+    }
+}

@@ -24,7 +24,7 @@ pub use bus::{PciBus, PciKind};
 pub use cost::{os_costs, OsCosts, OsKind};
 pub use cpu::{CpuArch, CpuSpec};
 pub use disk::{write_benchmark, DiskModel, WriteBenchResult};
-pub use fault::NicBusFault;
+pub use fault::{NicBusFault, SchedFault};
 pub use machine::MachineSpec;
 pub use memory::{MemoryKind, MemorySystem};
 pub use nic::{InterruptScheme, NicModel};

@@ -1,0 +1,99 @@
+//! The typed event and work-item vocabulary of the machine simulation.
+//!
+//! Everything the event loop schedules or executes is named here:
+//! [`SimEvent`] is what sits in the pcs-des pending-event queue,
+//! [`Work`] is what sits on a CPU's run queue, and [`Completion`] is
+//! what a finished work item triggers. Making these first-class types
+//! (instead of inlined branches of a monolithic loop) is what lets the
+//! scheduler trace them (`--trace …:sched`) and the fault layer perturb
+//! them (`--faults preempt:…`) without touching stage logic.
+
+use crate::cpustate::CpuState;
+use crate::stack::CapturedPacket;
+use pcs_pktgen::PacketRef;
+use pcs_trace::{WorkKind, APP_NONE};
+use pcs_wire::SimPacket;
+
+/// A packet injected into the NIC: either owned outright (ad-hoc
+/// streams, tests) or a shared reference into a generator chunk (the
+/// zero-copy pipeline path — one refcount bump instead of a packet copy
+/// per sniffer per packet).
+#[derive(Debug)]
+pub(crate) enum PacketView {
+    Owned(Box<SimPacket>),
+    Shared(PacketRef),
+}
+
+impl PacketView {
+    pub(crate) fn packet(&self) -> &SimPacket {
+        match self {
+            PacketView::Owned(p) => p,
+            PacketView::Shared(r) => r.packet(),
+        }
+    }
+}
+
+/// Simulation events: everything the pending-event queue can deliver.
+#[derive(Debug)]
+pub(crate) enum SimEvent {
+    /// A frame has fully arrived at the NIC.
+    Arrival(PacketView),
+    /// A CPU finished its current work item.
+    CpuFree(usize),
+    /// An interrupt may fire now (moderation gap elapsed).
+    IrqGate,
+    /// A sleeping application resumes (I/O throttle or pipe space).
+    AppResume(usize),
+    /// A chunk of dirty data reached the platters.
+    WritebackDone,
+    /// Periodic cpusage-style accounting sample.
+    Sample,
+}
+
+/// What a finished work item triggers.
+#[derive(Debug)]
+pub(crate) enum Completion {
+    KernelBatch,
+    AppCopyout {
+        app: usize,
+    },
+    AppChunk {
+        app: usize,
+        packets: u64,
+        bytes: u64,
+        recorded: Vec<CapturedPacket>,
+        /// (seq, gen_ns, caplen) per packet, captured only when tracing:
+        /// app-delivery events and the wire→app latency histogram are
+        /// recorded when the chunk's processing completes.
+        traced: Vec<(u64, u64, u32)>,
+    },
+    GzipChunk {
+        bytes: u64,
+    },
+    None,
+}
+
+/// A piece of CPU work.
+pub(crate) struct Work {
+    /// What kind of work this is — the scheduler-trace vocabulary.
+    pub(crate) kind: WorkKind,
+    /// (state, ns) segments; executed as one uninterruptible span.
+    pub(crate) segments: Vec<(CpuState, u64)>,
+    pub(crate) complete: Completion,
+}
+
+impl Work {
+    pub(crate) fn duration(&self) -> u64 {
+        self.segments.iter().map(|s| s.1).sum()
+    }
+
+    /// The application this work belongs to, for scheduler traces
+    /// ([`APP_NONE`] for kernel/helper work).
+    pub(crate) fn sched_app(&self) -> u16 {
+        match &self.complete {
+            Completion::AppCopyout { app } => *app as u16,
+            Completion::AppChunk { app, .. } => *app as u16,
+            _ => APP_NONE,
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! Kernel-level fault-injection hooks.
 //!
-//! Extends the NIC/bus hooks from [`pcs_hw::NicBusFault`] with the two
-//! faults that live above the driver: kernel capture-buffer shrink and
+//! Extends the NIC/bus hooks from [`pcs_hw::NicBusFault`] and the
+//! scheduler hooks from [`pcs_hw::SchedFault`] with the two faults that
+//! live above the driver: kernel capture-buffer shrink and
 //! application backpressure pauses. `MachineSim` consults an armed
 //! implementation through `Option<Box<dyn MachineFaults>>` — `None`
 //! costs one branch per site, exactly like the trace sink.
@@ -14,7 +15,7 @@
 ///
 /// Every method defaults to "no fault", so a plan overrides only what
 /// it arms.
-pub trait MachineFaults: pcs_hw::NicBusFault {
+pub trait MachineFaults: pcs_hw::NicBusFault + pcs_hw::SchedFault {
     /// Effective kernel capture-buffer capacity at `now_ns`, in
     /// permille of the configured size (1000 = unchanged). A
     /// kernel-shrink window returns a small value; outside the window

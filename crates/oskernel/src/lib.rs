@@ -29,14 +29,19 @@
 
 pub mod config;
 pub mod cpustate;
+pub(crate) mod event;
 pub mod fault;
+pub mod report;
+pub(crate) mod sched;
 pub mod sim;
 pub mod stack;
+pub(crate) mod stages;
 
 pub use config::{AppConfig, BufferConfig, SimConfig};
 pub use cpustate::{CpuAccounting, CpuState};
 pub use fault::MachineFaults;
-pub use sim::{AppReport, CpuSample, MachineSim, RunReport};
+pub use report::{AppReport, CpuSample, RunReport};
+pub use sim::MachineSim;
 pub use stack::{
     BpfDevice, CapturedPacket, DeliverOutcome, DropKind, KernelFilter, LsfSocket, LsfState,
     StackStats,

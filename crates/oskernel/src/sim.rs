@@ -1,4 +1,4 @@
-//! The per-machine discrete-event simulation.
+//! The per-machine discrete-event simulation: the [`MachineSim`] façade.
 //!
 //! One [`MachineSim`] models one system under test end to end: NIC ring,
 //! interrupt batching, the OS capture stack (BPF device or PF_PACKET
@@ -8,163 +8,42 @@
 //!
 //! ## Execution model
 //!
-//! CPUs execute *work items* — bounded chunks of kernel or application
-//! work whose durations come from the calibrated cost model
-//! ([`pcs_hw::OsCosts`]) and the memory-system model. Kernel work
-//! (interrupt + stack processing) has strict priority; application work
-//! is round-robin in chunks small enough that interrupt latency stays
-//! realistic. This reproduces the receive-livelock dynamics of Mogul &
-//! Ramakrishnan that the thesis discusses in §2.2.1: as the packet rate
-//! grows, kernel work crowds out the applications, buffers fill, and the
-//! capture rate collapses gracefully (FreeBSD) or abruptly (Linux with
-//! its shared refcounted pool).
+//! The simulation is event-scheduled: typed [`crate::event::SimEvent`]s
+//! flow through the pcs-des queue owned by the
+//! [`crate::sched::Scheduler`], and each event kind is handled by its
+//! lifecycle stage module under [`crate::stages`]. CPUs execute *work
+//! items* — bounded chunks of kernel or application work whose durations
+//! come from the calibrated cost model ([`pcs_hw::OsCosts`]) and the
+//! memory-system model. Kernel work (interrupt + stack processing) has
+//! strict priority; application work is round-robin in chunks small
+//! enough that interrupt latency stays realistic. This reproduces the
+//! receive-livelock dynamics of Mogul & Ramakrishnan that the thesis
+//! discusses in §2.2.1: as the packet rate grows, kernel work crowds out
+//! the applications, buffers fill, and the capture rate collapses
+//! gracefully (FreeBSD) or abruptly (Linux with its shared refcounted
+//! pool).
+//!
+//! This module holds only the façade: construction, the run entry
+//! points ([`MachineSim::run`], [`MachineSim::run_refs`],
+//! [`MachineSim::run_source`]), and state shared across stages.
 
 use crate::config::{AppConfig, SimConfig};
-use crate::cpustate::{CpuAccounting, CpuState};
+use crate::event::{PacketView, SimEvent};
 use crate::fault::MachineFaults;
-use crate::stack::{BpfDevice, CapturedPacket, DropKind, LsfSocket, LsfState};
-use pcs_des::{EventQueue, SimDuration, SimTime};
-use pcs_hw::{InterruptScheme, MachineSpec, OsCosts};
+use crate::report::{CpuSample, RunReport};
+use crate::sched::Scheduler;
+use crate::stack::{BpfDevice, CapturedPacket, LsfSocket, LsfState};
+use crate::stages;
+use pcs_des::SimTime;
+use pcs_hw::{MachineSpec, OsCosts};
 use pcs_pktgen::{PacketRef, PacketSource, SourceRefs};
-use pcs_trace::{DropAttribution, Stage, TraceReport, TraceSink, APP_NONE, SEQ_NONE};
+use pcs_trace::TraceSink;
 use pcs_wire::SimPacket;
 use std::collections::VecDeque;
 
-/// Maximum packets picked up by one interrupt batch.
-const MAX_IRQ_BATCH: usize = 64;
-/// Maximum packets processed per application work chunk.
-const APP_CHUNK: usize = 64;
-/// Pipe capacity (a classic 64 kB FIFO).
-const PIPE_CAPACITY: u64 = 64 * 1024;
-/// Write-back throttling threshold: an application writing to disk
-/// blocks when this much dirty data is outstanding.
-const DIRTY_LIMIT: u64 = 32 << 20;
-/// Disk write-back granule.
-const WRITEBACK_CHUNK: u64 = 1 << 20;
-
-/// Map one consumer's [`DeliverOutcome`] to its trace stages: the filter
-/// verdict, and (for accepted packets) whether the kernel stored or
-/// dropped it.
-fn consumer_stages(o: &crate::stack::DeliverOutcome) -> (Stage, Option<Stage>) {
-    if !o.accepted {
-        (Stage::FilterReject, None)
-    } else if o.stored {
-        (Stage::FilterAccept, Some(Stage::KernelEnqueue))
-    } else {
-        let dropped = match o.drop {
-            DropKind::Pool => Stage::KernelDropPool,
-            _ => Stage::KernelDropBuffer,
-        };
-        (Stage::FilterAccept, Some(dropped))
-    }
-}
-
-/// A packet injected into the NIC: either owned outright (ad-hoc
-/// streams, tests) or a shared reference into a generator chunk (the
-/// zero-copy pipeline path — one refcount bump instead of a packet copy
-/// per sniffer per packet).
-#[derive(Debug)]
-enum PacketView {
-    Owned(Box<SimPacket>),
-    Shared(PacketRef),
-}
-
-impl PacketView {
-    fn packet(&self) -> &SimPacket {
-        match self {
-            PacketView::Owned(p) => p,
-            PacketView::Shared(r) => r.packet(),
-        }
-    }
-}
-
-/// Simulation events.
-#[derive(Debug)]
-enum Event {
-    /// A frame has fully arrived at the NIC.
-    Arrival(PacketView),
-    /// A CPU finished its current work item.
-    CpuFree(usize),
-    /// An interrupt may fire now (moderation gap elapsed).
-    IrqGate,
-    /// A sleeping application resumes (I/O throttle or pipe space).
-    AppResume(usize),
-    /// A chunk of dirty data reached the platters.
-    WritebackDone,
-    /// Periodic cpusage-style accounting sample.
-    Sample,
-}
-
-/// What a finished work item triggers.
-#[derive(Debug)]
-enum Completion {
-    KernelBatch,
-    AppCopyout {
-        app: usize,
-    },
-    AppChunk {
-        app: usize,
-        packets: u64,
-        bytes: u64,
-        recorded: Vec<CapturedPacket>,
-        /// (seq, gen_ns, caplen) per packet, captured only when tracing:
-        /// app-delivery events and the wire→app latency histogram are
-        /// recorded when the chunk's processing completes.
-        traced: Vec<(u64, u64, u32)>,
-    },
-    GzipChunk {
-        bytes: u64,
-    },
-    None,
-}
-
-/// A piece of CPU work.
-struct Work {
-    /// (state, ns) segments; executed as one uninterruptible span.
-    segments: Vec<(CpuState, u64)>,
-    complete: Completion,
-}
-
-impl Work {
-    fn duration(&self) -> u64 {
-        self.segments.iter().map(|s| s.1).sum()
-    }
-}
-
-struct CpuSim {
-    kernel_q: VecDeque<Work>,
-    user_q: VecDeque<Work>,
-    current: Option<Work>,
-    busy_until: SimTime,
-    idle_since: SimTime,
-    acct: CpuAccounting,
-    /// Kernel work items run back to back; the scheduler grants queued
-    /// user work an occasional slot so interrupt pressure cannot starve
-    /// runnable processes absolutely (neither OS's livelock is total).
-    consecutive_kernel: u32,
-}
-
-impl CpuSim {
-    fn new() -> CpuSim {
-        CpuSim {
-            kernel_q: VecDeque::new(),
-            user_q: VecDeque::new(),
-            current: None,
-            busy_until: SimTime::ZERO,
-            idle_since: SimTime::ZERO,
-            acct: CpuAccounting::default(),
-            consecutive_kernel: 0,
-        }
-    }
-
-    fn busy(&self) -> bool {
-        self.current.is_some()
-    }
-}
-
 /// Application run states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AppState {
+pub(crate) enum AppState {
     /// Waiting for data.
     Blocked,
     /// Has work queued or executing on its CPU.
@@ -173,157 +52,20 @@ enum AppState {
     Sleeping,
 }
 
-struct AppSim {
-    cfg: AppConfig,
-    cpu: usize,
-    state: AppState,
+pub(crate) struct AppSim {
+    pub(crate) cfg: AppConfig,
+    pub(crate) cpu: usize,
+    pub(crate) state: AppState,
     /// FreeBSD: packets copied out and awaiting user-space processing.
-    pending: VecDeque<CapturedPacket>,
+    pub(crate) pending: VecDeque<CapturedPacket>,
     /// Packets handed to the application (the thesis' capture count).
-    received: u64,
-    received_bytes: u64,
+    pub(crate) received: u64,
+    pub(crate) received_bytes: u64,
     /// Recorded packets when `cfg.record` is set.
-    captured: Vec<CapturedPacket>,
+    pub(crate) captured: Vec<CapturedPacket>,
 }
 
-/// The per-application outcome of a run.
-#[derive(Debug, Clone)]
-pub struct AppReport {
-    /// Packets the application processed — the numerator of the thesis'
-    /// capturing rate.
-    pub received: u64,
-    /// Captured bytes (post-snaplen).
-    pub received_bytes: u64,
-    /// Kernel-side counters for this app's consumer.
-    pub stats: crate::stack::StackStats,
-    /// Captured packet metadata (only when `AppConfig::record` was set).
-    pub captured: Vec<CapturedPacket>,
-}
-
-/// One cpusage-style sample: cumulative accounting per CPU.
-#[derive(Debug, Clone)]
-pub struct CpuSample {
-    /// Sample timestamp.
-    pub t: SimTime,
-    /// Cumulative per-CPU accounting at `t`.
-    pub per_cpu: Vec<CpuAccounting>,
-}
-
-/// Everything measured in one machine run.
-#[derive(Debug, Clone)]
-pub struct RunReport {
-    /// Machine label (e.g. "FreeBSD/AMD - moorhen").
-    pub machine: String,
-    /// Packets that arrived on the wire (the denominator of the capture
-    /// rate, equal to the generator's count when the splitter is
-    /// lossless).
-    pub offered: u64,
-    /// Packets dropped at the NIC ring (kernel never saw them).
-    pub nic_ring_drops: u64,
-    /// Packets still sitting in the NIC ring when the run stopped (the
-    /// kernel never picked them up; counted separately so the per-stage
-    /// attribution sums exactly to `offered`).
-    pub nic_ring_residue: u64,
-    /// Per-application results.
-    pub apps: Vec<AppReport>,
-    /// 0.5 s cpusage samples (cumulative).
-    pub samples: Vec<CpuSample>,
-    /// Final per-CPU accounting.
-    pub final_acct: Vec<CpuAccounting>,
-    /// Accounting snapshot at the moment the last packet arrived (the
-    /// "loaded" window cpusage averages over).
-    pub load_acct: Option<CpuSample>,
-    /// Virtual time of the last processed event.
-    pub elapsed: SimTime,
-    /// Bytes that reached the disk.
-    pub disk_bytes: u64,
-    /// Bytes pushed through the capture→gzip pipe.
-    pub pipe_bytes: u64,
-    /// Event log and metrics, present when the sim ran with a tracing
-    /// sink ([`MachineSim::with_trace`]).
-    pub trace: Option<Box<TraceReport>>,
-}
-
-impl RunReport {
-    /// Capture rate of one application (0..1).
-    pub fn capture_rate(&self, app: usize) -> f64 {
-        if self.offered == 0 {
-            return 0.0;
-        }
-        self.apps[app].received as f64 / self.offered as f64
-    }
-
-    /// Mean capture rate over all applications.
-    pub fn mean_capture_rate(&self) -> f64 {
-        if self.apps.is_empty() {
-            return 0.0;
-        }
-        (0..self.apps.len())
-            .map(|i| self.capture_rate(i))
-            .sum::<f64>()
-            / self.apps.len() as f64
-    }
-
-    /// Worst and best per-application capture rates.
-    pub fn worst_best(&self) -> (f64, f64) {
-        let mut worst = f64::INFINITY;
-        let mut best = f64::NEG_INFINITY;
-        for i in 0..self.apps.len() {
-            let r = self.capture_rate(i);
-            worst = worst.min(r);
-            best = best.max(r);
-        }
-        (worst.clamp(0.0, 1.0), best.clamp(0.0, 1.0))
-    }
-
-    /// Mean CPU busy fraction across CPUs over the whole run.
-    pub fn mean_cpu_usage(&self) -> f64 {
-        if self.final_acct.is_empty() {
-            return 0.0;
-        }
-        self.final_acct.iter().map(|a| a.utilisation()).sum::<f64>() / self.final_acct.len() as f64
-    }
-
-    /// Exhaustive per-stage drop attribution for one consumer: where every
-    /// generated packet ended up. The identity
-    /// `generated == delivered + dropped()` holds exactly
-    /// ([`DropAttribution::balanced`]) — this is the paper's
-    /// loss-localization analysis computed from end-of-run counters, not
-    /// from the (bounded) event log.
-    pub fn attribution(&self, app: usize) -> DropAttribution {
-        let s = &self.apps[app].stats;
-        DropAttribution {
-            generated: self.offered,
-            nic_drops: self.nic_ring_drops,
-            nic_residue: self.nic_ring_residue,
-            filter_rejects: s.rejected,
-            kernel_buffer_drops: s.dropped_buffer,
-            kernel_pool_drops: s.dropped_pool,
-            kernel_residue: s.kernel_residue,
-            app_residue: s.app_residue,
-            delivered: self.apps[app].received,
-        }
-    }
-
-    /// [`RunReport::attribution`] for every consumer.
-    pub fn attributions(&self) -> Vec<DropAttribution> {
-        (0..self.apps.len()).map(|i| self.attribution(i)).collect()
-    }
-
-    /// Mean CPU busy fraction across CPUs during the loaded window (up to
-    /// the last packet arrival) — what the thesis' cpusage/trimusage
-    /// pipeline reports.
-    pub fn load_cpu_usage(&self) -> f64 {
-        match &self.load_acct {
-            Some(s) if !s.per_cpu.is_empty() => {
-                s.per_cpu.iter().map(|a| a.utilisation()).sum::<f64>() / s.per_cpu.len() as f64
-            }
-            _ => self.mean_cpu_usage(),
-        }
-    }
-}
-
-enum Stack {
+pub(crate) enum Stack {
     Bpf(Vec<BpfDevice>),
     Lsf(LsfState),
 }
@@ -347,66 +89,66 @@ enum Stack {
 /// assert_eq!(report.apps[0].received, 1_000);
 /// ```
 pub struct MachineSim {
-    spec: MachineSpec,
-    costs: OsCosts,
-    queue: EventQueue<Event>,
-    cpus: Vec<CpuSim>,
-    apps: Vec<AppSim>,
-    stack: Stack,
+    pub(crate) spec: MachineSpec,
+    pub(crate) costs: OsCosts,
+    /// Sim clock + per-CPU run state (the event-scheduled core).
+    pub(crate) sched: Scheduler,
+    pub(crate) apps: Vec<AppSim>,
+    pub(crate) stack: Stack,
 
     // NIC
-    ring: VecDeque<PacketView>,
-    ring_slots: usize,
-    nic_ring_drops: u64,
-    irq_pending: bool,
-    next_irq_allowed: SimTime,
+    pub(crate) ring: VecDeque<PacketView>,
+    pub(crate) ring_slots: usize,
+    pub(crate) nic_ring_drops: u64,
+    pub(crate) irq_pending: bool,
+    pub(crate) next_irq_allowed: SimTime,
 
     // Rate estimators
-    arrival_ema_bps: f64,
-    last_arrival: SimTime,
-    kernel_util: f64,
-    last_kernel_update: SimTime,
+    pub(crate) arrival_ema_bps: f64,
+    pub(crate) last_arrival: SimTime,
+    pub(crate) kernel_util: f64,
+    pub(crate) last_kernel_update: SimTime,
 
     // Disk
-    dirty_bytes: u64,
-    writeback_scheduled: bool,
-    disk_bytes: u64,
+    pub(crate) dirty_bytes: u64,
+    pub(crate) writeback_scheduled: bool,
+    pub(crate) disk_bytes: u64,
     /// Recent write-back byte rate (shares the PCI bus with the NIC).
-    writeback_ema_bps: f64,
-    last_writeback: SimTime,
+    pub(crate) writeback_ema_bps: f64,
+    pub(crate) last_writeback: SimTime,
 
-    // I/O bus admission: fractional credit per arriving frame when the
-    // PCI bus is oversubscribed (§2.2.3 — standard PCI cannot carry a
-    // loaded GbE link; PCI-64 can).
-    pci_credit: f64,
+    /// I/O bus admission: fractional credit per arriving frame when the
+    /// PCI bus is oversubscribed (§2.2.3 — standard PCI cannot carry a
+    /// loaded GbE link; PCI-64 can).
+    pub(crate) pci_credit: f64,
 
     // Pipe + gzip helper
-    pipe_used: u64,
-    pipe_bytes_total: u64,
-    gzip_busy: bool,
-    pipe_writers_asleep: Vec<usize>,
+    pub(crate) pipe_used: u64,
+    pub(crate) pipe_bytes_total: u64,
+    pub(crate) gzip_busy: bool,
+    pub(crate) pipe_writers_asleep: Vec<usize>,
 
     // Bookkeeping
-    offered: u64,
-    source_done: bool,
-    samples: Vec<CpuSample>,
-    sampling: bool,
-    load_end: Option<CpuSample>,
+    pub(crate) offered: u64,
+    pub(crate) source_done: bool,
+    pub(crate) samples: Vec<CpuSample>,
+    pub(crate) sampling: bool,
+    pub(crate) load_end: Option<CpuSample>,
     /// Hard stop: the controller's stop.sh kills the applications this
     /// long after the last packet (§3.4).
-    stop_at: Option<SimTime>,
-    drain_timeout_ns: u64,
+    pub(crate) stop_at: Option<SimTime>,
+    pub(crate) drain_timeout_ns: u64,
 
     /// Lifecycle tracing; `TraceSink::Off` costs one branch per event
     /// site.
-    trace: TraceSink,
+    pub(crate) trace: TraceSink,
 
     /// Armed fault plan; `None` (the default) costs one branch per hook
     /// site, mirroring the trace sink.
-    faults: Option<Box<dyn MachineFaults>>,
+    pub(crate) faults: Option<Box<dyn MachineFaults>>,
     /// Latest IRQ-jitter gate already scheduled, so a jitter window
     /// queues one wakeup instead of one per arrival.
-    fault_irq_gate: SimTime,
+    pub(crate) fault_irq_gate: SimTime,
 }
 
 impl MachineSim {
@@ -463,10 +205,9 @@ impl MachineSim {
 
         MachineSim {
             ring_slots: spec.nic.rx_ring_slots as usize,
+            sched: Scheduler::new(ncpu, spec.cpu.hyperthreading, spec.cpu.smt_factor()),
             spec,
             costs,
-            queue: EventQueue::new(),
-            cpus: (0..ncpu).map(|_| CpuSim::new()).collect(),
             apps,
             stack,
             ring: VecDeque::new(),
@@ -548,20 +289,22 @@ impl MachineSim {
         )
     }
 
-    /// The event loop proper, over any packet representation.
+    /// The event loop proper, over any packet representation: pop each
+    /// event off the scheduler's queue and route it to its stage.
     fn run_injected<I>(mut self, mut src: I) -> RunReport
     where
         I: Iterator<Item = (SimTime, PacketView)>,
     {
         if let Some((t, p)) = src.next() {
-            self.queue.schedule(t, Event::Arrival(p));
+            self.sched.queue.schedule(t, SimEvent::Arrival(p));
         } else {
             self.source_done = true;
         }
-        self.queue
-            .schedule(SimTime::from_millis(500), Event::Sample);
+        self.sched
+            .queue
+            .schedule(SimTime::from_millis(500), SimEvent::Sample);
 
-        while let Some((now, ev)) = self.queue.pop() {
+        while let Some((now, ev)) = self.sched.queue.pop() {
             // The measurement controller stops the applications a bounded
             // time after generation ends; whatever is still buffered then
             // is lost (it never reached the application).
@@ -570,187 +313,10 @@ impl MachineSim {
                     break;
                 }
             }
-            match ev {
-                Event::Arrival(pkt) => {
-                    self.offered += 1;
-                    let (seq, frame_len) = {
-                        let p = pkt.packet();
-                        (p.seq, p.frame_len as u64)
-                    };
-                    self.note_arrival(now, frame_len as u32);
-                    self.trace
-                        .emit(now.as_nanos(), Stage::Wire, seq, frame_len, APP_NONE, 1);
-                    // The NIC's FIFO drains across the PCI bus, which it
-                    // shares with the disk write-back traffic. When the
-                    // bus is oversubscribed only a fraction of the frames
-                    // make it to host memory (fractional credit keeps the
-                    // model deterministic).
-                    let mut demand = self.arrival_ema_bps as u64 + self.writeback_ema_bps as u64;
-                    let mut ring_slots = self.ring_slots;
-                    if let Some(f) = self.faults.as_deref_mut() {
-                        demand = demand.saturating_add(f.bus_extra_demand_bps(now.as_nanos()));
-                        ring_slots = f.ring_slots(now.as_nanos(), ring_slots);
-                    }
-                    self.pci_credit += self.spec.pci.service_fraction(demand);
-                    if self.pci_credit < 1.0 {
-                        self.nic_ring_drops += 1;
-                        self.trace.emit(
-                            now.as_nanos(),
-                            Stage::NicDropBus,
-                            seq,
-                            frame_len,
-                            APP_NONE,
-                            1,
-                        );
-                    } else {
-                        self.pci_credit -= 1.0;
-                        if self.ring.len() < ring_slots {
-                            self.ring.push_back(pkt);
-                            self.trace.emit(
-                                now.as_nanos(),
-                                Stage::NicEnqueue,
-                                seq,
-                                frame_len,
-                                APP_NONE,
-                                1,
-                            );
-                            if let Some(m) = self.trace.metrics_mut() {
-                                m.observe("nic_ring_depth", self.ring.len() as u64);
-                            }
-                        } else {
-                            self.nic_ring_drops += 1;
-                            self.trace.emit(
-                                now.as_nanos(),
-                                Stage::NicDropRing,
-                                seq,
-                                frame_len,
-                                APP_NONE,
-                                1,
-                            );
-                        }
-                    }
-                    match src.next() {
-                        Some((t, p)) => self.queue.schedule(t, Event::Arrival(p)),
-                        None => {
-                            self.source_done = true;
-                            self.load_end = Some(self.sample(now));
-                            self.stop_at =
-                                Some(now + SimDuration::from_nanos(self.drain_timeout_ns));
-                        }
-                    }
-                    self.try_fire_irq(now);
-                }
-                Event::IrqGate => self.try_fire_irq(now),
-                Event::CpuFree(cpu) => self.cpu_free(now, cpu),
-                Event::AppResume(app) => {
-                    self.apps[app].state = AppState::Blocked;
-                    self.app_try_work(now, app);
-                }
-                Event::WritebackDone => {
-                    let chunk = WRITEBACK_CHUNK.min(self.dirty_bytes);
-                    self.dirty_bytes -= chunk;
-                    self.disk_bytes += chunk;
-                    self.writeback_scheduled = false;
-                    self.trace.emit(
-                        now.as_nanos(),
-                        Stage::DiskWrite,
-                        SEQ_NONE,
-                        chunk,
-                        APP_NONE,
-                        1,
-                    );
-                    // Track the write-back rate for PCI bus sharing.
-                    let dt = now.since(self.last_writeback).as_nanos().max(1) as f64;
-                    let inst = chunk as f64 * 1e9 / dt;
-                    let alpha = (-dt / 50e6).exp();
-                    self.writeback_ema_bps = self.writeback_ema_bps * alpha + inst * (1.0 - alpha);
-                    self.last_writeback = now;
-                    // Completion interrupt cost on CPU0.
-                    let w = Work {
-                        segments: vec![(CpuState::Irq, self.spec.disk.irq_ns)],
-                        complete: Completion::None,
-                    };
-                    self.submit(now, 0, w, true);
-                    self.schedule_writeback(now);
-                }
-                Event::Sample => {
-                    self.samples.push(self.sample(now));
-                    // Defensive kicks: restart any stalled background
-                    // consumer so sampling can't outlive real work.
-                    self.schedule_writeback(now);
-                    self.gzip_try_work(now);
-                    let done = self.source_done && (self.fully_drained() || self.queue.is_empty());
-                    if self.sampling && !done {
-                        self.queue
-                            .schedule(now + SimDuration::from_millis(500), Event::Sample);
-                    } else {
-                        self.sampling = false;
-                    }
-                }
-            }
+            stages::dispatch(&mut self, now, ev, &mut src);
         }
 
-        let end = self.queue.now();
-        // Close idle accounting.
-        for cpu in &mut self.cpus {
-            if cpu.current.is_none() && end > cpu.idle_since {
-                cpu.acct
-                    .add(CpuState::Idle, end.since(cpu.idle_since).as_nanos());
-            }
-        }
-        // End-of-run residue accounting: packets still in flight when the
-        // controller stopped the run were never captured; attributing them
-        // to the buffer that held them keeps the per-stage drop identity
-        // exact (`generated == delivered + every loss bucket`).
-        let nic_ring_residue = self.ring.len() as u64;
-        for i in 0..self.apps.len() {
-            let received = self.apps[i].received;
-            match &mut self.stack {
-                Stack::Bpf(devs) => {
-                    devs[i].finalize_residue();
-                    devs[i].stats.app_residue = devs[i].stats.delivered - received;
-                }
-                Stack::Lsf(l) => {
-                    l.sockets[i].finalize_residue();
-                    l.sockets[i].stats.app_residue = l.sockets[i].stats.delivered - received;
-                }
-            }
-        }
-        if let Some(m) = self.trace.metrics_mut() {
-            m.set_gauge("dirty_bytes_final", self.dirty_bytes as f64);
-            m.set_gauge("pipe_used_final", self.pipe_used as f64);
-            m.inc("disk_bytes", self.disk_bytes);
-            m.inc("pipe_bytes", self.pipe_bytes_total);
-        }
-        let apps = self
-            .apps
-            .iter()
-            .enumerate()
-            .map(|(i, a)| AppReport {
-                received: a.received,
-                received_bytes: a.received_bytes,
-                captured: a.captured.clone(),
-                stats: match &self.stack {
-                    Stack::Bpf(devs) => devs[i].stats,
-                    Stack::Lsf(l) => l.sockets[i].stats,
-                },
-            })
-            .collect();
-        let trace = std::mem::take(&mut self.trace).into_report().map(Box::new);
-        RunReport {
-            machine: self.spec.label(),
-            offered: self.offered,
-            nic_ring_drops: self.nic_ring_drops,
-            nic_ring_residue,
-            apps,
-            samples: self.samples,
-            final_acct: self.cpus.iter().map(|c| c.acct).collect(),
-            load_acct: self.load_end,
-            elapsed: end,
-            disk_bytes: self.disk_bytes + self.dirty_bytes,
-            pipe_bytes: self.pipe_bytes_total,
-            trace,
-        }
+        self.finish_report()
     }
 
     /// Run the simulation over a chunked [`PacketSource`] — the
@@ -773,17 +339,9 @@ impl MachineSim {
         self.run_refs(SourceRefs::new(source))
     }
 
-    // ----- rate estimators -----
+    // ----- shared rate estimators and memory-cost helpers -----
 
-    fn note_arrival(&mut self, now: SimTime, frame_len: u32) {
-        let dt = now.since(self.last_arrival).as_nanos().max(1) as f64;
-        let inst = frame_len as f64 * 1e9 / dt;
-        let alpha = (-dt / 2e6).exp(); // ~2 ms smoothing
-        self.arrival_ema_bps = self.arrival_ema_bps * alpha + inst * (1.0 - alpha);
-        self.last_arrival = now;
-    }
-
-    fn note_kernel_busy(&mut self, now: SimTime, busy_ns: u64) {
+    pub(crate) fn note_kernel_busy(&mut self, now: SimTime, busy_ns: u64) {
         let dt = now.since(self.last_kernel_update).as_nanos().max(1) as f64;
         let inst = (busy_ns as f64 / dt).min(1.0);
         let alpha = (-dt / 5e6).exp(); // ~5 ms smoothing
@@ -791,14 +349,13 @@ impl MachineSim {
         self.last_kernel_update = now;
     }
 
-    fn dma_rate(&self) -> u64 {
+    pub(crate) fn dma_rate(&self) -> u64 {
         self.arrival_ema_bps as u64
     }
 
-    // ----- memory-cost helpers -----
-
-    fn copy_ns(&self, bytes: u64, cached: bool) -> u64 {
+    pub(crate) fn copy_ns(&self, bytes: u64, cached: bool) -> u64 {
         let others = self
+            .sched
             .cpus
             .iter()
             .filter(|c| c.busy())
@@ -808,688 +365,12 @@ impl MachineSim {
             .memory
             .copy_ns(bytes, self.dma_rate(), others, cached)
     }
-
-    // ----- CPU engine -----
-
-    /// Where the next chunk of this app's work runs. FreeBSD 5.x balances
-    /// runnable threads across CPUs, which is how it shares capture
-    /// capacity evenly between applications (§1.2: ~5 % deviation);
-    /// Linux 2.6's affinity is sticky, so applications parked on the
-    /// interrupt CPU starve under load — the thesis' unfairness result.
-    fn app_run_cpu(&self, app: usize) -> usize {
-        if self.cpus.len() == 1 {
-            return 0;
-        }
-        if !self.spec.os.is_freebsd() {
-            // Linux 2.6: sticky affinity, but the idle balancer pulls a
-            // runnable task when another CPU has nothing to do. With every
-            // CPU busy (the 4–8 application overloads) no pull happens and
-            // the tasks parked behind the interrupt CPU starve — the
-            // thesis' unfairness result.
-            let home = self.apps[app].cpu;
-            let home_pressed =
-                (home == 0 && self.kernel_util > 0.5) || self.cpus[home].user_q.len() >= 2;
-            if home_pressed {
-                for (i, c) in self.cpus.iter().enumerate() {
-                    let kernel_pressed = i == 0 && self.kernel_util > 0.5;
-                    if !c.busy() && c.user_q.is_empty() && !kernel_pressed {
-                        return i;
-                    }
-                }
-            }
-            return home;
-        }
-        self.least_loaded_cpu()
-    }
-
-    /// The CPU a freely-migrating task would land on: queue depth plus
-    /// interrupt pressure on CPU0 (receive livelock, §2.2.1) and — with
-    /// Hyperthreading — on its sibling, whose activity would halve the
-    /// interrupt path (§6.3.7).
-    fn least_loaded_cpu(&self) -> usize {
-        let mut best = 0usize;
-        let mut best_load = f64::INFINITY;
-        for (i, c) in self.cpus.iter().enumerate() {
-            let mut load = (c.user_q.len() + c.kernel_q.len() * 4 + c.busy() as usize) as f64;
-            if i == 0 {
-                load += self.kernel_util * 50.0;
-            } else if self.spec.cpu.hyperthreading && i == 1 {
-                load += self.kernel_util * 25.0;
-            }
-            if load < best_load {
-                best_load = load;
-                best = i;
-            }
-        }
-        best
-    }
-
-    fn submit(&mut self, now: SimTime, cpu: usize, work: Work, kernel: bool) {
-        if kernel {
-            self.cpus[cpu].kernel_q.push_back(work);
-        } else {
-            self.cpus[cpu].user_q.push_back(work);
-        }
-        if !self.cpus[cpu].busy() {
-            self.start_next(now, cpu);
-        }
-    }
-
-    fn start_next(&mut self, now: SimTime, cpu: usize) {
-        if self.cpus[cpu].busy() {
-            return;
-        }
-        /// Every Nth slot goes to user work when both queues are loaded.
-        const KERNEL_SLOTS: u32 = 8;
-        let next = {
-            let c = &mut self.cpus[cpu];
-            let yield_to_user = c.consecutive_kernel >= KERNEL_SLOTS && !c.user_q.is_empty();
-            if !yield_to_user {
-                match c.kernel_q.pop_front() {
-                    Some(w) => {
-                        c.consecutive_kernel += 1;
-                        Some(w)
-                    }
-                    None => {
-                        c.consecutive_kernel = 0;
-                        c.user_q.pop_front()
-                    }
-                }
-            } else {
-                c.consecutive_kernel = 0;
-                c.user_q.pop_front()
-            }
-        };
-        let work = match next {
-            Some(w) => w,
-            None => {
-                self.cpus[cpu].idle_since = now;
-                return;
-            }
-        };
-        // Account the idle gap before this work.
-        if now > self.cpus[cpu].idle_since {
-            let gap = now.since(self.cpus[cpu].idle_since).as_nanos();
-            self.cpus[cpu].acct.add(CpuState::Idle, gap);
-        }
-        let mut work = work;
-        let mut duration = work.duration();
-        // Hyperthreading: a busy sibling slows this virtual CPU. The
-        // stretch is folded into the work's segments so that accounting
-        // covers the full wall time the CPU was occupied.
-        if self.spec.cpu.hyperthreading {
-            let sibling = cpu ^ 1;
-            if sibling < self.cpus.len() && self.cpus[sibling].busy() && duration > 0 {
-                let stretched = (duration as f64 / self.spec.cpu.smt_factor()) as u64;
-                let scale = stretched as f64 / duration as f64;
-                for seg in &mut work.segments {
-                    seg.1 = (seg.1 as f64 * scale) as u64;
-                }
-                duration = work.duration();
-            }
-        }
-        let end = now + SimDuration::from_nanos(duration);
-        self.cpus[cpu].busy_until = end;
-        self.cpus[cpu].current = Some(work);
-        self.queue.schedule(end, Event::CpuFree(cpu));
-    }
-
-    fn cpu_free(&mut self, now: SimTime, cpu: usize) {
-        let work = self.cpus[cpu]
-            .current
-            .take()
-            .expect("CpuFree without current work");
-        // Account the segments (already SMT-scaled at start, so the sum
-        // equals the wall time this CPU was occupied).
-        let mut kernel_ns = 0u64;
-        for (state, ns) in &work.segments {
-            self.cpus[cpu].acct.add(*state, *ns);
-            if matches!(state, CpuState::Irq | CpuState::SoftIrq | CpuState::System) && cpu == 0 {
-                kernel_ns += ns;
-            }
-        }
-        if cpu == 0 && kernel_ns > 0 {
-            self.note_kernel_busy(now, kernel_ns);
-        }
-        self.cpus[cpu].idle_since = now;
-        match work.complete {
-            Completion::KernelBatch => {
-                self.irq_pending = false;
-                self.wake_readable_apps(now);
-                self.try_fire_irq(now);
-            }
-            Completion::AppCopyout { app } => self.app_process_pending(now, app),
-            Completion::AppChunk {
-                app,
-                packets,
-                bytes,
-                recorded,
-                traced,
-            } => {
-                self.apps[app].received += packets;
-                self.apps[app].received_bytes += bytes;
-                self.apps[app].captured.extend(recorded);
-                if !traced.is_empty() {
-                    let now_ns = now.as_nanos();
-                    for &(seq, gen_ns, caplen) in &traced {
-                        self.trace.emit(
-                            now_ns,
-                            Stage::AppDeliver,
-                            seq,
-                            caplen as u64,
-                            app as u16,
-                            1,
-                        );
-                        if let Some(m) = self.trace.metrics_mut() {
-                            m.observe("wire_to_app_latency_ns", now_ns.saturating_sub(gen_ns));
-                        }
-                    }
-                }
-                self.app_continue(now, app);
-            }
-            Completion::GzipChunk { bytes } => {
-                self.pipe_used = self.pipe_used.saturating_sub(bytes);
-                self.gzip_busy = false;
-                // Wake pipe writers blocked on space.
-                let writers = std::mem::take(&mut self.pipe_writers_asleep);
-                for w in writers {
-                    self.queue.schedule(now, Event::AppResume(w));
-                }
-                self.gzip_try_work(now);
-            }
-            Completion::None => {}
-        }
-        // A completion handler may already have started the next item on
-        // this CPU (e.g. a wakeup submitting application work).
-        if !self.cpus[cpu].busy() {
-            self.start_next(now, cpu);
-        }
-    }
-
-    // ----- NIC + kernel batch -----
-
-    fn try_fire_irq(&mut self, now: SimTime) {
-        if self.irq_pending || self.ring.is_empty() {
-            return;
-        }
-        if let Some(f) = self.faults.as_deref_mut() {
-            let extra = f.irq_extra_gap_ns(now.as_nanos());
-            if extra > 0 {
-                let until = now + SimDuration::from_nanos(extra);
-                if until > self.fault_irq_gate {
-                    self.fault_irq_gate = until;
-                    self.queue.schedule(until, Event::IrqGate);
-                }
-                return;
-            }
-        }
-        match self.spec.nic.interrupts {
-            InterruptScheme::Moderated { min_gap_ns } => {
-                if now < self.next_irq_allowed {
-                    self.queue.schedule(self.next_irq_allowed, Event::IrqGate);
-                    return;
-                }
-                self.next_irq_allowed = now + SimDuration::from_nanos(min_gap_ns);
-            }
-            InterruptScheme::Polling { interval_ns } => {
-                // The ring is only visited on the polling clock.
-                if now < self.next_irq_allowed {
-                    self.queue.schedule(self.next_irq_allowed, Event::IrqGate);
-                    return;
-                }
-                self.next_irq_allowed = now + SimDuration::from_nanos(interval_ns);
-            }
-            InterruptScheme::PerPacket => {}
-        }
-        self.irq_pending = true;
-        let n = self.ring.len().min(MAX_IRQ_BATCH);
-        let batch: Vec<PacketView> = self.ring.drain(..n).collect();
-        if self.trace.is_on() {
-            let bytes: u64 = batch.iter().map(|v| v.packet().frame_len as u64).sum();
-            self.trace.emit(
-                now.as_nanos(),
-                Stage::BusTransfer,
-                SEQ_NONE,
-                bytes,
-                APP_NONE,
-                n as u32,
-            );
-            if let Some(m) = self.trace.metrics_mut() {
-                m.observe("irq_batch_packets", n as u64);
-                m.inc("irq_fires", 1);
-            }
-        }
-        if let Some(f) = self.faults.as_deref_mut() {
-            let permille = f.buffer_permille(now.as_nanos());
-            match &mut self.stack {
-                Stack::Bpf(devs) => devs
-                    .iter_mut()
-                    .for_each(|d| d.set_capacity_permille(permille)),
-                Stack::Lsf(l) => l.set_capacity_permille(permille),
-            }
-        }
-        let work = self.kernel_batch_work(now, &batch);
-        self.submit(now, 0, work, true);
-    }
-
-    fn kernel_batch_work(&mut self, now: SimTime, batch: &[PacketView]) -> Work {
-        let c = self.costs;
-        let freebsd = self.spec.os.is_freebsd();
-        // A poll visit skips the interrupt entry/ack machinery.
-        let mut irq_ns = match self.spec.nic.interrupts {
-            InterruptScheme::Polling { .. } => c.irq_ns / 4,
-            _ => c.irq_ns,
-        };
-        let mut soft_ns = 0u64;
-        let recv_ns = now.as_nanos();
-        let mut copy_total = 0u64;
-        let tracing = self.trace.is_on();
-        for view in batch {
-            let pkt = view.packet();
-            let per_pkt = c.rx_pkt_ns;
-            let mut consumer_ns = 0u64;
-            match &mut self.stack {
-                Stack::Bpf(devs) => {
-                    for (i, d) in devs.iter_mut().enumerate() {
-                        let o = d.deliver(pkt, recv_ns);
-                        consumer_ns +=
-                            c.tap_pkt_ns + (o.filter_insns as f64 * c.filter_insn_ns) as u64;
-                        copy_total += o.copied_bytes as u64;
-                        if tracing {
-                            let (verdict, kernel) = consumer_stages(&o);
-                            let len = pkt.frame_len as u64;
-                            self.trace.emit(recv_ns, verdict, pkt.seq, len, i as u16, 1);
-                            if let Some(k) = kernel {
-                                self.trace.emit(recv_ns, k, pkt.seq, len, i as u16, 1);
-                            }
-                        }
-                    }
-                }
-                Stack::Lsf(l) => {
-                    let outcomes = l.deliver(pkt, recv_ns);
-                    for (i, o) in outcomes.iter().enumerate() {
-                        consumer_ns +=
-                            c.tap_pkt_ns + (o.filter_insns as f64 * c.filter_insn_ns) as u64;
-                        copy_total += o.copied_bytes as u64;
-                        if tracing {
-                            let (verdict, kernel) = consumer_stages(o);
-                            let len = pkt.frame_len as u64;
-                            self.trace.emit(recv_ns, verdict, pkt.seq, len, i as u16, 1);
-                            if let Some(k) = kernel {
-                                self.trace.emit(recv_ns, k, pkt.seq, len, i as u16, 1);
-                            }
-                        }
-                    }
-                }
-            }
-            if freebsd {
-                irq_ns += per_pkt + consumer_ns;
-            } else {
-                soft_ns += per_pkt + c.softirq_pkt_ns + consumer_ns;
-            }
-        }
-        // Buffer copies: DMA-fresh data, uncached.
-        let copy_ns = if copy_total > 0 {
-            self.copy_ns(copy_total, false)
-        } else {
-            0
-        };
-        let mut segments = vec![(CpuState::Irq, irq_ns)];
-        if freebsd {
-            segments[0].1 += copy_ns;
-        } else {
-            segments.push((CpuState::SoftIrq, soft_ns + copy_ns));
-        }
-        Work {
-            segments,
-            complete: Completion::KernelBatch,
-        }
-    }
-
-    fn wake_readable_apps(&mut self, now: SimTime) {
-        for app in 0..self.apps.len() {
-            if self.apps[app].state == AppState::Blocked && self.consumer_readable(app) {
-                self.app_try_work(now, app);
-            }
-        }
-    }
-
-    fn consumer_readable(&self, app: usize) -> bool {
-        match &self.stack {
-            Stack::Bpf(devs) => devs[app].readable(),
-            Stack::Lsf(l) => l.sockets[app].readable(),
-        }
-    }
-
-    // ----- applications -----
-
-    /// Start a read if the app is blocked and data is available.
-    fn app_try_work(&mut self, now: SimTime, app: usize) {
-        if self.apps[app].state != AppState::Blocked {
-            return;
-        }
-        if self.fault_pause_app(now, app) {
-            return;
-        }
-        if !self.apps[app].pending.is_empty() {
-            self.apps[app].state = AppState::Running;
-            self.app_process_pending(now, app);
-            return;
-        }
-
-        if !self.consumer_readable(app) {
-            return;
-        }
-        self.apps[app].state = AppState::Running;
-        let c = self.costs;
-        match &mut self.stack {
-            Stack::Bpf(devs) => {
-                // One read() returns a whole buffer: syscall + bulk
-                // copyout, then per-packet user processing.
-                let (pkts, bytes) = devs[app].read();
-                let cached = 2 * devs[app].half_capacity() <= self.spec.cpu.l2_bytes;
-                let copy = self
-                    .spec
-                    .memory
-                    .copy_ns(bytes, self.arrival_ema_bps as u64, 0, cached);
-                self.apps[app].pending.extend(pkts);
-                let work = Work {
-                    segments: vec![(CpuState::System, c.wakeup_ns + c.syscall_ns + copy)],
-                    complete: Completion::AppCopyout { app },
-                };
-                let cpu = self.app_run_cpu(app);
-                self.submit(now, cpu, work, false);
-            }
-            Stack::Lsf(_) => {
-                self.app_linux_chunk(now, app);
-            }
-        }
-    }
-
-    /// If an armed plan pauses `app` at `now`, park it until the window
-    /// closes and return `true`.
-    fn fault_pause_app(&mut self, now: SimTime, app: usize) -> bool {
-        if let Some(f) = self.faults.as_deref_mut() {
-            if let Some(resume_ns) = f.app_pause_until_ns(now.as_nanos(), app) {
-                self.apps[app].state = AppState::Sleeping;
-                self.queue.schedule(
-                    SimTime::from_nanos(resume_ns.max(now.as_nanos() + 1)),
-                    Event::AppResume(app),
-                );
-                return true;
-            }
-        }
-        false
-    }
-
-    /// FreeBSD: process copied-out packets in user space, chunked.
-    fn app_process_pending(&mut self, now: SimTime, app: usize) {
-        if self.fault_pause_app(now, app) {
-            return;
-        }
-        let n = self.apps[app].pending.len().min(APP_CHUNK);
-        if n == 0 {
-            self.app_continue(now, app);
-            return;
-        }
-        let pkts: Vec<CapturedPacket> = self.apps[app].pending.drain(..n).collect();
-        let work = self.user_processing_work(app, &pkts, 0);
-        match work {
-            Ok(w) => {
-                let cpu = self.app_run_cpu(app);
-                self.submit(now, cpu, w, false);
-            }
-            Err(delay) => {
-                // Throttled (disk or pipe): put the packets back and sleep.
-                for p in pkts.into_iter().rev() {
-                    self.apps[app].pending.push_front(p);
-                }
-                self.apps[app].state = AppState::Sleeping;
-                if delay != u64::MAX {
-                    self.queue
-                        .schedule(now + SimDuration::from_nanos(delay), Event::AppResume(app));
-                }
-            }
-        }
-    }
-
-    /// Linux: one chunk = up to APP_CHUNK recvfrom calls.
-    fn app_linux_chunk(&mut self, now: SimTime, app: usize) {
-        let c = self.costs;
-        let (pkts, copy_bytes, mmap) = match &mut self.stack {
-            Stack::Lsf(l) => {
-                let s = &mut l.sockets[app];
-                let mmap = s.mmap;
-                let (pkts, bytes) = s.dequeue(APP_CHUNK);
-                let seqs: Vec<u64> = pkts.iter().map(|p| p.seq).collect();
-                if !mmap {
-                    l.release(&seqs);
-                }
-                (pkts, bytes, mmap)
-            }
-            Stack::Bpf(_) => unreachable!("linux chunk on BPF stack"),
-        };
-        if pkts.is_empty() {
-            self.app_continue(now, app);
-            return;
-        }
-        let syscalls = if mmap {
-            // The mmap ring is scanned without syscalls; one poll() per
-            // chunk keeps the app honest.
-            c.syscall_ns
-        } else {
-            (c.syscall_ns + c.recv_pkt_ns + c.wakeup_ns / APP_CHUNK as u64) * pkts.len() as u64
-        };
-        let copy = if copy_bytes > 0 {
-            self.copy_ns(copy_bytes, false)
-        } else {
-            0
-        };
-        match self.user_processing_work(app, &pkts, syscalls + copy) {
-            Ok(w) => {
-                let cpu = self.app_run_cpu(app);
-                self.submit(now, cpu, w, false);
-            }
-            Err(delay) => {
-                // Throttled: stash into pending (processed on resume with
-                // zero syscall re-cost — acceptable).
-                self.apps[app].pending.extend(pkts);
-                self.apps[app].state = AppState::Sleeping;
-                if delay != u64::MAX {
-                    self.queue
-                        .schedule(now + SimDuration::from_nanos(delay), Event::AppResume(app));
-                }
-            }
-        }
-    }
-
-    /// Per-packet user-space processing cost for a chunk, including the
-    /// configured analysis loads. Returns `Err(delay_ns)` when the app
-    /// must sleep first (dirty throttle / full pipe).
-    fn user_processing_work(
-        &mut self,
-        app: usize,
-        pkts: &[CapturedPacket],
-        extra_system_ns: u64,
-    ) -> Result<Work, u64> {
-        let c = self.costs;
-        let cfg = &self.apps[app].cfg;
-        let n = pkts.len() as u64;
-        let cap_bytes: u64 = pkts.iter().map(|p| p.caplen as u64).sum();
-
-        // Disk throttle check first.
-        if cfg.disk_write_bytes.is_some() && self.dirty_bytes > DIRTY_LIMIT {
-            let over = self.dirty_bytes - DIRTY_LIMIT / 2;
-            return Err(self.spec.disk.write_ns(over));
-        }
-        // Pipe space check: the writer blocks until the reader frees
-        // space; the resume comes from the gzip chunk completion, so no
-        // timed event is scheduled (signalled by u64::MAX).
-        if cfg.pipe_to_gzip.is_some() && self.pipe_used >= PIPE_CAPACITY {
-            self.pipe_writers_asleep.push(app);
-            return Err(u64::MAX);
-        }
-
-        // Contention grows with the number of sockets sharing the packet
-        // pool and its refcounts (Linux); FreeBSD devices are independent.
-        let sharers = if self.spec.os.is_freebsd() {
-            1.0
-        } else {
-            1.0 + 0.5 * (self.apps.len() as f64 - 1.0)
-        };
-        let contention = (c.contention_ns as f64 * self.kernel_util * sharers) as u64;
-        let mut user_ns = n * (c.user_pkt_ns + contention);
-        if self.apps[app].cfg.mmap {
-            // The mmap app skips the kernel round trip per packet; its
-            // per-packet user cost shrinks to header parsing.
-            user_ns = n * (c.user_pkt_ns / 2 + contention);
-        }
-        let mut system_ns = extra_system_ns;
-
-        if cfg.extra_copies > 0 {
-            // Fig. 6.10: N user-space memcpys of the packet; the data was
-            // just touched, so these run mostly from cache.
-            let per_copy =
-                self.spec
-                    .memory
-                    .copy_ns(cap_bytes, self.arrival_ema_bps as u64, 0, true)
-                    / n.max(1);
-            user_ns += n * cfg.extra_copies as u64 * (c.memcpy_call_ns + per_copy);
-        }
-        if let Some(level) = cfg.compress_level {
-            // Fig. 6.11: gzwrite per packet. Core-bound: cycles per byte.
-            let cycles = c.compress_cycles_per_byte[level.min(9) as usize];
-            let ns = (cap_bytes as f64 * cycles * 1e9 / self.spec.cpu.clock_hz as f64) as u64;
-            user_ns += ns + n * 150; // gzwrite call overhead
-        }
-        if let Some(hdr) = cfg.disk_write_bytes {
-            // Fig. 6.14: write the first `hdr` bytes of each packet.
-            let bytes: u64 = pkts.iter().map(|p| (p.caplen.min(hdr)) as u64).sum();
-            system_ns += self.spec.disk.cpu_ns(bytes) + c.syscall_ns * n / 8;
-            self.dirty_bytes += bytes;
-        }
-        if cfg.pipe_to_gzip.is_some() {
-            // Fig. 6.12: write whole packets into the FIFO.
-            system_ns += n * c.pipe_syscall_ns / 4 + (cap_bytes as f64 * c.pipe_ns_per_byte) as u64;
-            self.pipe_used += cap_bytes;
-            self.pipe_bytes_total += cap_bytes;
-        }
-        let recorded = if self.apps[app].cfg.record {
-            pkts.to_vec()
-        } else {
-            Vec::new()
-        };
-        let traced = if self.trace.is_on() {
-            pkts.iter().map(|p| (p.seq, p.gen_ns, p.caplen)).collect()
-        } else {
-            Vec::new()
-        };
-
-        Ok(Work {
-            segments: vec![(CpuState::System, system_ns), (CpuState::User, user_ns)],
-            complete: Completion::AppChunk {
-                app,
-                packets: n,
-                bytes: cap_bytes,
-                recorded,
-                traced,
-            },
-        })
-    }
-
-    /// After a chunk: keep going if more data, otherwise block.
-    fn app_continue(&mut self, now: SimTime, app: usize) {
-        // Side effects that piggyback on chunk completion:
-        self.schedule_writeback(now);
-        self.gzip_try_work(now);
-
-        if !self.apps[app].pending.is_empty() {
-            self.app_process_pending(now, app);
-            return;
-        }
-        if self.consumer_readable(app) {
-            self.apps[app].state = AppState::Blocked;
-            self.app_try_work(now, app);
-        } else {
-            self.apps[app].state = AppState::Blocked;
-        }
-    }
-
-    // ----- disk -----
-
-    fn schedule_writeback(&mut self, now: SimTime) {
-        if self.writeback_scheduled || self.dirty_bytes == 0 {
-            return;
-        }
-        self.writeback_scheduled = true;
-        let chunk = WRITEBACK_CHUNK.min(self.dirty_bytes);
-        let t = now + SimDuration::from_nanos(self.spec.disk.write_ns(chunk));
-        self.queue.schedule(t, Event::WritebackDone);
-    }
-
-    // ----- gzip helper process -----
-
-    fn gzip_try_work(&mut self, now: SimTime) {
-        if self.gzip_busy || self.pipe_used == 0 {
-            return;
-        }
-        // Find the compression level from the piping app.
-        let level = self
-            .apps
-            .iter()
-            .find_map(|a| a.cfg.pipe_to_gzip)
-            .unwrap_or(3);
-        self.gzip_busy = true;
-        let c = self.costs;
-        let bytes = self.pipe_used.min(PIPE_CAPACITY);
-        let cycles = c.compress_cycles_per_byte[level.min(9) as usize];
-        let compress_ns = (bytes as f64 * cycles * 1e9 / self.spec.cpu.clock_hz as f64) as u64;
-        let read_ns = c.pipe_syscall_ns + (bytes as f64 * c.pipe_ns_per_byte) as u64;
-        let work = Work {
-            segments: vec![(CpuState::System, read_ns), (CpuState::User, compress_ns)],
-            complete: Completion::GzipChunk { bytes },
-        };
-        // A fresh CPU-bound process lands wherever the scheduler finds
-        // room — on either OS, migration across CPUs is routine for
-        // whole processes.
-        let cpu = self.least_loaded_cpu();
-        self.submit(now, cpu, work, false);
-    }
-
-    // ----- sampling / termination -----
-
-    fn sample(&self, t: SimTime) -> CpuSample {
-        // Cumulative accounting including implicit idle up to `t`.
-        let per_cpu = self
-            .cpus
-            .iter()
-            .map(|c| {
-                let mut acct = c.acct;
-                if c.current.is_none() && t > c.idle_since {
-                    acct.add(CpuState::Idle, t.since(c.idle_since).as_nanos());
-                }
-                acct
-            })
-            .collect();
-        CpuSample { t, per_cpu }
-    }
-
-    fn fully_drained(&self) -> bool {
-        self.source_done
-            && self.ring.is_empty()
-            && !self.irq_pending
-            && self.cpus.iter().all(|c| !c.busy())
-            && self.apps.iter().enumerate().all(|(i, a)| {
-                a.state == AppState::Blocked && a.pending.is_empty() && !self.consumer_readable(i)
-            })
-            && self.dirty_bytes == 0
-            && self.pipe_used == 0
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcs_trace::Stage;
     use pcs_wire::MacAddr;
     use std::net::Ipv4Addr;
 
@@ -1665,6 +546,45 @@ mod tests {
     }
 
     #[test]
+    fn sched_traced_run_records_dispatches_and_stays_identical() {
+        use pcs_trace::{StageFilter, TraceSpec, WorkKind, DEFAULT_EVENT_CAP};
+        let spec = pcs_hw::MachineSpec::swan();
+        let plain = MachineSim::new(spec, SimConfig::default()).run(packets(250, 4));
+        let mut traced = MachineSim::new(spec, SimConfig::default())
+            .with_trace(TraceSink::bounded(TraceSpec {
+                filter: StageFilter::parse("sched").unwrap(),
+                cap: DEFAULT_EVENT_CAP,
+            }))
+            .run(packets(250, 4));
+        let trace = traced.trace.take().expect("trace report present");
+        // The sched filter selects no lifecycle stages.
+        assert!(trace.events.is_empty());
+        assert!(!trace.sched.is_empty());
+        // Kernel batches and app work both dispatched.
+        assert!(trace.sched.iter().any(|e| e.kind == WorkKind::KernelBatch));
+        assert!(trace
+            .sched
+            .iter()
+            .any(|e| matches!(e.kind, WorkKind::AppRead | WorkKind::AppChunk)));
+        // Per-CPU dispatch spans are monotone and non-overlapping: a CPU
+        // dispatches its next item no earlier than the previous end.
+        let ncpu = plain.final_acct.len() as u16;
+        for cpu in 0..ncpu {
+            let mut last_end = 0u64;
+            for ev in trace.sched.iter().filter(|e| e.cpu == cpu) {
+                assert!(
+                    ev.t_ns >= last_end,
+                    "cpu{cpu} dispatch at {} overlaps previous span ending {last_end}",
+                    ev.t_ns
+                );
+                last_end = ev.t_ns + ev.dur_ns;
+            }
+        }
+        // Apart from the trace, the run is unchanged.
+        assert_eq!(format!("{plain:?}"), format!("{traced:?}"));
+    }
+
+    #[test]
     fn overloaded_run_attribution_stays_exact() {
         // Back-to-back frames overload the stack: drops and end-of-run
         // residue must still account for every generated packet.
@@ -1694,6 +614,7 @@ mod tests {
         // value back.
         struct Inert;
         impl pcs_hw::NicBusFault for Inert {}
+        impl pcs_hw::SchedFault for Inert {}
         impl MachineFaults for Inert {}
 
         let spec = pcs_hw::MachineSpec::swan();
@@ -1719,6 +640,7 @@ mod tests {
                 1
             }
         }
+        impl pcs_hw::SchedFault for Stall {}
         impl MachineFaults for Stall {}
 
         let spec = pcs_hw::MachineSpec::swan();
@@ -1734,6 +656,36 @@ mod tests {
         );
         for a in stalled.attributions() {
             assert!(a.balanced(), "unbalanced under fault: {a:?}");
+        }
+    }
+
+    #[test]
+    fn preempt_fault_charges_extra_occupancy_and_stays_balanced() {
+        // A hook that holds every CPU 2 µs at each dispatch: the run must
+        // slow down (less captured under overload), accounting must still
+        // sum to wall occupancy, and attribution must stay exact.
+        struct Preempt;
+        impl pcs_hw::NicBusFault for Preempt {}
+        impl pcs_hw::SchedFault for Preempt {
+            fn preempt_extra_ns(&mut self, _now_ns: u64, _cpu: usize) -> u64 {
+                2_000
+            }
+        }
+        impl MachineFaults for Preempt {}
+
+        let spec = pcs_hw::MachineSpec::swan();
+        let plain = MachineSim::new(spec, SimConfig::default()).run(packets(20_000, 1));
+        let preempted = MachineSim::new(spec, SimConfig::default())
+            .with_faults(Some(Box::new(Preempt)))
+            .run(packets(20_000, 1));
+        assert!(
+            preempted.apps[0].received < plain.apps[0].received,
+            "constant preemption must cost capture under overload: {} vs {}",
+            preempted.apps[0].received,
+            plain.apps[0].received
+        );
+        for a in preempted.attributions() {
+            assert!(a.balanced(), "unbalanced under preemption: {a:?}");
         }
     }
 }

@@ -1,0 +1,83 @@
+//! CPU completion: account the finished work item, run what it
+//! triggers, and restart the CPU.
+
+use super::ArrivalSource;
+use crate::event::{Completion, SimEvent};
+use crate::sim::MachineSim;
+use pcs_des::SimTime;
+use pcs_trace::Stage;
+
+/// The CPU stage: handles [`SimEvent::CpuFree`].
+pub(crate) struct Cpu;
+
+impl super::Stage for Cpu {
+    const NAME: &'static str = "cpu";
+
+    fn on_event(sim: &mut MachineSim, now: SimTime, ev: SimEvent, _src: ArrivalSource) {
+        let SimEvent::CpuFree(cpu) = ev else {
+            unreachable!("{} stage only handles CpuFree", Self::NAME);
+        };
+        sim.cpu_free(now, cpu);
+    }
+}
+
+impl MachineSim {
+    fn cpu_free(&mut self, now: SimTime, cpu: usize) {
+        let (work, kernel_ns) = self.sched.finish_current(now, cpu);
+        if cpu == 0 && kernel_ns > 0 {
+            self.note_kernel_busy(now, kernel_ns);
+        }
+        match work.complete {
+            Completion::KernelBatch => {
+                self.irq_pending = false;
+                self.wake_readable_apps(now);
+                self.try_fire_irq(now);
+            }
+            Completion::AppCopyout { app } => self.app_process_pending(now, app),
+            Completion::AppChunk {
+                app,
+                packets,
+                bytes,
+                recorded,
+                traced,
+            } => {
+                self.apps[app].received += packets;
+                self.apps[app].received_bytes += bytes;
+                self.apps[app].captured.extend(recorded);
+                if !traced.is_empty() {
+                    let now_ns = now.as_nanos();
+                    for &(seq, gen_ns, caplen) in &traced {
+                        self.trace.emit(
+                            now_ns,
+                            Stage::AppDeliver,
+                            seq,
+                            caplen as u64,
+                            app as u16,
+                            1,
+                        );
+                        if let Some(m) = self.trace.metrics_mut() {
+                            m.observe("wire_to_app_latency_ns", now_ns.saturating_sub(gen_ns));
+                        }
+                    }
+                }
+                self.app_continue(now, app);
+            }
+            Completion::GzipChunk { bytes } => {
+                self.pipe_used = self.pipe_used.saturating_sub(bytes);
+                self.gzip_busy = false;
+                // Wake pipe writers blocked on space.
+                let writers = std::mem::take(&mut self.pipe_writers_asleep);
+                for w in writers {
+                    self.sched.queue.schedule(now, SimEvent::AppResume(w));
+                }
+                self.gzip_try_work(now);
+            }
+            Completion::None => {}
+        }
+        // A completion handler may already have started the next item on
+        // this CPU (e.g. a wakeup submitting application work).
+        if !self.sched.cpus[cpu].busy() {
+            self.start_next(now, cpu);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Wire arrival: PCI-bus admission, the RX descriptor ring, and the
+//! arrival-rate estimator.
+
+use super::ArrivalSource;
+use crate::event::{PacketView, SimEvent};
+use crate::sim::MachineSim;
+use pcs_des::{SimDuration, SimTime};
+use pcs_trace::{Stage, APP_NONE};
+
+/// The NIC stage: handles [`SimEvent::Arrival`].
+pub(crate) struct Nic;
+
+impl super::Stage for Nic {
+    const NAME: &'static str = "nic";
+
+    fn on_event(sim: &mut MachineSim, now: SimTime, ev: SimEvent, src: ArrivalSource) {
+        let SimEvent::Arrival(pkt) = ev else {
+            unreachable!("{} stage only handles arrivals", Self::NAME);
+        };
+        sim.on_arrival(now, pkt, src);
+    }
+}
+
+impl MachineSim {
+    fn on_arrival(&mut self, now: SimTime, pkt: PacketView, src: ArrivalSource) {
+        self.offered += 1;
+        let (seq, frame_len) = {
+            let p = pkt.packet();
+            (p.seq, p.frame_len as u64)
+        };
+        self.note_arrival(now, frame_len as u32);
+        self.trace
+            .emit(now.as_nanos(), Stage::Wire, seq, frame_len, APP_NONE, 1);
+        // The NIC's FIFO drains across the PCI bus, which it
+        // shares with the disk write-back traffic. When the
+        // bus is oversubscribed only a fraction of the frames
+        // make it to host memory (fractional credit keeps the
+        // model deterministic).
+        let mut demand = self.arrival_ema_bps as u64 + self.writeback_ema_bps as u64;
+        let mut ring_slots = self.ring_slots;
+        if let Some(f) = self.faults.as_deref_mut() {
+            demand = demand.saturating_add(f.bus_extra_demand_bps(now.as_nanos()));
+            ring_slots = f.ring_slots(now.as_nanos(), ring_slots);
+        }
+        self.pci_credit += self.spec.pci.service_fraction(demand);
+        if self.pci_credit < 1.0 {
+            self.nic_ring_drops += 1;
+            self.trace.emit(
+                now.as_nanos(),
+                Stage::NicDropBus,
+                seq,
+                frame_len,
+                APP_NONE,
+                1,
+            );
+        } else {
+            self.pci_credit -= 1.0;
+            if self.ring.len() < ring_slots {
+                self.ring.push_back(pkt);
+                self.trace.emit(
+                    now.as_nanos(),
+                    Stage::NicEnqueue,
+                    seq,
+                    frame_len,
+                    APP_NONE,
+                    1,
+                );
+                if let Some(m) = self.trace.metrics_mut() {
+                    m.observe("nic_ring_depth", self.ring.len() as u64);
+                }
+            } else {
+                self.nic_ring_drops += 1;
+                self.trace.emit(
+                    now.as_nanos(),
+                    Stage::NicDropRing,
+                    seq,
+                    frame_len,
+                    APP_NONE,
+                    1,
+                );
+            }
+        }
+        match src.next() {
+            Some((t, p)) => self.sched.queue.schedule(t, SimEvent::Arrival(p)),
+            None => {
+                self.source_done = true;
+                self.load_end = Some(self.sample(now));
+                self.stop_at = Some(now + SimDuration::from_nanos(self.drain_timeout_ns));
+            }
+        }
+        self.try_fire_irq(now);
+    }
+
+    pub(crate) fn note_arrival(&mut self, now: SimTime, frame_len: u32) {
+        let dt = now.since(self.last_arrival).as_nanos().max(1) as f64;
+        let inst = frame_len as f64 * 1e9 / dt;
+        let alpha = (-dt / 2e6).exp(); // ~2 ms smoothing
+        self.arrival_ema_bps = self.arrival_ema_bps * alpha + inst * (1.0 - alpha);
+        self.last_arrival = now;
+    }
+}

@@ -1,0 +1,62 @@
+//! Periodic cpusage-style accounting samples and drain detection.
+
+use super::ArrivalSource;
+use crate::cpustate::CpuState;
+use crate::event::SimEvent;
+use crate::report::CpuSample;
+use crate::sim::{AppState, MachineSim};
+use pcs_des::{SimDuration, SimTime};
+
+/// The sampling stage: handles [`SimEvent::Sample`].
+pub(crate) struct Sample;
+
+impl super::Stage for Sample {
+    const NAME: &'static str = "sample";
+
+    fn on_event(sim: &mut MachineSim, now: SimTime, _ev: SimEvent, _src: ArrivalSource) {
+        sim.samples.push(sim.sample(now));
+        // Defensive kicks: restart any stalled background
+        // consumer so sampling can't outlive real work.
+        sim.schedule_writeback(now);
+        sim.gzip_try_work(now);
+        let done = sim.source_done && (sim.fully_drained() || sim.sched.queue.is_empty());
+        if sim.sampling && !done {
+            sim.sched
+                .queue
+                .schedule(now + SimDuration::from_millis(500), SimEvent::Sample);
+        } else {
+            sim.sampling = false;
+        }
+    }
+}
+
+impl MachineSim {
+    pub(crate) fn sample(&self, t: SimTime) -> CpuSample {
+        // Cumulative accounting including implicit idle up to `t`.
+        let per_cpu = self
+            .sched
+            .cpus
+            .iter()
+            .map(|c| {
+                let mut acct = c.acct;
+                if c.current.is_none() && t > c.idle_since {
+                    acct.add(CpuState::Idle, t.since(c.idle_since).as_nanos());
+                }
+                acct
+            })
+            .collect();
+        CpuSample { t, per_cpu }
+    }
+
+    pub(crate) fn fully_drained(&self) -> bool {
+        self.source_done
+            && self.ring.is_empty()
+            && !self.irq_pending
+            && self.sched.cpus.iter().all(|c| !c.busy())
+            && self.apps.iter().enumerate().all(|(i, a)| {
+                a.state == AppState::Blocked && a.pending.is_empty() && !self.consumer_readable(i)
+            })
+            && self.dirty_bytes == 0
+            && self.pipe_used == 0
+    }
+}

@@ -539,8 +539,9 @@ pub fn run_point(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>) -> PointRes
     aggregate_point(rate, cfg.count, &labels, &cells)
 }
 
-/// Run all sniffers over one shared stream, concurrently.
-pub fn run_sniffers(suts: &[Sut], stream: &Arc<Vec<TimedPacket>>) -> Vec<RunReport> {
+/// Run all sniffers over one shared stream, concurrently. Scoped worker
+/// threads borrow the slice directly, so callers need no `Arc` plumbing.
+pub fn run_sniffers(suts: &[Sut], stream: &[TimedPacket]) -> Vec<RunReport> {
     run_sniffers_with(suts, stream, None, None)
 }
 
@@ -548,7 +549,7 @@ pub fn run_sniffers(suts: &[Sut], stream: &Arc<Vec<TimedPacket>>) -> Vec<RunRepo
 /// armed fault plan per SUT.
 fn run_sniffers_with(
     suts: &[Sut],
-    stream: &Arc<Vec<TimedPacket>>,
+    stream: &[TimedPacket],
     trace: Option<TraceSpec>,
     faults: Option<&FaultPlan>,
 ) -> Vec<RunReport> {
@@ -556,7 +557,6 @@ fn run_sniffers_with(
         let handles: Vec<_> = suts
             .iter()
             .map(|sut| {
-                let stream = Arc::clone(stream);
                 let spec = sut.spec;
                 let sim = sut.sim.clone();
                 let sink = trace.map(TraceSink::bounded).unwrap_or_default();

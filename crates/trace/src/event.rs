@@ -129,13 +129,83 @@ pub struct TraceEvent {
     pub count: u32,
 }
 
+/// The kinds of CPU work items the machine scheduler dispatches.
+///
+/// Every span a simulated CPU executes is one of these; [`SchedEvent`]s
+/// tag each dispatched span so a `sched`-filtered trace shows which work
+/// ran on which CPU at which sim-nanosecond — receive livelock becomes
+/// directly visible as `kernel_batch` spans starving `app_*` spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkKind {
+    /// Interrupt/softirq batch: ring drain, filter, kernel-buffer store.
+    KernelBatch = 0,
+    /// Disk write-back completion interrupt.
+    DiskIrq = 1,
+    /// Application read()/bulk-copyout syscall span (FreeBSD).
+    AppRead = 2,
+    /// Application per-packet processing chunk.
+    AppChunk = 3,
+    /// The gzip helper process consuming the capture pipe.
+    Gzip = 4,
+}
+
+impl WorkKind {
+    /// Every kind, in dispatch-priority order.
+    pub const ALL: [WorkKind; 5] = [
+        WorkKind::KernelBatch,
+        WorkKind::DiskIrq,
+        WorkKind::AppRead,
+        WorkKind::AppChunk,
+        WorkKind::Gzip,
+    ];
+
+    /// Stable snake_case name (used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkKind::KernelBatch => "kernel_batch",
+            WorkKind::DiskIrq => "disk_irq",
+            WorkKind::AppRead => "app_read",
+            WorkKind::AppChunk => "app_chunk",
+            WorkKind::Gzip => "gzip",
+        }
+    }
+}
+
+/// One CPU-scheduling event: a work item occupied a CPU for a span.
+///
+/// Emitted by the machine scheduler at dispatch time when the sink's
+/// filter selects `sched`; exported as Chrome-trace complete events
+/// (`ph:"X"`) on per-CPU tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedEvent {
+    /// Dispatch timestamp on the sim clock, nanoseconds.
+    pub t_ns: u64,
+    /// Wall-clock span the work item occupied its CPU (SMT stretch and
+    /// any injected preemption delay included).
+    pub dur_ns: u64,
+    /// The CPU that executed the item.
+    pub cpu: u16,
+    /// Consumer (application) index for app work, or [`APP_NONE`].
+    pub app: u16,
+    /// What kind of work ran.
+    pub kind: WorkKind,
+}
+
 /// Bitmask over [`Stage`]s selecting which events a sink records.
 ///
 /// Parsed from the `--trace PATH[:filter]` suffix: a comma-separated list
 /// of stage names or group aliases (`all`, `drops`, `nic`, `bus`, `filter`,
-/// `kernel`, `app`, `wire`, `disk`).
+/// `kernel`, `app`, `wire`, `disk`), plus the opt-in `sched` term that
+/// selects per-CPU scheduling events ([`SchedEvent`]). `sched` is
+/// deliberately **outside** [`StageFilter::all`], so existing filters —
+/// and the byte-exact exports they pin — are unchanged unless a trace
+/// explicitly asks for scheduling data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageFilter(u16);
+
+/// Filter bit selecting [`SchedEvent`] recording (one past the last
+/// [`Stage`] bit; not part of [`StageFilter::all`]).
+const SCHED_BIT: u16 = 1 << Stage::ALL.len();
 
 impl Default for StageFilter {
     fn default() -> Self {
@@ -165,9 +235,25 @@ impl StageFilter {
         f
     }
 
+    /// Only the per-CPU scheduling events (no lifecycle stages).
+    pub fn sched() -> Self {
+        StageFilter(SCHED_BIT)
+    }
+
     /// Add one stage to the set.
     pub fn insert(&mut self, stage: Stage) {
         self.0 |= 1u16 << stage as u8;
+    }
+
+    /// Add the scheduling-event bit to the set.
+    pub fn insert_sched(&mut self) {
+        self.0 |= SCHED_BIT;
+    }
+
+    /// Whether per-CPU scheduling events are recorded.
+    #[inline]
+    pub fn wants_sched(&self) -> bool {
+        self.0 & SCHED_BIT != 0
     }
 
     /// Whether `stage` is recorded.
@@ -186,7 +272,12 @@ impl StageFilter {
         for part in spec.split(',') {
             let part = part.trim();
             match part {
-                "all" => f = StageFilter::all(),
+                // Merge (not replace): "sched,all" keeps the sched bit.
+                "all" => {
+                    for s in Stage::ALL {
+                        f.insert(s);
+                    }
+                }
                 "drops" => {
                     for s in Stage::ALL {
                         if s.is_drop() {
@@ -212,6 +303,7 @@ impl StageFilter {
                 }
                 "app" => f.insert(Stage::AppDeliver),
                 "disk" => f.insert(Stage::DiskWrite),
+                "sched" => f.insert_sched(),
                 other => {
                     let stage = Stage::ALL.iter().find(|s| s.name() == other);
                     match stage {
@@ -220,7 +312,7 @@ impl StageFilter {
                             return Err(format!(
                                 "unknown trace filter term '{other}' (expected a stage \
                                  name or one of: all, drops, wire, nic, bus, filter, \
-                                 kernel, app, disk)"
+                                 kernel, app, disk, sched)"
                             ));
                         }
                     }
@@ -258,5 +350,24 @@ mod tests {
             let f = StageFilter::parse(s.name()).unwrap();
             assert!(f.contains(s));
         }
+    }
+
+    #[test]
+    fn sched_is_opt_in_and_outside_all() {
+        assert!(!StageFilter::all().wants_sched());
+        assert!(!StageFilter::default().wants_sched());
+        let f = StageFilter::parse("sched").unwrap();
+        assert!(f.wants_sched());
+        assert!(Stage::ALL.iter().all(|&s| !f.contains(s)));
+        let f = StageFilter::parse("drops,sched").unwrap();
+        assert!(f.wants_sched());
+        assert!(f.contains(Stage::NicDropRing));
+        assert_eq!(StageFilter::sched(), StageFilter::parse("sched").unwrap());
+    }
+
+    #[test]
+    fn work_kind_names_are_unique() {
+        let names: std::collections::BTreeSet<_> = WorkKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), WorkKind::ALL.len());
     }
 }

@@ -37,9 +37,11 @@ fn ts_us(t_ns: u64, out: &mut String) {
 ///
 /// Each cell becomes a process (`pid` = index in deterministic cell
 /// order), each SUT a thread. Packet-lifecycle events are instant events
-/// (`ph:"i"`); per-consumer drop attribution is emitted as counter events
-/// (`ph:"C"`) whose args carry the exact bucket counts; each SUT ends with
-/// a `metrics` summary event carrying its registry.
+/// (`ph:"i"`); per-CPU scheduling records (present only under the `sched`
+/// filter) are complete spans (`ph:"X"`) on synthetic per-CPU thread rows;
+/// per-consumer drop attribution is emitted as counter events (`ph:"C"`)
+/// whose args carry the exact bucket counts; each SUT ends with a
+/// `metrics` summary event carrying its registry.
 pub fn chrome_trace_json(cells: &[CellTrace]) -> String {
     let mut out = String::with_capacity(4096 + cells.len() * 1024);
     out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
@@ -104,6 +106,49 @@ pub fn chrome_trace_json(cells: &[CellTrace]) -> String {
                     arg(&mut out, "app", ev.app as u64);
                 }
                 out.push_str("}}");
+            }
+            // Per-CPU scheduling spans on synthetic thread rows (one per
+            // CPU), so Perfetto shows a timeline per CPU under the SUT.
+            // Absent unless the `sched` filter was requested, keeping
+            // untraced-sched exports byte-identical.
+            if !sut.report.sched.is_empty() {
+                let sched_tid = |cpu: u16| 1000 + tid as u64 * 64 + cpu as u64;
+                let mut named: u64 = 0;
+                for ev in &sut.report.sched {
+                    end_ns = end_ns.max(ev.t_ns + ev.dur_ns);
+                    if named & (1u64 << (ev.cpu % 64)) == 0 {
+                        named |= 1u64 << (ev.cpu % 64);
+                        sep(&mut out, &mut first);
+                        let _ = write!(
+                            out,
+                            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"name\":\"thread_name\",\
+                             \"args\":{{\"name\":\"cpu{} [",
+                            sched_tid(ev.cpu),
+                            ev.cpu
+                        );
+                        escape_json(&sut.label, &mut out);
+                        out.push_str("]\"}}");
+                    }
+                    sep(&mut out, &mut first);
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"cat\":\"sched\",\"ph\":\"X\",\"ts\":",
+                        ev.kind.name()
+                    );
+                    ts_us(ev.t_ns, &mut out);
+                    out.push_str(",\"dur\":");
+                    ts_us(ev.dur_ns, &mut out);
+                    let _ = write!(
+                        out,
+                        ",\"pid\":{pid},\"tid\":{},\"args\":{{\"cpu\":{}",
+                        sched_tid(ev.cpu),
+                        ev.cpu
+                    );
+                    if ev.app != APP_NONE {
+                        let _ = write!(out, ",\"app\":{}", ev.app);
+                    }
+                    out.push_str("}}");
+                }
             }
             // Exact drop attribution per consumer, as counter events. These
             // come from the sim's end-of-run accounting, not the (bounded)
@@ -430,6 +475,7 @@ mod tests {
                             count: 1,
                         },
                     ],
+                    sched: Vec::new(),
                     truncated: 0,
                     metrics,
                 },
@@ -456,6 +502,41 @@ mod tests {
         assert!(a.contains("\"generated\":10"));
         // escaped quote from the SUT label survived
         assert!(a.contains("FreeBSD \\\"tcpdump\\\""));
+    }
+
+    #[test]
+    fn sched_spans_render_as_complete_events_on_cpu_rows() {
+        use crate::event::{SchedEvent, WorkKind, APP_NONE};
+        let mut cells = sample_cells();
+        let without = chrome_trace_json(&cells);
+        cells[0].suts[0].report.sched = vec![
+            SchedEvent {
+                t_ns: 100,
+                dur_ns: 50,
+                cpu: 0,
+                app: APP_NONE,
+                kind: WorkKind::KernelBatch,
+            },
+            SchedEvent {
+                t_ns: 200,
+                dur_ns: 75,
+                cpu: 1,
+                app: 0,
+                kind: WorkKind::AppChunk,
+            },
+        ];
+        let with = chrome_trace_json(&cells);
+        assert_ne!(without, with);
+        validate_json(&with).expect("sched spans must keep the JSON well-formed");
+        assert!(with.contains("\"ph\":\"X\""));
+        assert!(with.contains("\"kernel_batch\""));
+        assert!(with.contains("\"app_chunk\""));
+        assert!(with.contains("cpu0 ["));
+        assert!(with.contains("cpu1 ["));
+        assert!(with.contains("\"dur\":0.075"));
+        // Empty sched leaves the export untouched (byte-identity guard).
+        cells[0].suts[0].report.sched.clear();
+        assert_eq!(chrome_trace_json(&cells), without);
     }
 
     #[test]

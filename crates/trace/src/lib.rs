@@ -7,7 +7,10 @@
 //!   — wire arrival, NIC ring enqueue/drop, bus transfer, filter
 //!   accept/reject, kernel-buffer enqueue/drop, app delivery, disk write —
 //!   recorded into bounded per-sim buffers, timestamped with the *sim
-//!   clock*, so identical seeds produce byte-identical traces.
+//!   clock*, so identical seeds produce byte-identical traces. The opt-in
+//!   `sched` filter additionally records per-CPU scheduling spans
+//!   ([`SchedEvent`], [`WorkKind`]) — which work item ran on which CPU at
+//!   which sim-ns — rendered as Perfetto `ph:"X"` timelines.
 //! * **Metrics** ([`MetricsRegistry`]) — named counters, gauges, and
 //!   log-bucketed histograms (wire→app latency, queue depths, batch
 //!   sizes), plus exact per-stage [`DropAttribution`] reproducing the
@@ -31,6 +34,6 @@ pub mod sink;
 
 pub use attr::DropAttribution;
 pub use collect::{CellTrace, SutTrace, TraceCollector};
-pub use event::{Stage, StageFilter, TraceEvent, APP_NONE, SEQ_NONE};
+pub use event::{SchedEvent, Stage, StageFilter, TraceEvent, WorkKind, APP_NONE, SEQ_NONE};
 pub use metrics::MetricsRegistry;
 pub use sink::{TraceReport, TraceSink, TraceSpec, DEFAULT_EVENT_CAP};

@@ -1,6 +1,6 @@
 //! The per-sim trace sink: zero-cost when off, bounded when on.
 
-use crate::event::{Stage, StageFilter, TraceEvent};
+use crate::event::{SchedEvent, Stage, StageFilter, TraceEvent, WorkKind};
 use crate::metrics::MetricsRegistry;
 
 /// Default per-sim event-buffer capacity. Bounded so a traced full-scale
@@ -32,6 +32,9 @@ impl Default for TraceSpec {
 pub struct TraceReport {
     /// Recorded events in emission (simulation) order.
     pub events: Vec<TraceEvent>,
+    /// Per-CPU scheduling events in dispatch order (recorded only when
+    /// the filter selects `sched`; empty otherwise).
+    pub sched: Vec<SchedEvent>,
     /// Events dropped after the buffer filled (deterministic for a given
     /// seed/config/cap).
     pub truncated: u64,
@@ -45,6 +48,7 @@ pub struct TraceState {
     filter: StageFilter,
     cap: usize,
     events: Vec<TraceEvent>,
+    sched: Vec<SchedEvent>,
     truncated: u64,
     /// Metrics registry; sims write through [`TraceSink::metrics_mut`].
     pub metrics: MetricsRegistry,
@@ -74,6 +78,7 @@ impl TraceSink {
             filter: spec.filter,
             cap: spec.cap,
             events: Vec::with_capacity(spec.cap.min(4096)),
+            sched: Vec::new(),
             truncated: 0,
             metrics: MetricsRegistry::new(),
         }))
@@ -106,6 +111,38 @@ impl TraceSink {
         }
     }
 
+    /// Record one CPU-scheduling event (no-op when off or when the
+    /// filter does not select `sched`). Bounded by the same cap as the
+    /// lifecycle log; overflow bumps [`TraceReport::truncated`].
+    #[inline]
+    pub fn emit_sched(&mut self, t_ns: u64, dur_ns: u64, cpu: u16, app: u16, kind: WorkKind) {
+        if let TraceSink::On(state) = self {
+            if state.filter.wants_sched() {
+                if state.sched.len() < state.cap {
+                    state.sched.push(SchedEvent {
+                        t_ns,
+                        dur_ns,
+                        cpu,
+                        app,
+                        kind,
+                    });
+                } else {
+                    state.truncated += 1;
+                }
+            }
+        }
+    }
+
+    /// Whether per-CPU scheduling events are being recorded — sims hoist
+    /// this check around dispatch-site instrumentation.
+    #[inline]
+    pub fn wants_sched(&self) -> bool {
+        match self {
+            TraceSink::Off => false,
+            TraceSink::On(state) => state.filter.wants_sched(),
+        }
+    }
+
     /// Mutable access to the metrics registry, `None` when off. Callers
     /// hoist this single check around metric updates.
     #[inline]
@@ -122,6 +159,7 @@ impl TraceSink {
             TraceSink::Off => None,
             TraceSink::On(state) => Some(TraceReport {
                 events: state.events,
+                sched: state.sched,
                 truncated: state.truncated,
                 metrics: state.metrics,
             }),

@@ -212,6 +212,58 @@ fn kshrink_moves_losses_into_the_kernel_buffer_bucket() {
 }
 
 #[test]
+fn preempt_shifts_drop_attribution_deterministically() {
+    // A preempting foreign task holds the core at every dispatch inside
+    // its windows, so capture work completes late and the run loses
+    // packets it otherwise captured. The shift must be a pure function
+    // of the plan seed: same seed, same report; new seed, new windows.
+    let spec = MachineSpec::swan();
+    let stream = packets(40_000, 3_000);
+    let received =
+        |r: &pcapbench::oskernel::RunReport| -> u64 { r.apps.iter().map(|a| a.received).sum() };
+    let dropped = |r: &pcapbench::oskernel::RunReport| -> u64 {
+        r.attributions().iter().map(|a| a.dropped()).sum()
+    };
+
+    let plain = MachineSim::new(spec, SimConfig::default()).run(stream.clone());
+    let preempted = MachineSim::new(spec, SimConfig::default())
+        .with_faults(Some(plan("preempt:5").arm_machine()))
+        .run(stream.clone());
+    assert!(
+        received(&preempted) < received(&plain),
+        "a preempted machine must capture less: {} vs {}",
+        received(&preempted),
+        received(&plain)
+    );
+    assert!(
+        dropped(&preempted) > dropped(&plain),
+        "the lost packets must land in the drop buckets: {} vs {}",
+        dropped(&preempted),
+        dropped(&plain)
+    );
+    for a in preempted.attributions() {
+        assert!(a.balanced(), "unbalanced under preempt: {a:?}");
+    }
+
+    let again = MachineSim::new(spec, SimConfig::default())
+        .with_faults(Some(plan("preempt:5").arm_machine()))
+        .run(stream.clone());
+    assert_eq!(
+        format!("{preempted:?}"),
+        format!("{again:?}"),
+        "same plan seed must reproduce the report exactly"
+    );
+    let reseeded = MachineSim::new(spec, SimConfig::default())
+        .with_faults(Some(plan("preempt:6").arm_machine()))
+        .run(stream);
+    assert_ne!(
+        format!("{preempted:?}"),
+        format!("{reseeded:?}"),
+        "a different seed must place the preempt windows differently"
+    );
+}
+
+#[test]
 fn apppause_moves_losses_into_the_app_bucket() {
     // Pausing the application 30 ms of every 50 ms with a short drain
     // grace leaves packets the app never got to process: the app-side
