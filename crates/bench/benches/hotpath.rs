@@ -1,0 +1,103 @@
+//! Hot-path benchmarks backing the CI perf-regression gate
+//! (`scripts/check_perf.py` against `BENCH_HOTPATH.json`).
+//!
+//! The `sched_overhead` group repeats the sweep bench's headline pair on
+//! the shared 40k-packet workload so the gate has both the number it
+//! guards (`full-pipeline`) and a machine-speed calibration reference
+//! (`event-queue-floor`: the bare pcs-des queue running the same arrival
+//! chain with no stage work — it exercises none of the pooled paths, so
+//! it moves only when the host or the event queue itself moves). The
+//! `hotpath` group isolates what the allocation-free refactor bought:
+//! the same full simulation with buffer pooling on (the default) vs
+//! forced off (every hot-path buffer freshly allocated, as before the
+//! refactor). Both variants produce byte-identical reports; only the
+//! allocator traffic differs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pcs_bench::{hotpath_stream, HOTPATH_COUNT};
+use pcs_des::EventQueue;
+use pcs_hw::MachineSpec;
+use pcs_oskernel::{MachineSim, SimConfig};
+use pcs_pktgen::{Chunk, PacketSource};
+use std::sync::Arc;
+
+/// Replays pre-generated chunks (`Arc` clones, no packet copies).
+struct ReplayChunks {
+    chunks: Vec<Chunk>,
+    next: usize,
+}
+
+impl PacketSource for ReplayChunks {
+    fn next_chunk(&mut self) -> Option<Chunk> {
+        let chunk = self.chunks.get(self.next)?;
+        self.next += 1;
+        Some(Arc::clone(chunk))
+    }
+}
+
+fn bench_sched_overhead(c: &mut Criterion) {
+    let (_, packets) = hotpath_stream();
+    let mut g = c.benchmark_group("sched_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(HOTPATH_COUNT));
+    g.bench_function("full-pipeline", |b| {
+        b.iter(|| {
+            MachineSim::new(MachineSpec::swan(), SimConfig::default())
+                .run(packets.iter().map(|tp| (tp.time, tp.packet.clone())))
+        })
+    });
+    g.bench_function("event-queue-floor", |b| {
+        b.iter(|| {
+            let mut queue = EventQueue::new();
+            let mut it = packets.iter();
+            if let Some(tp) = it.next() {
+                queue.schedule(tp.time, 0u64);
+            }
+            let mut popped = 0u64;
+            while let Some((_, seq)) = queue.pop() {
+                popped += 1;
+                if let Some(tp) = it.next() {
+                    queue.schedule(tp.time, seq + 1);
+                }
+            }
+            assert_eq!(popped, HOTPATH_COUNT);
+            popped
+        })
+    });
+    g.finish();
+}
+
+fn bench_pooling(c: &mut Criterion) {
+    let (chunks, packets) = hotpath_stream();
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(HOTPATH_COUNT));
+    g.bench_function("pool-on", |b| {
+        b.iter(|| {
+            MachineSim::new(MachineSpec::swan(), SimConfig::default())
+                .with_pooling(true)
+                .run(packets.iter().map(|tp| (tp.time, tp.packet.clone())))
+        })
+    });
+    g.bench_function("pool-off", |b| {
+        b.iter(|| {
+            MachineSim::new(MachineSpec::swan(), SimConfig::default())
+                .with_pooling(false)
+                .run(packets.iter().map(|tp| (tp.time, tp.packet.clone())))
+        })
+    });
+    // The clone-free ingest path with pooling: the fastest way through
+    // the simulator, for context next to the owned-injection numbers.
+    g.bench_function("pool-on-shared-ref", |b| {
+        b.iter(|| {
+            MachineSim::new(MachineSpec::swan(), SimConfig::default()).run_source(ReplayChunks {
+                chunks: chunks.clone(),
+                next: 0,
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(hotpath, bench_sched_overhead, bench_pooling);
+criterion_main!(hotpath);

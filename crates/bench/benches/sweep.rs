@@ -20,13 +20,11 @@
 //! subscribes to already published chunks).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcs_bench::{hotpath_stream, HOTPATH_COUNT};
 use pcs_des::EventQueue;
 use pcs_hw::MachineSpec;
 use pcs_oskernel::{MachineSim, SimConfig};
-use pcs_pktgen::{
-    Chunk, ChunkedGenerator, Generator, PacketSource, PktgenConfig, StreamCache, TimedPacket,
-    TxModel,
-};
+use pcs_pktgen::{Chunk, PacketSource, StreamCache, TimedPacket};
 use pcs_testbed::{run_sweep_exec, CycleConfig, ExecConfig, PipelineConfig, RunCache, Sut};
 use std::sync::Arc;
 
@@ -127,27 +125,11 @@ impl PacketSource for ReplayChunks {
 }
 
 fn bench_injection(c: &mut Criterion) {
-    const COUNT: u64 = 40_000;
-    let mut source = ChunkedGenerator::new(
-        Generator::new(
-            PktgenConfig {
-                count: COUNT,
-                ..PktgenConfig::default()
-            },
-            TxModel::syskonnect(),
-            4242,
-        ),
-        4096,
-    );
-    let mut chunks: Vec<Chunk> = Vec::new();
-    while let Some(chunk) = source.next_chunk() {
-        chunks.push(chunk);
-    }
-    let packets: Vec<TimedPacket> = chunks.iter().flat_map(|c| c.iter().cloned()).collect();
+    let (chunks, packets): (Vec<Chunk>, Vec<TimedPacket>) = hotpath_stream();
     let sim = || MachineSim::new(MachineSpec::swan(), SimConfig::default());
     let mut g = c.benchmark_group("injection");
     g.sample_size(10);
-    g.throughput(Throughput::Elements(COUNT));
+    g.throughput(Throughput::Elements(HOTPATH_COUNT));
     g.bench_function("cloned", |b| {
         b.iter(|| sim().run(packets.iter().map(|tp| (tp.time, tp.packet.clone()))))
     });
@@ -171,22 +153,8 @@ fn bench_sched_overhead(c: &mut Criterion) {
     // refactor's dispatch machinery alone costs. Numbers are pinned in
     // BENCH_SCHED.json — `full-pipeline` must stay in family with the
     // pre-refactor `injection/cloned` figure.
-    const COUNT: u64 = 40_000;
-    let mut source = ChunkedGenerator::new(
-        Generator::new(
-            PktgenConfig {
-                count: COUNT,
-                ..PktgenConfig::default()
-            },
-            TxModel::syskonnect(),
-            4242,
-        ),
-        4096,
-    );
-    let mut packets: Vec<TimedPacket> = Vec::new();
-    while let Some(chunk) = source.next_chunk() {
-        packets.extend(chunk.iter().cloned());
-    }
+    const COUNT: u64 = HOTPATH_COUNT;
+    let (_, packets) = hotpath_stream();
     let mut g = c.benchmark_group("sched_overhead");
     g.sample_size(10);
     g.throughput(Throughput::Elements(COUNT));

@@ -11,6 +11,35 @@
 //!
 //! Run with `cargo bench --workspace`.
 
+/// Packet count of the shared hot-path workload ([`hotpath_stream`]).
+pub const HOTPATH_COUNT: u64 = 40_000;
+
+/// The benches' shared hot-path workload: a deterministic 40k-packet
+/// SysKonnect stream (seed 4242), pre-generated into 4096-packet
+/// chunks. Returns the chunks (for shared-reference injection) and the
+/// flattened packet list (for owned injection and the event-queue
+/// floor); both views contain the same packets in the same order.
+pub fn hotpath_stream() -> (Vec<pcs_pktgen::Chunk>, Vec<pcs_pktgen::TimedPacket>) {
+    use pcs_pktgen::{ChunkedGenerator, Generator, PacketSource, PktgenConfig, TxModel};
+    let mut source = ChunkedGenerator::new(
+        Generator::new(
+            PktgenConfig {
+                count: HOTPATH_COUNT,
+                ..PktgenConfig::default()
+            },
+            TxModel::syskonnect(),
+            4242,
+        ),
+        4096,
+    );
+    let mut chunks: Vec<pcs_pktgen::Chunk> = Vec::new();
+    while let Some(chunk) = source.next_chunk() {
+        chunks.push(chunk);
+    }
+    let packets = chunks.iter().flat_map(|c| c.iter().cloned()).collect();
+    (chunks, packets)
+}
+
 /// A tiny helper shared by the benches: a deterministic packet for filter
 /// benchmarks (the generator's canonical addressing).
 pub fn sample_packet(seq: u64, frame_len: u32) -> pcs_wire::SimPacket {
@@ -33,5 +62,15 @@ mod tests {
     fn sample_packet_is_ipv4() {
         let p = super::sample_packet(7, 750);
         assert!(p.ipv4().is_some());
+    }
+
+    #[test]
+    fn hotpath_stream_views_agree() {
+        let (chunks, packets) = super::hotpath_stream();
+        assert_eq!(packets.len() as u64, super::HOTPATH_COUNT);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total as u64, super::HOTPATH_COUNT);
+        let first_chunk = &chunks[0];
+        assert_eq!(first_chunk[0].packet.seq, packets[0].packet.seq);
     }
 }

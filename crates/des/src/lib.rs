@@ -13,6 +13,13 @@
 //! * [`Pcg32`] / [`SplitMix64`] — deterministic PRNG streams, so that a run
 //!   seed fully determines the generated packet sequence (the paper's
 //!   reproducibility requirement, §3.2);
+//! * [`SegVec`] — an inline small-vector (spill-to-heap fallback) for the
+//!   simulator's per-work-item segment lists;
+//! * [`BufPool`] / [`PoolProbe`] — free-list buffer pools and their
+//!   cross-thread statistics probe, the allocation-free hot path's
+//!   memory supply;
+//! * [`FastHash`] — a deterministic, seed-free hasher for hot maps whose
+//!   iteration order is never observed;
 //! * [`stats`] — small statistics accumulators for result processing;
 //! * [`fingerprint`] — explicit field-by-field configuration digests for
 //!   memoization keys (no reliance on `Debug` renderings).
@@ -24,14 +31,20 @@
 #![warn(missing_docs)]
 
 pub mod fingerprint;
+pub mod hash;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod runq;
+pub mod segvec;
 pub mod stats;
 pub mod time;
 
 pub use fingerprint::{Fingerprint, Fingerprintable};
+pub use hash::{FastHash, FastHasher};
+pub use pool::{BufPool, PoolProbe, PoolStats};
 pub use queue::EventQueue;
 pub use rng::{Pcg32, SplitMix64};
 pub use runq::{RunQueue, WorkClass};
+pub use segvec::SegVec;
 pub use time::{SimDuration, SimTime};

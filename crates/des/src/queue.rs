@@ -11,14 +11,29 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 struct Entry<E> {
-    time: SimTime,
-    seq: u64,
+    /// `(time, seq)` packed as `time << 64 | seq`: lexicographic order
+    /// over the pair collapses to one integer comparison, which the heap
+    /// performs O(log n) times per operation. `seq` is a strictly
+    /// increasing u64, so the packing never aliases.
+    key: u128,
     event: E,
+}
+
+impl<E> Entry<E> {
+    #[inline]
+    fn key(time: SimTime, seq: u64) -> u128 {
+        ((time.as_nanos() as u128) << 64) | seq as u128
+    }
+
+    #[inline]
+    fn time(&self) -> SimTime {
+        SimTime::from_nanos((self.key >> 64) as u64)
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -33,10 +48,7 @@ impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap and we want the earliest event
         // (and among equal times, the lowest sequence number) on top.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -84,8 +96,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry {
-            time: at,
-            seq,
+            key: Entry::<E>::key(at, seq),
             event,
         });
     }
@@ -94,14 +105,15 @@ impl<E> EventQueue<E> {
     /// timestamp. Returns `None` when no events remain.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now);
-        self.now = entry.time;
-        Some((entry.time, entry.event))
+        let time = entry.time();
+        debug_assert!(time >= self.now);
+        self.now = time;
+        Some((time, entry.event))
     }
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(|e| e.time())
     }
 
     /// Number of pending events.

@@ -1,0 +1,276 @@
+//! An inline fixed-capacity small-vector with a spill-to-heap fallback.
+//!
+//! [`SegVec`] stores up to `N` elements inline (no heap allocation) and
+//! transparently moves to a heap `Vec` when pushed past `N`. It exists
+//! for the simulator's hot path, where per-work-item element counts are
+//! tiny and known (CPU-state segments: one to three, at most four after
+//! a fault split) but an occasional larger sequence must still work.
+//!
+//! The implementation is entirely safe code: the inline storage is a
+//! `[T; N]` of `T::default()` placeholders, which is why `T: Copy +
+//! Default` is required. Elements are never removed individually — the
+//! container only grows, or is cleared wholesale — which keeps the
+//! inline/spilled state machine trivial: once spilled, always spilled
+//! (until [`SegVec::clear`]).
+
+/// A small-vector storing up to `N` elements inline, spilling to the
+/// heap past that.
+#[derive(Clone)]
+pub struct SegVec<T: Copy + Default, const N: usize> {
+    /// Inline storage; `inline[..len]` are live while not spilled.
+    inline: [T; N],
+    /// Live element count (inline or spilled).
+    len: usize,
+    /// Heap fallback; non-empty exactly when spilled.
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> SegVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub fn new() -> SegVec<T, N> {
+        SegVec {
+            inline: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// An empty vector pre-filled from `items` (inline when they fit).
+    #[inline]
+    pub fn from_slice(items: &[T]) -> SegVec<T, N> {
+        let mut v = SegVec::new();
+        for &item in items {
+            v.push(item);
+        }
+        v
+    }
+
+    /// Append one element, spilling to the heap at the `N+1`th push.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        if self.spill.is_empty() {
+            if self.len < N {
+                self.inline[self.len] = item;
+                self.len += 1;
+                return;
+            }
+            // Inline full: move everything to the heap in order.
+            self.spill.reserve(N + 1);
+            self.spill.extend_from_slice(&self.inline[..self.len]);
+        }
+        self.spill.push(item);
+        self.len += 1;
+    }
+
+    /// Live element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True while the elements live in the inline array (diagnostics and
+    /// tests; callers never need to care).
+    pub fn is_inline(&self) -> bool {
+        self.spill.is_empty()
+    }
+
+    /// Drop all elements, keeping any spill capacity for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// The live elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The live elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spill.is_empty() {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// Iterate the live elements.
+    #[inline]
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+
+    /// Iterate the live elements mutably.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SegVec<T, N> {
+    fn default() -> Self {
+        SegVec::new()
+    }
+}
+
+impl<T: Copy + Default + std::fmt::Debug, const N: usize> std::fmt::Debug for SegVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for SegVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::DerefMut for SegVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SegVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a mut SegVec<T, N> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter_mut()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SegVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = SegVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SegVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_inline_and_len_zero() {
+        let v: SegVec<u64, 4> = SegVec::new();
+        assert_eq!(v.len(), 0);
+        assert!(v.is_empty());
+        assert!(v.is_inline());
+        assert_eq!(v.as_slice(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn pushes_stay_inline_up_to_capacity() {
+        let mut v: SegVec<u32, 4> = SegVec::new();
+        for i in 0..4 {
+            v.push(i);
+            assert!(v.is_inline(), "push {i} must not spill");
+        }
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spill_boundary_preserves_order_and_content() {
+        // The N+1th push is the exact inline→spill boundary.
+        let mut v: SegVec<u32, 4> = SegVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        v.push(4);
+        assert!(!v.is_inline(), "5th push into capacity 4 must spill");
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        // Later pushes stay spilled.
+        v.push(5);
+        assert!(!v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_capacity_spills_immediately() {
+        let mut v: SegVec<u8, 0> = SegVec::new();
+        v.push(9);
+        assert!(!v.is_inline());
+        assert_eq!(v.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn iter_mut_covers_both_representations() {
+        let mut v: SegVec<u64, 2> = SegVec::from_slice(&[1, 2]);
+        for x in v.iter_mut() {
+            *x *= 10;
+        }
+        assert_eq!(v.as_slice(), &[10, 20]);
+        v.push(3); // spill
+        for x in &mut v {
+            *x += 1;
+        }
+        assert_eq!(v.as_slice(), &[11, 21, 4]);
+    }
+
+    #[test]
+    fn clear_resets_to_inline_and_keeps_working() {
+        let mut v: SegVec<u32, 2> = SegVec::from_slice(&[1, 2, 3]);
+        assert!(!v.is_inline());
+        v.clear();
+        assert!(v.is_empty());
+        assert!(v.is_inline());
+        v.push(7);
+        assert!(v.is_inline());
+        assert_eq!(v.as_slice(), &[7]);
+    }
+
+    #[test]
+    fn deref_indexing_and_sum_work() {
+        let v: SegVec<(u8, u64), 4> = SegVec::from_slice(&[(0, 10), (1, 20)]);
+        assert_eq!(v[1].1, 20);
+        let total: u64 = v.iter().map(|s| s.1).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn from_iterator_and_eq() {
+        let a: SegVec<u32, 4> = (0..6).collect();
+        let b: SegVec<u32, 4> = SegVec::from_slice(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "[0, 1, 2, 3, 4, 5]");
+    }
+
+    #[test]
+    fn clone_preserves_content_across_the_boundary() {
+        let mut v: SegVec<u32, 4> = SegVec::from_slice(&[1, 2, 3, 4]);
+        let inline_clone = v.clone();
+        assert_eq!(inline_clone.as_slice(), v.as_slice());
+        v.push(5);
+        let spilled_clone = v.clone();
+        assert_eq!(spilled_clone.as_slice(), &[1, 2, 3, 4, 5]);
+    }
+}

@@ -335,6 +335,15 @@ fn main() {
                         s.run_cache_hit_ns() as f64 / 1e3 / hits as f64,
                         s.stream_subscribe_ns() as f64 / 1e3 / subs as f64
                     );
+                    let p = s.sim_pools();
+                    eprintln!(
+                        "==   {id:<12} sim buffer pools: {} gets, {} misses ({:.4}% — sim high-water {}), {} recycled",
+                        p.gets(),
+                        p.misses(),
+                        percent(p.misses(), p.gets()),
+                        p.high_water(),
+                        p.recycled()
+                    );
                 }
             }
             if let Some((path, _)) = &trace {

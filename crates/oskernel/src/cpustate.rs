@@ -5,7 +5,7 @@
 //! trimusage script keys off that difference (Appendix A.4).
 
 /// CPU execution states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum CpuState {
     /// User-mode application work.
     User,
@@ -19,7 +19,9 @@ pub enum CpuState {
     Irq,
     /// Software interrupt context (Linux; folded into Irq on FreeBSD).
     SoftIrq,
-    /// Nothing to do.
+    /// Nothing to do (the default state — what an inline segment slot
+    /// holds before it is written).
+    #[default]
     Idle,
 }
 

@@ -7,17 +7,34 @@
 //! (instead of inlined branches of a monolithic loop) is what lets the
 //! scheduler trace them (`--trace …:sched`) and the fault layer perturb
 //! them (`--faults preempt:…`) without touching stage logic.
+//!
+//! ## Hot-path memory shape
+//!
+//! These types are built and torn down once per interrupt batch or app
+//! chunk, so their layout is part of the allocation-free hot path
+//! (DESIGN.md §15): segments live inline in a [`pcs_des::SegVec`] (no
+//! per-`Work` heap allocation), the work's total duration is cached at
+//! construction instead of re-summed at every dispatch, and the
+//! `recorded`/`traced` buffers in [`Completion::AppChunk`] are pooled
+//! vectors recycled when the completion is consumed.
 
 use crate::cpustate::CpuState;
 use crate::stack::CapturedPacket;
+use pcs_des::{SegVec, SimTime};
 use pcs_pktgen::PacketRef;
 use pcs_trace::{WorkKind, APP_NONE};
 use pcs_wire::SimPacket;
 
+/// A work item's `(state, ns)` segment list: at most two at
+/// construction (kernel batch, app chunk) plus one fault split, so
+/// four inline slots never spill in practice.
+pub(crate) type Segments = SegVec<(CpuState, u64), 4>;
+
 /// A packet injected into the NIC: either owned outright (ad-hoc
-/// streams, tests) or a shared reference into a generator chunk (the
-/// zero-copy pipeline path — one refcount bump instead of a packet copy
-/// per sniffer per packet).
+/// streams, tests; the box comes from the scheduler's recycling pool)
+/// or a shared reference into a generator chunk (the zero-copy pipeline
+/// path — one refcount bump instead of a packet copy per sniffer per
+/// packet).
 #[derive(Debug)]
 pub(crate) enum PacketView {
     Owned(Box<SimPacket>),
@@ -33,7 +50,25 @@ impl PacketView {
     }
 }
 
+/// One pending arrival as pulled from the injection source, before the
+/// NIC stage turns it into a [`PacketView`]. Owned packets travel by
+/// value so the box they end up in can come from the sim's recycling
+/// pool instead of a fresh allocation per packet.
+pub(crate) enum ArrivalFeed {
+    /// An owned packet and its arrival time ([`crate::sim::MachineSim::run`]).
+    Owned(SimTime, SimPacket),
+    /// A shared reference into a generator chunk
+    /// ([`crate::sim::MachineSim::run_refs`]).
+    Shared(PacketRef),
+}
+
 /// Simulation events: everything the pending-event queue can deliver.
+///
+/// Entries sit in the event queue by the hundreds, so the enum must
+/// stay small: every variant's payload is at most a [`PacketView`]
+/// (pointer-sized box or chunk reference — already indirect, nothing
+/// worth boxing further); a compile-time check in this module's tests
+/// keeps it that way.
 #[derive(Debug)]
 pub(crate) enum SimEvent {
     /// A frame has fully arrived at the NIC.
@@ -61,10 +96,13 @@ pub(crate) enum Completion {
         app: usize,
         packets: u64,
         bytes: u64,
+        /// Pooled buffer, recycled by the CPU stage after the packets
+        /// are appended to the app's capture log.
         recorded: Vec<CapturedPacket>,
         /// (seq, gen_ns, caplen) per packet, captured only when tracing:
         /// app-delivery events and the wire→app latency histogram are
-        /// recorded when the chunk's processing completes.
+        /// recorded when the chunk's processing completes. Pooled like
+        /// `recorded`.
         traced: Vec<(u64, u64, u32)>,
     },
     GzipChunk {
@@ -78,13 +116,47 @@ pub(crate) struct Work {
     /// What kind of work this is — the scheduler-trace vocabulary.
     pub(crate) kind: WorkKind,
     /// (state, ns) segments; executed as one uninterruptible span.
-    pub(crate) segments: Vec<(CpuState, u64)>,
+    pub(crate) segments: Segments,
+    /// Cached sum of the segment durations, maintained by
+    /// [`Work::stretch`] / [`Work::push_segment`] so dispatch never
+    /// re-walks the segments.
+    duration: u64,
     pub(crate) complete: Completion,
 }
 
 impl Work {
+    /// Build a work item, caching the segment-duration sum.
+    pub(crate) fn new(kind: WorkKind, segments: Segments, complete: Completion) -> Work {
+        let duration = segments.iter().map(|s| s.1).sum();
+        Work {
+            kind,
+            segments,
+            duration,
+            complete,
+        }
+    }
+
     pub(crate) fn duration(&self) -> u64 {
-        self.segments.iter().map(|s| s.1).sum()
+        self.duration
+    }
+
+    /// Scale every segment by `scale` (the SMT sibling stretch),
+    /// recomputing the cached duration with the exact per-segment f64
+    /// rounding — and u64 summation order — of the pre-cache code.
+    pub(crate) fn stretch(&mut self, scale: f64) {
+        let mut total = 0u64;
+        for seg in self.segments.iter_mut() {
+            seg.1 = (seg.1 as f64 * scale) as u64;
+            total += seg.1;
+        }
+        self.duration = total;
+    }
+
+    /// Append one segment, carrying the cached duration through the
+    /// split instead of re-summing.
+    pub(crate) fn push_segment(&mut self, state: CpuState, ns: u64) {
+        self.segments.push((state, ns));
+        self.duration += ns;
     }
 
     /// The application this work belongs to, for scheduler traces
@@ -95,5 +167,39 @@ impl Work {
             Completion::AppChunk { app, .. } => *app as u16,
             _ => APP_NONE,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_event_stays_small() {
+        // EventQueue entries are (time, seq, event); the event payload
+        // must not outgrow the Arrival variant's pointer-sized views.
+        assert!(
+            std::mem::size_of::<SimEvent>() <= 40,
+            "SimEvent grew to {} bytes — box the large variant",
+            std::mem::size_of::<SimEvent>()
+        );
+    }
+
+    #[test]
+    fn work_duration_is_cached_and_maintained() {
+        let mut w = Work::new(
+            WorkKind::KernelBatch,
+            Segments::from_slice(&[(CpuState::Irq, 100), (CpuState::SoftIrq, 50)]),
+            Completion::KernelBatch,
+        );
+        assert_eq!(w.duration(), 150);
+        w.push_segment(CpuState::System, 25);
+        assert_eq!(w.duration(), 175);
+        assert_eq!(w.segments.len(), 3);
+        // Stretch rounds each segment exactly like the original loop.
+        w.stretch(0.5);
+        let resummed: u64 = w.segments.iter().map(|s| s.1).sum();
+        assert_eq!(w.duration(), resummed);
+        assert_eq!(w.duration(), 50 + 25 + 12);
     }
 }

@@ -198,6 +198,13 @@ impl MachineSim {
                 },
             })
             .collect();
+        // Publish pool statistics to the probe, if one is armed. This is
+        // pure observability: the numbers never enter the RunReport, so
+        // runs stay byte-identical across injection paths and pooling
+        // modes.
+        if let Some(probe) = &self.pool_probe {
+            probe.publish(self.sched.pool.stats());
+        }
         let trace = std::mem::take(&mut self.trace).into_report().map(Box::new);
         RunReport {
             machine: self.spec.label(),

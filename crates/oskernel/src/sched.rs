@@ -20,11 +20,13 @@
 //! byte-identical to the pre-refactor simulator.
 
 use crate::cpustate::{CpuAccounting, CpuState};
-use crate::event::{SimEvent, Work};
+use crate::event::{PacketView, SimEvent, Work};
 use crate::fault::MachineFaults;
 use crate::sim::MachineSim;
-use pcs_des::{EventQueue, RunQueue, SimDuration, SimTime, WorkClass};
+use crate::stack::CapturedPacket;
+use pcs_des::{BufPool, EventQueue, PoolStats, RunQueue, SimDuration, SimTime, WorkClass};
 use pcs_trace::TraceSink;
+use pcs_wire::SimPacket;
 
 /// Every Nth slot goes to user work when both queues are loaded.
 pub(crate) const KERNEL_SLOTS: u32 = 8;
@@ -64,11 +66,105 @@ pub(crate) struct SchedCtx<'a> {
     pub(crate) faults: Option<&'a mut (dyn MachineFaults + 'static)>,
 }
 
+/// The scheduler's free lists: every buffer the per-packet path needs,
+/// recycled so the steady-state event loop performs zero heap
+/// allocations per packet (DESIGN.md §15).
+///
+/// Recycling never changes observable behavior — a recycled buffer is
+/// indistinguishable from a fresh one — so runs are byte-identical with
+/// the pool disabled (`PCS_NO_POOL=1` or
+/// [`crate::sim::MachineSim::with_pooling`]).
+pub(crate) struct HotPool {
+    /// IRQ batch scratch: the views drained from the NIC ring.
+    pub(crate) views: BufPool<PacketView>,
+    /// App-chunk scratch plus the `recorded` buffers in
+    /// [`crate::event::Completion::AppChunk`].
+    pub(crate) captured: BufPool<CapturedPacket>,
+    /// The `traced` (seq, gen_ns, caplen) buffers in `AppChunk`.
+    pub(crate) traced: BufPool<(u64, u64, u32)>,
+    /// Dead owned-arrival boxes awaiting the next owned packet. The
+    /// boxing is the point: the pool recycles the heap allocation a
+    /// boxed packet rides in through the event queue.
+    #[allow(clippy::vec_box)]
+    boxes: Vec<Box<SimPacket>>,
+    boxes_enabled: bool,
+    box_gets: u64,
+    box_misses: u64,
+    box_recycled: u64,
+}
+
+impl HotPool {
+    fn new(enabled: bool) -> HotPool {
+        HotPool {
+            views: BufPool::new(enabled),
+            captured: BufPool::new(enabled),
+            traced: BufPool::new(enabled),
+            boxes: Vec::new(),
+            boxes_enabled: enabled,
+            box_gets: 0,
+            box_misses: 0,
+            box_recycled: 0,
+        }
+    }
+
+    /// Turn all recycling on or off (the `PCS_NO_POOL` escape hatch).
+    pub(crate) fn set_enabled(&mut self, enabled: bool) {
+        self.views.set_enabled(enabled);
+        self.captured.set_enabled(enabled);
+        self.traced.set_enabled(enabled);
+        self.boxes_enabled = enabled;
+        if !enabled {
+            self.boxes = Vec::new();
+        }
+    }
+
+    /// Box an owned packet, reusing a dead box when one is free.
+    pub(crate) fn box_packet(&mut self, p: SimPacket) -> Box<SimPacket> {
+        self.box_gets += 1;
+        match self.boxes.pop() {
+            Some(mut b) => {
+                *b = p;
+                b
+            }
+            None => {
+                self.box_misses += 1;
+                Box::new(p)
+            }
+        }
+    }
+
+    /// Retire a packet view: owned boxes go back on the free list,
+    /// shared references just drop their refcount.
+    pub(crate) fn recycle_view(&mut self, view: PacketView) {
+        if let PacketView::Owned(b) = view {
+            if self.boxes_enabled {
+                self.box_recycled += 1;
+                self.boxes.push(b);
+            }
+        }
+    }
+
+    /// Summed counters over every free list (buffers and boxes).
+    pub(crate) fn stats(&self) -> PoolStats {
+        let mut s = self.views.stats();
+        s.absorb(self.captured.stats());
+        s.absorb(self.traced.stats());
+        s.absorb(PoolStats {
+            gets: self.box_gets,
+            misses: self.box_misses,
+            recycled: self.box_recycled,
+        });
+        s
+    }
+}
+
 /// The event-scheduled core: sim clock plus per-CPU run state.
 pub(crate) struct Scheduler {
     /// The pending-event set; its `now()` is the sim clock.
     pub(crate) queue: EventQueue<SimEvent>,
     pub(crate) cpus: Vec<CpuSim>,
+    /// Free lists for the per-packet path's buffers.
+    pub(crate) pool: HotPool,
     hyperthreading: bool,
     smt_factor: f64,
 }
@@ -76,10 +172,16 @@ pub(crate) struct Scheduler {
 impl Scheduler {
     /// A scheduler for `ncpu` logical CPUs with the spec's SMT shape
     /// (captured at construction; the spec is immutable over a run).
-    pub(crate) fn new(ncpu: usize, hyperthreading: bool, smt_factor: f64) -> Scheduler {
+    pub(crate) fn new(
+        ncpu: usize,
+        hyperthreading: bool,
+        smt_factor: f64,
+        pooling: bool,
+    ) -> Scheduler {
         Scheduler {
             queue: EventQueue::new(),
             cpus: (0..ncpu).map(|_| CpuSim::new()).collect(),
+            pool: HotPool::new(pooling),
             hyperthreading,
             smt_factor,
         }
@@ -99,15 +201,23 @@ impl Scheduler {
         } else {
             WorkClass::User
         };
+        // Hot path: an idle CPU with an empty queue dispatches the item
+        // directly, skipping the push + pick round trip (two moves of
+        // the full `Work` through the queue's ring buffer per item).
+        // `admit_direct` applies exactly the pick() yield-counter
+        // update, so scheduling decisions are unchanged.
+        if !self.cpus[cpu].busy() && self.cpus[cpu].runq.admit_direct(class) {
+            self.dispatch(now, cpu, work, ctx);
+            return;
+        }
         self.cpus[cpu].runq.push(class, work);
         if !self.cpus[cpu].busy() {
             self.start_next(now, cpu, ctx);
         }
     }
 
-    /// Dispatch the next queued work item on `cpu`, if any: account the
-    /// idle gap, stretch for a busy SMT sibling, consult the preemption
-    /// fault hook, trace the dispatch, and schedule the completion.
+    /// Dispatch the next queued work item on `cpu`, if any (see
+    /// [`Scheduler::dispatch`]).
     pub(crate) fn start_next(&mut self, now: SimTime, cpu: usize, ctx: &mut SchedCtx) {
         if self.cpus[cpu].busy() {
             return;
@@ -119,6 +229,13 @@ impl Scheduler {
                 return;
             }
         };
+        self.dispatch(now, cpu, work, ctx);
+    }
+
+    /// Run `work` on the (idle) `cpu`: account the idle gap, stretch for
+    /// a busy SMT sibling, consult the preemption fault hook, trace the
+    /// dispatch, and schedule the completion.
+    fn dispatch(&mut self, now: SimTime, cpu: usize, work: Work, ctx: &mut SchedCtx) {
         // Account the idle gap before this work.
         if now > self.cpus[cpu].idle_since {
             let gap = now.since(self.cpus[cpu].idle_since).as_nanos();
@@ -134,19 +251,18 @@ impl Scheduler {
             if sibling < self.cpus.len() && self.cpus[sibling].busy() && duration > 0 {
                 let stretched = (duration as f64 / self.smt_factor) as u64;
                 let scale = stretched as f64 / duration as f64;
-                for seg in &mut work.segments {
-                    seg.1 = (seg.1 as f64 * scale) as u64;
-                }
+                work.stretch(scale);
                 duration = work.duration();
             }
         }
         // Preemption fault: a foreign task holds the core before this
         // work runs. The hold is appended as a system-time segment so
-        // per-CPU accounting still sums to the wall occupancy.
+        // per-CPU accounting still sums to the wall occupancy; the
+        // cached duration is carried through the split, not re-summed.
         if let Some(f) = ctx.faults.as_mut() {
             let extra = f.preempt_extra_ns(now.as_nanos(), cpu);
             if extra > 0 {
-                work.segments.push((CpuState::System, extra));
+                work.push_segment(CpuState::System, extra);
                 duration = work.duration();
             }
         }

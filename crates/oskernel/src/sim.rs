@@ -28,18 +28,19 @@
 //! [`MachineSim::run_source`]), and state shared across stages.
 
 use crate::config::{AppConfig, SimConfig};
-use crate::event::{PacketView, SimEvent};
+use crate::event::{ArrivalFeed, PacketView, SimEvent};
 use crate::fault::MachineFaults;
 use crate::report::{CpuSample, RunReport};
 use crate::sched::Scheduler;
 use crate::stack::{BpfDevice, CapturedPacket, LsfSocket, LsfState};
 use crate::stages;
-use pcs_des::SimTime;
+use pcs_des::{PoolProbe, SimTime};
 use pcs_hw::{MachineSpec, OsCosts};
 use pcs_pktgen::{PacketRef, PacketSource, SourceRefs};
 use pcs_trace::TraceSink;
 use pcs_wire::SimPacket;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Application run states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +150,12 @@ pub struct MachineSim {
     /// Latest IRQ-jitter gate already scheduled, so a jitter window
     /// queues one wakeup instead of one per arrival.
     pub(crate) fault_irq_gate: SimTime,
+
+    /// Observability tap for the hot-path buffer pools. Stats are
+    /// published here when the run finishes; they never enter the
+    /// [`RunReport`] (pool usage depends on the injection path, and the
+    /// report must stay byte-identical across all of them).
+    pub(crate) pool_probe: Option<Arc<PoolProbe>>,
 }
 
 impl MachineSim {
@@ -203,9 +210,22 @@ impl MachineSim {
             Stack::Lsf(LsfState::new(sockets, cfg.buffers.rmem_bytes))
         };
 
+        // Escape hatch: PCS_NO_POOL=1 disables buffer recycling so a
+        // pooled run can be differentially tested against plain
+        // allocation (they must be byte-identical).
+        let pooling = !matches!(
+            std::env::var("PCS_NO_POOL").ok().as_deref(),
+            Some(v) if !v.is_empty() && v != "0"
+        );
+
         MachineSim {
             ring_slots: spec.nic.rx_ring_slots as usize,
-            sched: Scheduler::new(ncpu, spec.cpu.hyperthreading, spec.cpu.smt_factor()),
+            sched: Scheduler::new(
+                ncpu,
+                spec.cpu.hyperthreading,
+                spec.cpu.smt_factor(),
+                pooling,
+            ),
             spec,
             costs,
             apps,
@@ -238,6 +258,7 @@ impl MachineSim {
             trace: TraceSink::Off,
             faults: None,
             fault_irq_gate: SimTime::ZERO,
+            pool_probe: None,
         }
     }
 
@@ -255,21 +276,35 @@ impl MachineSim {
         self
     }
 
+    /// Enable or disable hot-path buffer pooling (on by default, or off
+    /// when `PCS_NO_POOL` is set in the environment). A pooled run is
+    /// byte-identical to an unpooled one: only the allocator traffic
+    /// differs. Exists for differential testing and benchmarking.
+    pub fn with_pooling(mut self, enabled: bool) -> MachineSim {
+        self.sched.pool.set_enabled(enabled);
+        self
+    }
+
+    /// Attach a probe that receives the pooled-buffer statistics
+    /// (gets / misses / recycles / high-water) when the run finishes.
+    /// The probe is observability only — nothing it records feeds back
+    /// into the simulation or its report.
+    pub fn with_pool_probe(mut self, probe: Arc<PoolProbe>) -> MachineSim {
+        self.pool_probe = Some(probe);
+        self
+    }
+
     /// Run the simulation over a timed packet source, to completion
     /// (including the post-generation drain), and report.
     ///
-    /// Packets arrive owned and are boxed per arrival. The pipeline's
-    /// hot path avoids both the copy and the allocation: see
-    /// [`MachineSim::run_refs`].
+    /// Packets arrive owned and are boxed into recycled pool boxes as
+    /// they enter the event queue. The pipeline's hot path avoids even
+    /// the copy: see [`MachineSim::run_refs`].
     pub fn run<I>(self, source: I) -> RunReport
     where
         I: IntoIterator<Item = (SimTime, SimPacket)>,
     {
-        self.run_injected(
-            source
-                .into_iter()
-                .map(|(t, p)| (t, PacketView::Owned(Box::new(p)))),
-        )
+        self.run_injected(source.into_iter().map(|(t, p)| ArrivalFeed::Owned(t, p)))
     }
 
     /// Run the simulation over shared packet references — the clone-free
@@ -282,23 +317,18 @@ impl MachineSim {
     where
         I: IntoIterator<Item = PacketRef>,
     {
-        self.run_injected(
-            source
-                .into_iter()
-                .map(|r| (r.time(), PacketView::Shared(r))),
-        )
+        self.run_injected(source.into_iter().map(ArrivalFeed::Shared))
     }
 
     /// The event loop proper, over any packet representation: pop each
     /// event off the scheduler's queue and route it to its stage.
     fn run_injected<I>(mut self, mut src: I) -> RunReport
     where
-        I: Iterator<Item = (SimTime, PacketView)>,
+        I: Iterator<Item = ArrivalFeed>,
     {
-        if let Some((t, p)) = src.next() {
-            self.sched.queue.schedule(t, SimEvent::Arrival(p));
-        } else {
-            self.source_done = true;
+        match src.next() {
+            Some(feed) => self.schedule_arrival(feed),
+            None => self.source_done = true,
         }
         self.sched
             .queue

@@ -9,6 +9,7 @@
 //! copied, filter instructions executed) and prices it.
 
 use pcs_bpf::{vm, Insn};
+use pcs_des::FastHash;
 use pcs_wire::SimPacket;
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -16,7 +17,7 @@ use std::collections::VecDeque;
 /// A captured packet as it sits in kernel buffers: metadata only; payload
 /// bytes are virtual (their volume is accounted, their content
 /// reconstructible from the generator).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CapturedPacket {
     /// Generator sequence number.
     pub seq: u64,
@@ -41,7 +42,9 @@ pub struct CapturedPacket {
 #[derive(Debug, Clone)]
 pub struct KernelFilter {
     prog: Vec<Insn>,
-    cache: HashMap<(u32, [u8; pcs_wire::STORED_HEADER_LEN]), (u32, u32)>,
+    /// Keyed access only (the deterministic [`FastHash`] is safe: verdict
+    /// lookups never observe iteration order).
+    cache: HashMap<(u32, [u8; pcs_wire::STORED_HEADER_LEN]), (u32, u32), FastHash>,
 }
 
 impl KernelFilter {
@@ -49,7 +52,7 @@ impl KernelFilter {
     pub fn new(prog: Vec<Insn>) -> KernelFilter {
         KernelFilter {
             prog,
-            cache: HashMap::new(),
+            cache: HashMap::default(),
         }
     }
 
@@ -286,6 +289,15 @@ impl BpfDevice {
     /// first if HOLD is empty and STORE has data, per §2.1.1) along with
     /// the byte count copied to user space.
     pub fn read(&mut self) -> (Vec<CapturedPacket>, u64) {
+        let mut pkts = VecDeque::new();
+        let (_, bytes) = self.read_into(&mut pkts);
+        (pkts.into(), bytes)
+    }
+
+    /// Allocation-free `read()`: appends the HOLD buffer contents to
+    /// `out` (the application's pending queue) instead of building a
+    /// fresh vector. Returns `(packets, bytes)` delivered.
+    pub fn read_into(&mut self, out: &mut VecDeque<CapturedPacket>) -> (u64, u64) {
         if self.hold.is_empty() && !self.store.is_empty() {
             std::mem::swap(&mut self.store, &mut self.hold);
             self.hold_bytes = self.store_bytes;
@@ -293,9 +305,10 @@ impl BpfDevice {
         }
         let bytes = self.hold_bytes;
         self.hold_bytes = 0;
-        let pkts: Vec<CapturedPacket> = self.hold.drain(..).collect();
-        self.stats.delivered += pkts.len() as u64;
-        (pkts, bytes)
+        let n = self.hold.len() as u64;
+        out.extend(self.hold.drain(..));
+        self.stats.delivered += n;
+        (n, bytes)
     }
 
     /// True when a read would return data.
@@ -399,8 +412,16 @@ impl LsfSocket {
     /// ring scan). Returns packets and the bytes that will be copied to
     /// user space (0 for mmap: the copy happened on the kernel side).
     pub fn dequeue(&mut self, max: usize) -> (Vec<CapturedPacket>, u64) {
+        let mut out = Vec::with_capacity(self.queue.len().min(max));
+        let copy_bytes = self.dequeue_into(max, &mut out);
+        (out, copy_bytes)
+    }
+
+    /// Allocation-free `dequeue`: appends up to `max` packets to `out`
+    /// (a pooled buffer) and returns the bytes that will be copied to
+    /// user space.
+    pub fn dequeue_into(&mut self, max: usize, out: &mut Vec<CapturedPacket>) -> u64 {
         let n = self.queue.len().min(max);
-        let mut out = Vec::with_capacity(n);
         let mut copy_bytes = 0u64;
         for _ in 0..n {
             let p = self.queue.pop_front().expect("len checked");
@@ -410,8 +431,8 @@ impl LsfSocket {
             }
             out.push(p);
         }
-        self.stats.delivered += out.len() as u64;
-        (out, copy_bytes)
+        self.stats.delivered += n as u64;
+        copy_bytes
     }
 
     fn charge_of(&self, p: &CapturedPacket) -> u64 {
@@ -439,7 +460,15 @@ pub struct LsfState {
     capacity_permille: u32,
     pool_bytes: u64,
     /// seq → (remaining refs, pooled truesize) for refcounted packets.
-    refs: HashMap<u64, (u32, u64)>,
+    /// Three keyed operations per packet on the softirq path, so the
+    /// map uses the deterministic [`FastHash`] (iteration order is
+    /// never observed — only `get_mut`/`insert`/`remove` by seq).
+    refs: HashMap<u64, (u32, u64), FastHash>,
+    /// Per-call delivery scratch, reused so the per-packet softirq path
+    /// never allocates (DESIGN.md §15).
+    outcomes: Vec<DeliverOutcome>,
+    /// Per-call filter-verdict scratch (pass 1 of [`LsfState::deliver`]).
+    accepts: Vec<Option<u32>>,
 }
 
 impl LsfState {
@@ -451,7 +480,9 @@ impl LsfState {
             pool_capacity,
             capacity_permille: 1000,
             pool_bytes: 0,
-            refs: HashMap::new(),
+            refs: HashMap::default(),
+            outcomes: Vec::new(),
+            accepts: Vec::new(),
         }
     }
 
@@ -465,11 +496,14 @@ impl LsfState {
     }
 
     /// Offer one packet to every socket (the softirq path). Returns one
-    /// outcome per socket.
-    pub fn deliver(&mut self, pkt: &SimPacket, recv_ns: u64) -> Vec<DeliverOutcome> {
-        let mut outcomes = Vec::with_capacity(self.sockets.len());
+    /// outcome per socket, borrowed from internal scratch that the next
+    /// `deliver` call reuses — the per-packet path allocates nothing.
+    pub fn deliver(&mut self, pkt: &SimPacket, recv_ns: u64) -> &[DeliverOutcome] {
+        let outcomes = &mut self.outcomes;
+        outcomes.clear();
         // Pass 1: filters.
-        let mut accepts: Vec<Option<u32>> = Vec::with_capacity(self.sockets.len());
+        let accepts = &mut self.accepts;
+        accepts.clear();
         for s in &mut self.sockets {
             let (accept_len, insns) = match &mut s.filter {
                 Some(f) => f.check(pkt),
@@ -493,7 +527,7 @@ impl LsfState {
         let truesize = skb_truesize(pkt.frame_len);
         let any_accept = accepts.iter().any(|a| a.is_some());
         if !any_accept {
-            return outcomes;
+            return &self.outcomes;
         }
         // Pool admission: one charge per packet regardless of how many
         // sockets reference it.
@@ -553,18 +587,24 @@ impl LsfState {
             self.pool_bytes += truesize;
             self.refs.insert(pkt.seq, (refs, truesize));
         }
-        outcomes
+        &self.outcomes
     }
 
     /// Release one reference per packet dequeued by a (non-mmap) socket.
     pub fn release(&mut self, seqs: &[u64]) {
         for &seq in seqs {
-            if let Some((refs, truesize)) = self.refs.get_mut(&seq) {
-                *refs -= 1;
-                if *refs == 0 {
-                    self.pool_bytes -= *truesize;
-                    self.refs.remove(&seq);
-                }
+            self.release_seq(seq);
+        }
+    }
+
+    /// Release a single packet reference (the allocation-free variant of
+    /// [`LsfState::release`] — no seq vector needed).
+    pub fn release_seq(&mut self, seq: u64) {
+        if let Some((refs, truesize)) = self.refs.get_mut(&seq) {
+            *refs -= 1;
+            if *refs == 0 {
+                self.pool_bytes -= *truesize;
+                self.refs.remove(&seq);
             }
         }
     }

@@ -4,7 +4,7 @@
 
 use super::{ArrivalSource, APP_CHUNK, DIRTY_LIMIT, PIPE_CAPACITY};
 use crate::cpustate::CpuState;
-use crate::event::{Completion, SimEvent, Work};
+use crate::event::{Completion, Segments, SimEvent, Work};
 use crate::sim::{AppState, MachineSim, Stack};
 use crate::stack::CapturedPacket;
 use pcs_des::{SimDuration, SimTime};
@@ -51,23 +51,23 @@ impl MachineSim {
             return;
         }
         self.apps[app].state = AppState::Running;
-        let c = self.costs;
+        let c = &self.costs;
         match &mut self.stack {
             Stack::Bpf(devs) => {
                 // One read() returns a whole buffer: syscall + bulk
-                // copyout, then per-packet user processing.
-                let (pkts, bytes) = devs[app].read();
+                // copyout straight into the app's pending queue (no
+                // intermediate vector), then per-packet user processing.
+                let (_, bytes) = devs[app].read_into(&mut self.apps[app].pending);
                 let cached = 2 * devs[app].half_capacity() <= self.spec.cpu.l2_bytes;
                 let copy = self
                     .spec
                     .memory
                     .copy_ns(bytes, self.arrival_ema_bps as u64, 0, cached);
-                self.apps[app].pending.extend(pkts);
-                let work = Work {
-                    kind: WorkKind::AppRead,
-                    segments: vec![(CpuState::System, c.wakeup_ns + c.syscall_ns + copy)],
-                    complete: Completion::AppCopyout { app },
-                };
+                let work = Work::new(
+                    WorkKind::AppRead,
+                    Segments::from_slice(&[(CpuState::System, c.wakeup_ns + c.syscall_ns + copy)]),
+                    Completion::AppCopyout { app },
+                );
                 let cpu = self.app_run_cpu(app);
                 self.submit(now, cpu, work, false);
             }
@@ -103,7 +103,10 @@ impl MachineSim {
             self.app_continue(now, app);
             return;
         }
-        let pkts: Vec<CapturedPacket> = self.apps[app].pending.drain(..n).collect();
+        // Pooled chunk scratch: the buffer only lives for this call and
+        // goes back to the pool on every path.
+        let mut pkts = self.sched.pool.captured.get();
+        pkts.extend(self.apps[app].pending.drain(..n));
         let work = self.user_processing_work(app, &pkts, 0);
         match work {
             Ok(w) => {
@@ -112,7 +115,7 @@ impl MachineSim {
             }
             Err(delay) => {
                 // Throttled (disk or pipe): put the packets back and sleep.
-                for p in pkts.into_iter().rev() {
+                for p in pkts.drain(..).rev() {
                     self.apps[app].pending.push_front(p);
                 }
                 self.apps[app].state = AppState::Sleeping;
@@ -124,25 +127,30 @@ impl MachineSim {
                 }
             }
         }
+        self.sched.pool.captured.put(pkts);
     }
 
     /// Linux: one chunk = up to APP_CHUNK recvfrom calls.
     pub(crate) fn app_linux_chunk(&mut self, now: SimTime, app: usize) {
-        let c = self.costs;
-        let (pkts, copy_bytes, mmap) = match &mut self.stack {
+        let c = &self.costs;
+        // Pooled chunk scratch (returned to the pool on every exit path).
+        let mut pkts = self.sched.pool.captured.get();
+        let (copy_bytes, mmap) = match &mut self.stack {
             Stack::Lsf(l) => {
                 let s = &mut l.sockets[app];
                 let mmap = s.mmap;
-                let (pkts, bytes) = s.dequeue(APP_CHUNK);
-                let seqs: Vec<u64> = pkts.iter().map(|p| p.seq).collect();
+                let bytes = s.dequeue_into(APP_CHUNK, &mut pkts);
                 if !mmap {
-                    l.release(&seqs);
+                    for p in pkts.iter() {
+                        l.release_seq(p.seq);
+                    }
                 }
-                (pkts, bytes, mmap)
+                (bytes, mmap)
             }
             Stack::Bpf(_) => unreachable!("linux chunk on BPF stack"),
         };
         if pkts.is_empty() {
+            self.sched.pool.captured.put(pkts);
             self.app_continue(now, app);
             return;
         }
@@ -166,7 +174,7 @@ impl MachineSim {
             Err(delay) => {
                 // Throttled: stash into pending (processed on resume with
                 // zero syscall re-cost — acceptable).
-                self.apps[app].pending.extend(pkts);
+                self.apps[app].pending.extend(pkts.drain(..));
                 self.apps[app].state = AppState::Sleeping;
                 if delay != u64::MAX {
                     self.sched.queue.schedule(
@@ -176,6 +184,7 @@ impl MachineSim {
                 }
             }
         }
+        self.sched.pool.captured.put(pkts);
     }
 
     /// Per-packet user-space processing cost for a chunk, including the
@@ -187,7 +196,7 @@ impl MachineSim {
         pkts: &[CapturedPacket],
         extra_system_ns: u64,
     ) -> Result<Work, u64> {
-        let c = self.costs;
+        let c = &self.costs;
         let cfg = &self.apps[app].cfg;
         let n = pkts.len() as u64;
         let cap_bytes: u64 = pkts.iter().map(|p| p.caplen as u64).sum();
@@ -249,28 +258,36 @@ impl MachineSim {
             self.pipe_used += cap_bytes;
             self.pipe_bytes_total += cap_bytes;
         }
+        // Pooled result buffers: they travel inside the completion and
+        // come back to the pool when the chunk retires (cpu stage). The
+        // disabled cases hand over an empty non-pooled Vec, which the
+        // pool's put() ignores (capacity 0).
         let recorded = if self.apps[app].cfg.record {
-            pkts.to_vec()
+            let mut r = self.sched.pool.captured.get();
+            r.extend_from_slice(pkts);
+            r
         } else {
             Vec::new()
         };
         let traced = if self.trace.is_on() {
-            pkts.iter().map(|p| (p.seq, p.gen_ns, p.caplen)).collect()
+            let mut t = self.sched.pool.traced.get();
+            t.extend(pkts.iter().map(|p| (p.seq, p.gen_ns, p.caplen)));
+            t
         } else {
             Vec::new()
         };
 
-        Ok(Work {
-            kind: WorkKind::AppChunk,
-            segments: vec![(CpuState::System, system_ns), (CpuState::User, user_ns)],
-            complete: Completion::AppChunk {
+        Ok(Work::new(
+            WorkKind::AppChunk,
+            Segments::from_slice(&[(CpuState::System, system_ns), (CpuState::User, user_ns)]),
+            Completion::AppChunk {
                 app,
                 packets: n,
                 bytes: cap_bytes,
                 recorded,
                 traced,
             },
-        })
+        ))
     }
 
     /// After a chunk: keep going if more data, otherwise block.

@@ -38,15 +38,16 @@ impl MachineSim {
                 app,
                 packets,
                 bytes,
-                recorded,
+                mut recorded,
                 traced,
             } => {
                 self.apps[app].received += packets;
                 self.apps[app].received_bytes += bytes;
-                self.apps[app].captured.extend(recorded);
+                self.apps[app].captured.append(&mut recorded);
+                self.sched.pool.captured.put(recorded);
                 if !traced.is_empty() {
                     let now_ns = now.as_nanos();
-                    for &(seq, gen_ns, caplen) in &traced {
+                    for &(seq, _, caplen) in &traced {
                         self.trace.emit(
                             now_ns,
                             Stage::AppDeliver,
@@ -55,11 +56,17 @@ impl MachineSim {
                             app as u16,
                             1,
                         );
-                        if let Some(m) = self.trace.metrics_mut() {
-                            m.observe("wire_to_app_latency_ns", now_ns.saturating_sub(gen_ns));
+                    }
+                    // One histogram lookup per chunk, not per packet; the
+                    // recorded values and counts are identical.
+                    if let Some(m) = self.trace.metrics_mut() {
+                        let h = m.histogram_entry("wire_to_app_latency_ns");
+                        for &(_, gen_ns, _) in &traced {
+                            h.record(now_ns.saturating_sub(gen_ns));
                         }
                     }
                 }
+                self.sched.pool.traced.put(traced);
                 self.app_continue(now, app);
             }
             Completion::GzipChunk { bytes } => {

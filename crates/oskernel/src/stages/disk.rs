@@ -2,7 +2,7 @@
 
 use super::{ArrivalSource, PIPE_CAPACITY, WRITEBACK_CHUNK};
 use crate::cpustate::CpuState;
-use crate::event::{Completion, SimEvent, Work};
+use crate::event::{Completion, Segments, SimEvent, Work};
 use crate::sim::MachineSim;
 use pcs_des::{SimDuration, SimTime};
 use pcs_trace::{Stage, WorkKind, APP_NONE, SEQ_NONE};
@@ -39,11 +39,11 @@ impl MachineSim {
         self.writeback_ema_bps = self.writeback_ema_bps * alpha + inst * (1.0 - alpha);
         self.last_writeback = now;
         // Completion interrupt cost on CPU0.
-        let w = Work {
-            kind: WorkKind::DiskIrq,
-            segments: vec![(CpuState::Irq, self.spec.disk.irq_ns)],
-            complete: Completion::None,
-        };
+        let w = Work::new(
+            WorkKind::DiskIrq,
+            Segments::from_slice(&[(CpuState::Irq, self.spec.disk.irq_ns)]),
+            Completion::None,
+        );
         self.submit(now, 0, w, true);
         self.schedule_writeback(now);
     }
@@ -69,16 +69,16 @@ impl MachineSim {
             .find_map(|a| a.cfg.pipe_to_gzip)
             .unwrap_or(3);
         self.gzip_busy = true;
-        let c = self.costs;
+        let c = &self.costs;
         let bytes = self.pipe_used.min(PIPE_CAPACITY);
         let cycles = c.compress_cycles_per_byte[level.min(9) as usize];
         let compress_ns = (bytes as f64 * cycles * 1e9 / self.spec.cpu.clock_hz as f64) as u64;
         let read_ns = c.pipe_syscall_ns + (bytes as f64 * c.pipe_ns_per_byte) as u64;
-        let work = Work {
-            kind: WorkKind::Gzip,
-            segments: vec![(CpuState::System, read_ns), (CpuState::User, compress_ns)],
-            complete: Completion::GzipChunk { bytes },
-        };
+        let work = Work::new(
+            WorkKind::Gzip,
+            Segments::from_slice(&[(CpuState::System, read_ns), (CpuState::User, compress_ns)]),
+            Completion::GzipChunk { bytes },
+        );
         // A fresh CPU-bound process lands wherever the scheduler finds
         // room — on either OS, migration across CPUs is routine for
         // whole processes.

@@ -3,7 +3,7 @@
 
 use super::{ArrivalSource, MAX_IRQ_BATCH};
 use crate::cpustate::CpuState;
-use crate::event::{Completion, PacketView, SimEvent, Work};
+use crate::event::{Completion, PacketView, Segments, SimEvent, Work};
 use crate::sim::{MachineSim, Stack};
 use crate::stack::DropKind;
 use pcs_des::{SimDuration, SimTime};
@@ -78,7 +78,14 @@ impl MachineSim {
         }
         self.irq_pending = true;
         let n = self.ring.len().min(MAX_IRQ_BATCH);
-        let batch: Vec<PacketView> = self.ring.drain(..n).collect();
+        // Pooled batch scratch: the same buffer (and the boxes of owned
+        // packets in it) circulate between interrupts, so draining the
+        // ring allocates nothing in steady state.
+        let mut batch = self.sched.pool.views.get();
+        batch.reserve(n);
+        for _ in 0..n {
+            batch.push(self.ring.pop_front().expect("len checked"));
+        }
         if self.trace.is_on() {
             let bytes: u64 = batch.iter().map(|v| v.packet().frame_len as u64).sum();
             self.trace.emit(
@@ -104,11 +111,15 @@ impl MachineSim {
             }
         }
         let work = self.kernel_batch_work(now, &batch);
+        for view in batch.drain(..) {
+            self.sched.pool.recycle_view(view);
+        }
+        self.sched.pool.views.put(batch);
         self.submit(now, 0, work, true);
     }
 
     pub(crate) fn kernel_batch_work(&mut self, now: SimTime, batch: &[PacketView]) -> Work {
-        let c = self.costs;
+        let c = &self.costs;
         let freebsd = self.spec.os.is_freebsd();
         // A poll visit skips the interrupt entry/ack machinery.
         let mut irq_ns = match self.spec.nic.interrupts {
@@ -169,17 +180,14 @@ impl MachineSim {
         } else {
             0
         };
-        let mut segments = vec![(CpuState::Irq, irq_ns)];
+        let mut segments = Segments::new();
         if freebsd {
-            segments[0].1 += copy_ns;
+            segments.push((CpuState::Irq, irq_ns + copy_ns));
         } else {
+            segments.push((CpuState::Irq, irq_ns));
             segments.push((CpuState::SoftIrq, soft_ns + copy_ns));
         }
-        Work {
-            kind: WorkKind::KernelBatch,
-            segments,
-            complete: Completion::KernelBatch,
-        }
+        Work::new(WorkKind::KernelBatch, segments, Completion::KernelBatch)
     }
 
     pub(crate) fn wake_readable_apps(&mut self, now: SimTime) {

@@ -25,7 +25,7 @@ pub(crate) mod irq;
 pub(crate) mod nic;
 pub(crate) mod sample;
 
-use crate::event::{PacketView, SimEvent};
+use crate::event::{ArrivalFeed, SimEvent};
 use crate::sim::MachineSim;
 use pcs_des::SimTime;
 
@@ -42,7 +42,9 @@ pub(crate) const DIRTY_LIMIT: u64 = 32 << 20;
 pub(crate) const WRITEBACK_CHUNK: u64 = 1 << 20;
 
 /// The timed packet source a stage may pull the next arrival from.
-pub(crate) type ArrivalSource<'a> = &'a mut dyn Iterator<Item = (SimTime, PacketView)>;
+/// Items are [`ArrivalFeed`]s: owned packets travel unboxed so the NIC
+/// stage can box them from the recycling pool.
+pub(crate) type ArrivalSource<'a> = &'a mut dyn Iterator<Item = ArrivalFeed>;
 
 /// One lifecycle stage: the handler for one event kind.
 ///

@@ -2,7 +2,7 @@
 //! arrival-rate estimator.
 
 use super::ArrivalSource;
-use crate::event::{PacketView, SimEvent};
+use crate::event::{ArrivalFeed, PacketView, SimEvent};
 use crate::sim::MachineSim;
 use pcs_des::{SimDuration, SimTime};
 use pcs_trace::{Stage, APP_NONE};
@@ -45,6 +45,7 @@ impl MachineSim {
         self.pci_credit += self.spec.pci.service_fraction(demand);
         if self.pci_credit < 1.0 {
             self.nic_ring_drops += 1;
+            self.sched.pool.recycle_view(pkt);
             self.trace.emit(
                 now.as_nanos(),
                 Stage::NicDropBus,
@@ -70,6 +71,7 @@ impl MachineSim {
                 }
             } else {
                 self.nic_ring_drops += 1;
+                self.sched.pool.recycle_view(pkt);
                 self.trace.emit(
                     now.as_nanos(),
                     Stage::NicDropRing,
@@ -81,7 +83,7 @@ impl MachineSim {
             }
         }
         match src.next() {
-            Some((t, p)) => self.sched.queue.schedule(t, SimEvent::Arrival(p)),
+            Some(feed) => self.schedule_arrival(feed),
             None => {
                 self.source_done = true;
                 self.load_end = Some(self.sample(now));
@@ -89,6 +91,16 @@ impl MachineSim {
             }
         }
         self.try_fire_irq(now);
+    }
+
+    /// Turn one pulled [`ArrivalFeed`] into a queued arrival event.
+    /// Owned packets land in a recycled box from the scheduler's pool.
+    pub(crate) fn schedule_arrival(&mut self, feed: ArrivalFeed) {
+        let (t, view) = match feed {
+            ArrivalFeed::Owned(t, p) => (t, PacketView::Owned(self.sched.pool.box_packet(p))),
+            ArrivalFeed::Shared(r) => (r.time(), PacketView::Shared(r)),
+        };
+        self.sched.queue.schedule(t, SimEvent::Arrival(view));
     }
 
     pub(crate) fn note_arrival(&mut self, now: SimTime, frame_len: u32) {

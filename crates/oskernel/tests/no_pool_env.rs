@@ -1,0 +1,61 @@
+//! The `PCS_NO_POOL` escape hatch: setting it in the environment must
+//! disable buffer recycling (so allocator-level tools see every buffer
+//! individually) without changing one byte of the report.
+//!
+//! This lives in its own test binary because it mutates the process
+//! environment — integration-test files run as separate processes, so
+//! the variable cannot leak into tests that assert pool statistics.
+
+use pcs_des::PoolProbe;
+use pcs_hw::MachineSpec;
+use pcs_oskernel::{MachineSim, SimConfig};
+use pcs_pktgen::{Generator, PktgenConfig, SizeSource, TxModel};
+use std::sync::Arc;
+
+fn source(count: u64, seed: u64) -> impl Iterator<Item = (pcs_des::SimTime, pcs_wire::SimPacket)> {
+    let cfg = PktgenConfig {
+        count,
+        size: SizeSource::Fixed(659),
+        ..PktgenConfig::default()
+    };
+    let mut g = Generator::new(cfg, TxModel::syskonnect(), seed);
+    g.set_target_rate(400.0, 659.0);
+    g.set_burstiness(16);
+    g.map(|tp| (tp.time, tp.packet))
+}
+
+#[test]
+fn pcs_no_pool_disables_recycling_without_changing_output() {
+    let run = |no_pool: Option<&str>| {
+        match no_pool {
+            Some(v) => std::env::set_var("PCS_NO_POOL", v),
+            None => std::env::remove_var("PCS_NO_POOL"),
+        }
+        let probe = Arc::new(PoolProbe::new());
+        let report = MachineSim::new(MachineSpec::swan(), SimConfig::default())
+            .with_pool_probe(Arc::clone(&probe))
+            .run(source(3_000, 42));
+        (format!("{report:?}"), probe)
+    };
+
+    let (disabled, p_off) = run(Some("1"));
+    let (enabled, p_on) = run(None);
+
+    // Byte-identical output either way — only allocator traffic moves.
+    assert_eq!(disabled, enabled);
+
+    // Disabled: the free list never fills, so every hand-out allocates
+    // and nothing is recycled.
+    assert_eq!(p_off.misses(), p_off.gets());
+    assert_eq!(p_off.recycled(), 0);
+
+    // Enabled: the steady state runs out of the free list.
+    assert!(p_on.misses() < p_on.gets());
+    assert!(p_on.recycled() > 0);
+
+    // "0" and "" mean "leave pooling on", like an unset variable.
+    let (zero, p_zero) = run(Some("0"));
+    assert_eq!(zero, enabled);
+    assert!(p_zero.misses() < p_zero.gets());
+    std::env::remove_var("PCS_NO_POOL");
+}

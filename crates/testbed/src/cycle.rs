@@ -35,7 +35,7 @@ use crate::sched::{parallel_ordered, ExecConfig};
 use crate::splitter::OpticalSplitter;
 use crate::switch::MonitorSwitch;
 use pcs_des::stats::median;
-use pcs_des::SimTime;
+use pcs_des::{PoolProbe, SimTime};
 use pcs_faultsim::{FaultPlan, Oracle};
 use pcs_hw::MachineSpec;
 use pcs_oskernel::{MachineSim, RunReport, SimConfig};
@@ -272,7 +272,13 @@ fn run_cell(
         let (stream, achieved) = generate_run(cfg, rate, repeat);
         (
             achieved,
-            run_sniffers_with(suts, &stream, spec, exec.faults.as_deref()),
+            run_sniffers_with(
+                suts,
+                &stream,
+                spec,
+                exec.faults.as_deref(),
+                Some(exec.stats.sim_pools()),
+            ),
         )
     };
     // The invariant oracle: always armed in debug/test builds, opt-in
@@ -394,10 +400,12 @@ fn run_cell_streaming(
                 let sim = sut.sim.clone();
                 let sink = trace.map(TraceSink::bounded).unwrap_or_default();
                 let armed = faults.map(FaultPlan::arm_machine);
+                let pools = Arc::clone(exec.stats.sim_pools());
                 scope.spawn(move || {
                     MachineSim::new(spec, sim)
                         .with_trace(sink)
                         .with_faults(armed)
+                        .with_pool_probe(pools)
                         .run_source(output)
                 })
             })
@@ -542,16 +550,17 @@ pub fn run_point(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>) -> PointRes
 /// Run all sniffers over one shared stream, concurrently. Scoped worker
 /// threads borrow the slice directly, so callers need no `Arc` plumbing.
 pub fn run_sniffers(suts: &[Sut], stream: &[TimedPacket]) -> Vec<RunReport> {
-    run_sniffers_with(suts, stream, None, None)
+    run_sniffers_with(suts, stream, None, None, None)
 }
 
-/// [`run_sniffers`], optionally with an enabled trace sink and/or an
-/// armed fault plan per SUT.
+/// [`run_sniffers`], optionally with an enabled trace sink, an armed
+/// fault plan, and/or a pool probe per SUT.
 fn run_sniffers_with(
     suts: &[Sut],
     stream: &[TimedPacket],
     trace: Option<TraceSpec>,
     faults: Option<&FaultPlan>,
+    pools: Option<&Arc<PoolProbe>>,
 ) -> Vec<RunReport> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = suts
@@ -561,12 +570,16 @@ fn run_sniffers_with(
                 let sim = sut.sim.clone();
                 let sink = trace.map(TraceSink::bounded).unwrap_or_default();
                 let armed = faults.map(FaultPlan::arm_machine);
+                let pools = pools.map(Arc::clone);
                 scope.spawn(move || {
-                    let source = stream.iter().map(|tp| (tp.time, tp.packet.clone()));
-                    MachineSim::new(spec, sim)
+                    let mut machine = MachineSim::new(spec, sim)
                         .with_trace(sink)
-                        .with_faults(armed)
-                        .run(source)
+                        .with_faults(armed);
+                    if let Some(probe) = pools {
+                        machine = machine.with_pool_probe(probe);
+                    }
+                    let source = stream.iter().map(|tp| (tp.time, tp.packet.clone()));
+                    machine.run(source)
                 })
             })
             .collect();

@@ -8,6 +8,7 @@
 //! assigns cells to workers dynamically but writes every result back into
 //! its input-order slot.
 
+use pcs_des::PoolProbe;
 use pcs_faultsim::FaultPlan;
 use pcs_trace::TraceCollector;
 use std::num::NonZeroUsize;
@@ -35,6 +36,9 @@ pub struct ExecStats {
     cell_wall_ns_max: AtomicU64,
     run_cache_hit_ns: AtomicU64,
     stream_subscribe_ns: AtomicU64,
+    /// Hot-path buffer-pool counters published by every simulated cell
+    /// (observability only — never part of any simulation result).
+    sim_pools: Arc<PoolProbe>,
 }
 
 impl ExecStats {
@@ -149,6 +153,13 @@ impl ExecStats {
     /// subscriptions.
     pub fn stream_subscribe_ns(&self) -> u64 {
         self.stream_subscribe_ns.load(Ordering::Relaxed)
+    }
+
+    /// The shared probe that every simulated cell publishes its hot-path
+    /// buffer-pool counters into (clone it into a
+    /// [`pcs_oskernel::MachineSim::with_pool_probe`] call).
+    pub fn sim_pools(&self) -> &Arc<PoolProbe> {
+        &self.sim_pools
     }
 }
 

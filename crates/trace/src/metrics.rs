@@ -54,6 +54,17 @@ impl MetricsRegistry {
         }
     }
 
+    /// Mutable access to the named histogram, creating it (empty) the
+    /// first time the name is seen. Lets hot-path callers hoist the map
+    /// lookup out of a per-packet loop: the recorded values and counts
+    /// are identical to calling [`MetricsRegistry::observe`] per value.
+    pub fn histogram_entry(&mut self, name: &str) -> &mut LogHistogram {
+        if !self.histograms.contains_key(name) {
+            self.histograms.insert(name.to_owned(), LogHistogram::new());
+        }
+        self.histograms.get_mut(name).expect("just inserted")
+    }
+
     /// Counter value, 0 if never incremented.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
