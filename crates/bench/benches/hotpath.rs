@@ -96,6 +96,16 @@ fn bench_pooling(c: &mut Criterion) {
             })
         })
     });
+    // Full pipeline with per-stage time attribution armed (what every
+    // --ledger run pays): a handful of integer adds per dispatch, so
+    // this must track `pool-on` within the perf gate's tolerance.
+    g.bench_function("stage-times-on", |b| {
+        b.iter(|| {
+            MachineSim::new(MachineSpec::swan(), SimConfig::default())
+                .with_stage_times(true)
+                .run(packets.iter().map(|tp| (tp.time, tp.packet.clone())))
+        })
+    });
     g.finish();
 }
 

@@ -49,6 +49,17 @@
 //! times. Profiling reads the host clock, so its numbers (unlike
 //! everything else) vary run to run.
 //!
+//! `--ledger PATH` writes the run ledger: one deterministic JSON
+//! manifest recording every cell's 128-bit config fingerprint, achieved
+//! rate, exact drop attribution, metrics dump, exact latency
+//! percentiles, and the per-CPU per-work-kind stage-time account. The
+//! ledger is byte-identical at any `--jobs`/`--chunk`/`--depth`/
+//! `--stream-cache` setting (the `--profile` block is the documented
+//! host-side exception), so `cmp` on two ledgers is a determinism
+//! check and `experiments obs diff A.json B.json [--fail-on-drift]`
+//! ranks exactly what moved between two runs. `--profile-json PATH`
+//! writes the host-side `--profile` numbers as standalone JSON.
+//!
 //! `--faults SPEC[:SEED]` arms a deterministic fault plan — seeded
 //! windows of NIC-ring stalls, bus-contention bursts, IRQ jitter,
 //! kernel-buffer shrinks, application pauses, splitter hiccups and
@@ -62,6 +73,9 @@
 
 use pcs_core::{all_experiments, ExecConfig, PipelineConfig, Scale};
 use pcs_faultsim::FaultPlan;
+use pcs_obs::{
+    diff_ledgers, render_ledger, render_profile, ExperimentProfile, HostProfile, Ledger, LedgerMeta,
+};
 use pcs_testbed::{available_parallelism, parallel_ordered, parse_stream_cache_bytes};
 use pcs_trace::{export, DropAttribution, StageFilter, TraceCollector, TraceSpec};
 use std::collections::BTreeMap;
@@ -118,9 +132,86 @@ fn percent(part: u64, whole: u64) -> f64 {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--profile] [--faults SPEC[:SEED]] [--oracle]\n  experiments all [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--profile] [--faults SPEC[:SEED]] [--oracle]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder).\n--jobs N: worker-pool size (default: all host cores); results are identical at any N.\n--chunk N: packets per streamed chunk (default 4096; 0 = materialize the whole run first).\n--depth N: bounded splitter-queue depth in chunks per sniffer (default 4).\n--stream-cache: share identical packet streams across cells through a byte-budgeted\n                content-addressed cache (default on = 1 GiB; off regenerates per cell).\nAll four are execution knobs: tables and CSVs are byte-identical for any setting.\n--trace PATH[:FILTER]: write packet-lifecycle traces as Chrome trace-event JSON to PATH\n                (Perfetto-loadable) plus a CSV sibling, and print per-stage drop\n                attribution. FILTER picks stages: all, drops, wire, nic, bus, filter,\n                kernel, app, disk, sched (per-CPU scheduler dispatch timelines) or exact\n                stage names, comma-separated. 'off' disables.\n--profile: print host-side execution profiling (cell wall times, pool utilization,\n                cache service latencies) to stderr.\n--faults SPEC[:SEED]: arm a deterministic fault plan. SPEC is fault names joined\n                with '+' (ringstall busburst irqjitter kshrink apppause preempt\n                hiccup squeeze), or 'chaos' for all, or 'off' (default). Same SPEC:SEED =>\n                byte-identical output at any --jobs/--chunk/--depth/--stream-cache.\n--oracle: validate every cell against the sim-wide invariant oracle (packet\n                conservation, buffer bounds, clock monotonicity, rate sanity);\n                any violation aborts the run."
+        "usage:\n  experiments list\n  experiments run <id>... [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--ledger PATH] [--profile] [--profile-json PATH] [--faults SPEC[:SEED]] [--oracle]\n  experiments all [--scale quick|standard|full] [--jobs N] [--chunk N] [--depth N] [--stream-cache on|off|BYTES[K|M|G]] [--csv-dir DIR] [--trace PATH[:FILTER]] [--ledger PATH] [--profile] [--profile-json PATH] [--faults SPEC[:SEED]] [--oracle]\n  experiments obs diff <A.json> <B.json> [--fail-on-drift] [--top N]\n\nScales: quick (40k packets, 5 rates), standard (300k, 10), full (1M, 19 — the thesis' ladder).\n--jobs N: worker-pool size (default: all host cores); results are identical at any N.\n--chunk N: packets per streamed chunk (default 4096; 0 = materialize the whole run first).\n--depth N: bounded splitter-queue depth in chunks per sniffer (default 4).\n--stream-cache: share identical packet streams across cells through a byte-budgeted\n                content-addressed cache (default on = 1 GiB; off regenerates per cell).\nAll four are execution knobs: tables and CSVs are byte-identical for any setting.\n--trace PATH[:FILTER]: write packet-lifecycle traces as Chrome trace-event JSON to PATH\n                (Perfetto-loadable) plus a CSV sibling, and print per-stage drop\n                attribution. FILTER picks stages: all, drops, wire, nic, bus, filter,\n                kernel, app, disk, sched (per-CPU scheduler dispatch timelines) or exact\n                stage names, comma-separated. 'off' disables.\n--ledger PATH: write the run ledger — a deterministic JSON manifest of every cell's\n                config fingerprint, achieved rate, drop attribution, metrics, exact\n                latency percentiles and per-CPU stage-time account. Byte-identical at\n                any --jobs/--chunk/--depth/--stream-cache; feed two ledgers to\n                `experiments obs diff` to rank what changed between runs.\n--profile: print host-side execution profiling (cell wall times, pool utilization,\n                cache service latencies) to stderr (and embed it in the ledger, the\n                one host-side block there).\n--profile-json PATH: write the host-side profile as standalone JSON.\n--faults SPEC[:SEED]: arm a deterministic fault plan. SPEC is fault names joined\n                with '+' (ringstall busburst irqjitter kshrink apppause preempt\n                hiccup squeeze), or 'chaos' for all, or 'off' (default). Same SPEC:SEED =>\n                byte-identical output at any --jobs/--chunk/--depth/--stream-cache.\n--oracle: validate every cell against the sim-wide invariant oracle (packet\n                conservation, buffer bounds, clock monotonicity, rate sanity);\n                any violation aborts the run.\nobs diff A B: load two ledgers, match cells by label, and rank every numeric\n                observable that moved (fingerprint changes reported first).\n                --fail-on-drift exits 1 on any difference; --top N caps the\n                drifts printed per cell (default 8)."
     );
     std::process::exit(2);
+}
+
+/// `experiments obs diff A.json B.json [--fail-on-drift] [--top N]`.
+fn obs_main(args: &[String]) {
+    if args.first().map(String::as_str) != Some("diff") || args.len() < 3 {
+        usage();
+    }
+    let (a_path, b_path) = (&args[1], &args[2]);
+    let mut fail_on_drift = false;
+    let mut top = 8usize;
+    let mut i = 3;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fail-on-drift" => fail_on_drift = true,
+            "--top" => {
+                i += 1;
+                let n = args.get(i).unwrap_or_else(|| usage());
+                top = parse_knob("--top", 1, n).unwrap_or_else(|msg| bail(msg));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let load = |path: &String| -> Ledger {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| bail(format!("cannot read ledger '{path}': {e}")));
+        Ledger::parse(&text).unwrap_or_else(|e| bail(format!("'{path}' is not a ledger: {e}")))
+    };
+    let report = diff_ledgers(&load(a_path), &load(b_path));
+    print!("{}", report.render(top));
+    if fail_on_drift && report.has_drift() {
+        eprintln!("obs diff: drift detected between '{a_path}' and '{b_path}' (--fail-on-drift)");
+        std::process::exit(1);
+    }
+}
+
+/// First pair of output paths that would overwrite each other, if any.
+///
+/// `--trace`, `--ledger`, `--profile-json` and the per-experiment CSVs
+/// are all written at the end of the run; two flags aimed at one path
+/// would silently clobber hours of sweep output, so the run refuses to
+/// start instead.
+fn find_collision(outputs: &[(String, String)]) -> Option<(String, String, String)> {
+    for (i, (fa, pa)) in outputs.iter().enumerate() {
+        for (fb, pb) in &outputs[i + 1..] {
+            if std::path::Path::new(pa) == std::path::Path::new(pb) {
+                return Some((fa.clone(), fb.clone(), pa.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Where `--trace PATH` puts its flat-CSV sibling: `PATH` with a `.csv`
+/// extension, or `PATH.events.csv` when that would collide with `PATH`
+/// itself.
+fn trace_csv_sibling(path: &str) -> String {
+    let p = std::path::Path::new(path).with_extension("csv");
+    let p = p.to_string_lossy().into_owned();
+    if p == *path {
+        format!("{path}.events.csv")
+    } else {
+        p
+    }
+}
+
+/// Fail fast when an output file's directory does not exist (the file is
+/// written only after the whole sweep — hours at `--scale full`).
+fn require_parent_dir(flag: &str, path: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            bail(format!(
+                "{flag}: directory '{}' does not exist (create it first)",
+                parent.display()
+            ));
+        }
+    }
 }
 
 fn main() {
@@ -135,14 +226,18 @@ fn main() {
                 println!("{id:<12} {desc}");
             }
         }
+        "obs" => obs_main(&args[1..]),
         "run" | "all" => {
             let mut ids: Vec<String> = Vec::new();
             let mut scale = Scale::standard();
+            let mut scale_name = "standard".to_string();
             let mut csv_dir: Option<String> = None;
             let mut jobs = available_parallelism();
             let mut pipeline = PipelineConfig::default();
             let mut trace: Option<(String, StageFilter)> = None;
+            let mut ledger: Option<String> = None;
             let mut profile = false;
+            let mut profile_json: Option<String> = None;
             let mut faults: Option<FaultPlan> = None;
             let mut oracle = false;
             let mut i = 1;
@@ -173,6 +268,7 @@ fn main() {
                             eprintln!("unknown scale '{name}'");
                             std::process::exit(2);
                         });
+                        scale_name = name.clone();
                     }
                     "--jobs" => {
                         i += 1;
@@ -194,7 +290,15 @@ fn main() {
                         let n = args.get(i).unwrap_or_else(|| usage());
                         trace = parse_trace_arg(n);
                     }
+                    "--ledger" => {
+                        i += 1;
+                        ledger = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+                    }
                     "--profile" => profile = true,
+                    "--profile-json" => {
+                        i += 1;
+                        profile_json = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+                    }
                     other if other.starts_with("--") => usage(),
                     other => ids.push(other.to_string()),
                 }
@@ -232,6 +336,42 @@ fn main() {
                     }
                 }
             }
+            // Same for the ledger and profile JSON — but these directories
+            // must already exist (a typo'd --ledger path should not grow a
+            // directory tree, it should stop the run before any work).
+            if let Some(path) = &ledger {
+                require_parent_dir("--ledger", path);
+            }
+            if let Some(path) = &profile_json {
+                require_parent_dir("--profile-json", path);
+            }
+            // Refuse output paths that would overwrite each other: the
+            // trace JSON + its CSV sibling, the ledger, the profile JSON
+            // and every per-experiment CSV land after the sweep finishes.
+            let mut outputs: Vec<(String, String)> = Vec::new();
+            if let Some((path, _)) = &trace {
+                outputs.push(("--trace".into(), path.clone()));
+                outputs.push(("--trace (csv sibling)".into(), trace_csv_sibling(path)));
+            }
+            if let Some(path) = &ledger {
+                outputs.push(("--ledger".into(), path.clone()));
+            }
+            if let Some(path) = &profile_json {
+                outputs.push(("--profile-json".into(), path.clone()));
+            }
+            if let Some(dir) = &csv_dir {
+                for (id, _, _) in &selected {
+                    outputs.push((
+                        format!("--csv-dir ({id})"),
+                        format!("{dir}/{}.csv", id.replace('/', "_")),
+                    ));
+                }
+            }
+            if let Some((fa, fb, path)) = find_collision(&outputs) {
+                bail(format!(
+                    "output collision: {fa} and {fb} both write to '{path}'"
+                ));
+            }
             // Two-level pool: up to `outer` experiments in flight, each
             // sweeping its cells over `inner` workers, ≈ jobs total.
             let outer = jobs.min(selected.len().max(1));
@@ -244,24 +384,37 @@ fn main() {
             if let Some(plan) = &faults {
                 eprintln!("== faults armed: {plan}");
             }
-            let collector = trace.as_ref().map(|(_, filter)| {
-                Arc::new(TraceCollector::new(TraceSpec {
-                    filter: *filter,
+            // `--trace` and `--ledger` share the collector. A ledger
+            // without a trace uses the empty stage filter: no events are
+            // buffered, but metrics, latency digests, attributions and
+            // stage times still accumulate per cell.
+            let collector = if trace.is_some() || ledger.is_some() {
+                let filter = trace
+                    .as_ref()
+                    .map(|(_, filter)| *filter)
+                    .unwrap_or_else(StageFilter::none);
+                Some(Arc::new(TraceCollector::new(TraceSpec {
+                    filter,
                     ..TraceSpec::default()
-                }))
-            });
+                })))
+            } else {
+                None
+            };
+            let stage_times = ledger.is_some();
+            let host_profiling = profile || profile_json.is_some();
             let t_all = Instant::now();
             let results = parallel_ordered(selected, outer, |_, (id, desc, run)| {
                 let mut exec = ExecConfig::with_jobs(inner)
                     .with_pipeline(pipeline)
-                    .with_oracle(oracle);
+                    .with_oracle(oracle)
+                    .with_stage_times(stage_times);
                 if let Some(plan) = &faults {
                     exec = exec.with_faults(Arc::clone(plan));
                 }
                 if let Some(collector) = &collector {
                     exec = exec.with_trace(Arc::clone(collector));
                 }
-                if profile {
+                if host_profiling {
                     exec.stats.enable_profiling();
                 }
                 let t0 = Instant::now();
@@ -347,7 +500,7 @@ fn main() {
                 }
             }
             if let Some((path, _)) = &trace {
-                let collector = collector.expect("trace implies a collector");
+                let collector = collector.as_ref().expect("trace implies a collector");
                 let cells = collector.cells();
                 let json = export::chrome_trace_json(&cells);
                 export::validate_json(&json).expect("generated trace JSON must be valid");
@@ -356,15 +509,7 @@ fn main() {
                     "== wrote {path} ({} traced cells; load in Perfetto)",
                     cells.len()
                 );
-                let csv_path = {
-                    let p = std::path::Path::new(path).with_extension("csv");
-                    let p = p.to_string_lossy().into_owned();
-                    if p == *path {
-                        format!("{path}.events.csv")
-                    } else {
-                        p
-                    }
-                };
+                let csv_path = trace_csv_sibling(path);
                 std::fs::write(&csv_path, export::events_csv(&cells)).expect("write trace csv");
                 eprintln!("== wrote {csv_path}");
                 // Per-SUT drop attribution, totalled over every traced
@@ -394,6 +539,63 @@ fn main() {
                     }
                     eprintln!();
                 }
+            }
+            // Host-side profile roll-up, shared by the ledger's profile
+            // block and --profile-json. Wall-clock numbers: never part of
+            // the deterministic surface.
+            let host_profile = host_profiling.then(|| HostProfile {
+                experiments: results
+                    .iter()
+                    .map(|(id, _desc, _e, wall, exec)| {
+                        let s = &exec.stats;
+                        let p = s.sim_pools();
+                        ExperimentProfile {
+                            id: (*id).to_string(),
+                            wall_s: *wall,
+                            cells_run: s.cells_run(),
+                            cells_cached: s.cells_cached(),
+                            streams_generated: s.streams_generated(),
+                            streams_shared: s.streams_shared(),
+                            peak_stream_bytes: s.peak_stream_bytes(),
+                            cell_wall_ns: s.cell_wall_ns(),
+                            cell_wall_ns_max: s.cell_wall_ns_max(),
+                            run_cache_hit_ns: s.run_cache_hit_ns(),
+                            stream_subscribe_ns: s.stream_subscribe_ns(),
+                            pool_gets: p.gets(),
+                            pool_misses: p.misses(),
+                            pool_recycled: p.recycled(),
+                            pool_high_water: p.high_water(),
+                        }
+                    })
+                    .collect(),
+            });
+            if let Some(path) = &ledger {
+                let collector = collector.as_ref().expect("ledger implies a collector");
+                let cells = collector.cells();
+                let meta = LedgerMeta {
+                    scale: scale_name.clone(),
+                    experiments: results.iter().map(|(id, ..)| (*id).to_string()).collect(),
+                    faults: faults.as_ref().map(|plan| plan.to_string()),
+                };
+                // The profile block is embedded only under --profile: a
+                // bare --ledger stays fully deterministic (cmp-able).
+                let embedded = if profile { host_profile.as_ref() } else { None };
+                let json = render_ledger(&meta, &cells, embedded);
+                export::validate_json(&json).expect("generated ledger JSON must be valid");
+                std::fs::write(path, &json).expect("write ledger");
+                eprintln!(
+                    "== wrote {path} ({} cells; compare runs with `experiments obs diff`)",
+                    cells.len()
+                );
+            }
+            if let Some(path) = &profile_json {
+                let p = host_profile
+                    .as_ref()
+                    .expect("profile-json implies profiling");
+                let json = render_profile(p);
+                export::validate_json(&json).expect("generated profile JSON must be valid");
+                std::fs::write(path, &json).expect("write profile json");
+                eprintln!("== wrote {path} (host-side profile; varies run to run)");
             }
         }
         _ => usage(),
@@ -427,6 +629,40 @@ mod tests {
             parse_trace_arg("out:1/x.json"),
             Some(("out:1/x.json".into(), StageFilter::all()))
         );
+    }
+
+    #[test]
+    fn trace_csv_sibling_never_collides_with_the_trace() {
+        assert_eq!(trace_csv_sibling("t.json"), "t.csv");
+        assert_eq!(trace_csv_sibling("out/t.json"), "out/t.csv");
+        // Already-.csv trace paths get a distinct sibling.
+        assert_eq!(trace_csv_sibling("t.csv"), "t.csv.events.csv");
+        assert_eq!(trace_csv_sibling("noext"), "noext.csv");
+    }
+
+    #[test]
+    fn output_collisions_are_detected() {
+        let outputs = vec![
+            ("--trace".to_string(), "out/a.json".to_string()),
+            ("--trace (csv sibling)".to_string(), "out/a.csv".to_string()),
+            ("--ledger".to_string(), "out/b.json".to_string()),
+        ];
+        assert_eq!(find_collision(&outputs), None);
+        let mut clash = outputs.clone();
+        clash.push(("--profile-json".to_string(), "out/b.json".to_string()));
+        assert_eq!(
+            find_collision(&clash),
+            Some((
+                "--ledger".to_string(),
+                "--profile-json".to_string(),
+                "out/b.json".to_string()
+            ))
+        );
+        // Path comparison, not string comparison: a redundant ./ still
+        // collides.
+        let mut dotted = outputs.clone();
+        dotted.push(("--ledger 2".to_string(), "out/./b.json".to_string()));
+        assert!(find_collision(&dotted).is_some());
     }
 
     #[test]

@@ -40,6 +40,11 @@ impl Oracle {
     /// 8. **Scheduler serialisation** — when the report carries `sched`
     ///    trace events, the spans on each CPU are monotone and never
     ///    overlap: a CPU runs one work item at a time.
+    /// 9. **Stage-time conservation** — when the report carries a
+    ///    stage-time account, it covers every CPU and, per CPU, the
+    ///    per-work-kind busy entries plus idle sum exactly to the CPU's
+    ///    accounted total, the idle entries agree, and no kind's stretch
+    ///    exceeds its busy time.
     pub fn check_report(label: &str, spec: &MachineSpec, report: &RunReport) -> Result<(), String> {
         let err = |what: String| Err(format!("oracle[{label}/{}]: {what}", report.machine));
 
@@ -138,6 +143,37 @@ impl Oracle {
                 cpu_free[cpu] = ev.t_ns + ev.dur_ns;
             }
         }
+        if let Some(stage) = &report.stage_times {
+            if stage.cpus.len() != report.final_acct.len() {
+                return err(format!(
+                    "stage times cover {} CPUs, accounting has {}",
+                    stage.cpus.len(),
+                    report.final_acct.len()
+                ));
+            }
+            for (cpu, (st, acct)) in stage.cpus.iter().zip(&report.final_acct).enumerate() {
+                if st.total() != acct.total() {
+                    return err(format!(
+                        "cpu{cpu}: stage times sum to {} ns, accounting to {} ns",
+                        st.total(),
+                        acct.total()
+                    ));
+                }
+                if st.idle_ns != acct.idle {
+                    return err(format!(
+                        "cpu{cpu}: stage idle {} ns disagrees with accounted idle {} ns",
+                        st.idle_ns, acct.idle
+                    ));
+                }
+                for (k, (&busy, &stretch)) in st.busy_ns.iter().zip(&st.stretch_ns).enumerate() {
+                    if stretch > busy {
+                        return err(format!(
+                            "cpu{cpu}: work kind {k} stretch {stretch} ns exceeds busy {busy} ns"
+                        ));
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -190,6 +226,7 @@ mod tests {
             disk_bytes: 0,
             pipe_bytes: 0,
             trace: None,
+            stage_times: None,
         }
     }
 
@@ -291,6 +328,43 @@ mod tests {
         r.trace.as_mut().unwrap().sched = vec![span(0, 100, 0), span(99, 10, 0)];
         let e = Oracle::check_report("t", &spec(), &r).unwrap_err();
         assert!(e.contains("while busy"), "{e}");
+    }
+
+    #[test]
+    fn inconsistent_stage_times_are_caught() {
+        use pcs_oskernel::CpuAccounting;
+        use pcs_trace::{StageTimes, WorkKind};
+        let mut r = clean_report();
+        let mut acct = CpuAccounting::default();
+        acct.add(pcs_oskernel::CpuState::Irq, 700);
+        acct.add(pcs_oskernel::CpuState::Idle, 300);
+        r.final_acct = vec![acct];
+        let mut st = StageTimes::new(1);
+        st.add_busy(0, WorkKind::KernelBatch, 700);
+        st.add_idle(0, 300);
+        r.stage_times = Some(st.clone());
+        Oracle::check_report("t", &spec(), &r).unwrap();
+        // A lost nanosecond breaks conservation.
+        r.stage_times.as_mut().unwrap().cpus[0].busy_ns[0] -= 1;
+        let e = Oracle::check_report("t", &spec(), &r).unwrap_err();
+        assert!(e.contains("stage times sum"), "{e}");
+        // Idle totals must agree bucket-for-bucket, not just in sum.
+        let mut skewed = st.clone();
+        skewed.cpus[0].idle_ns -= 50;
+        skewed.cpus[0].busy_ns[0] += 50;
+        r.stage_times = Some(skewed);
+        let e = Oracle::check_report("t", &spec(), &r).unwrap_err();
+        assert!(e.contains("stage idle"), "{e}");
+        // Stretch is a share of busy time, never more.
+        let mut stretched = st.clone();
+        stretched.cpus[0].stretch_ns[0] = 701;
+        r.stage_times = Some(stretched);
+        let e = Oracle::check_report("t", &spec(), &r).unwrap_err();
+        assert!(e.contains("stretch"), "{e}");
+        // Coverage must match the CPU count.
+        r.stage_times = Some(StageTimes::new(2));
+        let e = Oracle::check_report("t", &spec(), &r).unwrap_err();
+        assert!(e.contains("CPUs"), "{e}");
     }
 
     #[test]

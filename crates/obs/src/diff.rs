@@ -1,0 +1,386 @@
+//! The ledger diff engine: rank what moved between two runs.
+//!
+//! Cells are matched by label (duplicate labels pair up in ledger
+//! order, which is the collector's deterministic order). Within a
+//! matched pair every numeric observable — achieved rate, attribution
+//! buckets, counters, gauges, histogram summaries, latency percentiles,
+//! stage times — is compared exactly: the sims are deterministic, so
+//! *any* difference is real drift, not noise. Drifts are ranked by
+//! relative magnitude `|a-b| / max(|a|, |b|, 1)` so a 2% shift in a
+//! million-packet bucket outranks an absolute wobble in a tiny one.
+//!
+//! A changed cell *fingerprint* is reported before any value drift: it
+//! means the two runs did not even execute the same configuration
+//! (different fault plan, workload or SUT set), so value deltas for
+//! that cell explain a config change, not a regression.
+//!
+//! The host-side `profile` block is never compared.
+
+use std::collections::BTreeMap;
+
+use crate::ledger::{Ledger, LedgerCell};
+
+/// One numeric observable that differs between the runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// `/`-joined path of the observable (e.g.
+    /// `suts/FreeBSD "tcpdump"/attribution/app0/kernel_buffer_drops`).
+    pub path: String,
+    /// Value in ledger A (`None` — the path is absent there).
+    pub a: Option<f64>,
+    /// Value in ledger B (`None` — the path is absent there).
+    pub b: Option<f64>,
+    /// Relative magnitude `|a-b| / max(|a|, |b|, 1)`; `1.0` for an
+    /// absent side.
+    pub rel: f64,
+}
+
+/// Everything that differs for one matched (or unmatched) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDiff {
+    /// Cell label.
+    pub label: String,
+    /// Which ledger the cell is missing from, if unmatched
+    /// (`"A"` / `"B"`).
+    pub only_in: Option<&'static str>,
+    /// The config fingerprints disagree: the runs executed different
+    /// configurations for this cell.
+    pub fingerprint_changed: bool,
+    /// Value drifts, ranked by [`Drift::rel`] descending (path
+    /// ascending on ties).
+    pub drifts: Vec<Drift>,
+}
+
+impl CellDiff {
+    /// Largest relative drift in this cell (fingerprint or missing cell
+    /// counts as `1.0`).
+    pub fn severity(&self) -> f64 {
+        let base = if self.only_in.is_some() || self.fingerprint_changed {
+            1.0
+        } else {
+            0.0
+        };
+        self.drifts.first().map_or(base, |d| d.rel.max(base))
+    }
+}
+
+/// The full comparison of two ledgers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Cells present in ledger A.
+    pub cells_a: usize,
+    /// Cells present in ledger B.
+    pub cells_b: usize,
+    /// Cells compared value-by-value (matched by label).
+    pub cells_compared: usize,
+    /// Every cell with at least one difference, ranked by severity
+    /// descending (label ascending on ties). Clean cells are omitted.
+    pub cells: Vec<CellDiff>,
+}
+
+impl DiffReport {
+    /// `true` when any cell differs in any way.
+    pub fn has_drift(&self) -> bool {
+        !self.cells.is_empty()
+    }
+
+    /// Total number of drifted observables across all cells.
+    pub fn drift_count(&self) -> usize {
+        self.cells.iter().map(|c| c.drifts.len()).sum()
+    }
+
+    /// Render the ranked report, showing at most `per_cell` drifts per
+    /// cell.
+    pub fn render(&self, per_cell: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "obs diff: {} vs {} cells, {} compared, {} cells drifted ({} observables)",
+            self.cells_a,
+            self.cells_b,
+            self.cells_compared,
+            self.cells.len(),
+            self.drift_count()
+        );
+        if self.cells.is_empty() {
+            out.push_str("no drift: every compared observable is identical\n");
+            return out;
+        }
+        for cell in &self.cells {
+            match cell.only_in {
+                Some(side) => {
+                    let _ = writeln!(out, "cell '{}': only in ledger {side}", cell.label);
+                    continue;
+                }
+                None => {
+                    let _ = writeln!(out, "cell '{}':", cell.label);
+                }
+            }
+            if cell.fingerprint_changed {
+                out.push_str("  ! fingerprint changed — runs executed different configurations\n");
+            }
+            for d in cell.drifts.iter().take(per_cell) {
+                let fmt = |v: Option<f64>| match v {
+                    Some(v) => format!("{v}"),
+                    None => "absent".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:>8.3}%  {}  {} -> {}",
+                    d.rel * 100.0,
+                    d.path,
+                    fmt(d.a),
+                    fmt(d.b)
+                );
+            }
+            if cell.drifts.len() > per_cell {
+                let _ = writeln!(out, "  … and {} more", cell.drifts.len() - per_cell);
+            }
+        }
+        out
+    }
+}
+
+/// Relative drift magnitude: `|a-b| / max(|a|, |b|, 1)`.
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1.0)
+}
+
+/// Flatten one cell into `path -> value` over achieved rate and every
+/// SUT observable.
+fn cell_values(cell: &LedgerCell) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    out.insert("achieved_mbps".to_owned(), cell.achieved_mbps);
+    for sut in &cell.suts {
+        for (path, &v) in &sut.observables {
+            out.insert(format!("suts/{}/{path}", sut.label), v);
+        }
+    }
+    out
+}
+
+fn diff_cell(a: &LedgerCell, b: &LedgerCell) -> CellDiff {
+    let va = cell_values(a);
+    let vb = cell_values(b);
+    let mut drifts = Vec::new();
+    for (path, &x) in &va {
+        match vb.get(path) {
+            Some(&y) if x == y => {}
+            Some(&y) => drifts.push(Drift {
+                path: path.clone(),
+                a: Some(x),
+                b: Some(y),
+                rel: rel(x, y),
+            }),
+            None => drifts.push(Drift {
+                path: path.clone(),
+                a: Some(x),
+                b: None,
+                rel: 1.0,
+            }),
+        }
+    }
+    for (path, &y) in &vb {
+        if !va.contains_key(path) {
+            drifts.push(Drift {
+                path: path.clone(),
+                a: None,
+                b: Some(y),
+                rel: 1.0,
+            });
+        }
+    }
+    drifts.sort_by(|p, q| {
+        q.rel
+            .partial_cmp(&p.rel)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| p.path.cmp(&q.path))
+    });
+    CellDiff {
+        label: a.label.clone(),
+        only_in: None,
+        fingerprint_changed: a.fingerprint != b.fingerprint,
+        drifts,
+    }
+}
+
+/// Compare two parsed ledgers cell by cell.
+pub fn diff_ledgers(a: &Ledger, b: &Ledger) -> DiffReport {
+    // Group each side's cells by label, preserving ledger order within
+    // a label so duplicate labels (repeats across experiments) pair
+    // deterministically.
+    let mut by_label_b: BTreeMap<&str, Vec<&LedgerCell>> = BTreeMap::new();
+    for cell in &b.cells {
+        by_label_b.entry(&cell.label).or_default().push(cell);
+    }
+    let mut used: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut cells = Vec::new();
+    let mut compared = 0usize;
+    for cell in &a.cells {
+        let peers = by_label_b.get(cell.label.as_str());
+        let idx = used.entry(&cell.label).or_insert(0);
+        match peers.and_then(|p| p.get(*idx)) {
+            Some(peer) => {
+                *idx += 1;
+                compared += 1;
+                let d = diff_cell(cell, peer);
+                if d.fingerprint_changed || !d.drifts.is_empty() {
+                    cells.push(d);
+                }
+            }
+            None => cells.push(CellDiff {
+                label: cell.label.clone(),
+                only_in: Some("A"),
+                fingerprint_changed: false,
+                drifts: Vec::new(),
+            }),
+        }
+    }
+    for (label, peers) in &by_label_b {
+        let taken = used.get(label).copied().unwrap_or(0);
+        for _ in taken..peers.len() {
+            cells.push(CellDiff {
+                label: (*label).to_owned(),
+                only_in: Some("B"),
+                fingerprint_changed: false,
+                drifts: Vec::new(),
+            });
+        }
+    }
+    cells.sort_by(|p, q| {
+        q.severity()
+            .partial_cmp(&p.severity())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| p.label.cmp(&q.label))
+    });
+    DiffReport {
+        cells_a: a.cells.len(),
+        cells_b: b.cells.len(),
+        cells_compared: compared,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::LedgerSut;
+    use std::collections::BTreeMap;
+
+    fn cell(label: &str, fp: &str, kv: &[(&str, f64)]) -> LedgerCell {
+        let mut observables = BTreeMap::new();
+        for (k, v) in kv {
+            observables.insert((*k).to_owned(), *v);
+        }
+        LedgerCell {
+            label: label.to_owned(),
+            fingerprint: fp.to_owned(),
+            achieved_mbps: 100.0,
+            suts: vec![LedgerSut {
+                label: "sut".to_owned(),
+                observables,
+            }],
+        }
+    }
+
+    fn ledger(cells: Vec<LedgerCell>) -> Ledger {
+        Ledger {
+            version: 1,
+            scale: "quick".into(),
+            experiments: vec!["fig6.4a".into()],
+            faults: None,
+            cells,
+        }
+    }
+
+    #[test]
+    fn identical_ledgers_are_clean() {
+        let a = ledger(vec![cell("r=100", "aa", &[("counters/x", 5.0)])]);
+        let report = diff_ledgers(&a, &a.clone());
+        assert!(!report.has_drift());
+        assert_eq!(report.cells_compared, 1);
+        let text = report.render(8);
+        assert!(text.contains("no drift"), "{text}");
+    }
+
+    #[test]
+    fn value_drift_is_ranked_by_relative_magnitude() {
+        let a = ledger(vec![cell(
+            "r=100",
+            "aa",
+            &[
+                ("attribution/app0/kernel_buffer_drops", 1000.0),
+                ("counters/irq_fires", 500.0),
+            ],
+        )]);
+        let b = ledger(vec![cell(
+            "r=100",
+            "aa",
+            &[
+                ("attribution/app0/kernel_buffer_drops", 4000.0),
+                ("counters/irq_fires", 501.0),
+            ],
+        )]);
+        let report = diff_ledgers(&a, &b);
+        assert!(report.has_drift());
+        assert_eq!(report.drift_count(), 2);
+        let drifts = &report.cells[0].drifts;
+        assert_eq!(
+            drifts[0].path, "suts/sut/attribution/app0/kernel_buffer_drops",
+            "largest relative mover ranks first"
+        );
+        assert!(drifts[0].rel > drifts[1].rel);
+        let text = report.render(8);
+        assert!(text.contains("kernel_buffer_drops"), "{text}");
+    }
+
+    #[test]
+    fn fingerprint_change_is_reported_before_values() {
+        let a = ledger(vec![cell("r=100", "aa", &[("counters/x", 5.0)])]);
+        let b = ledger(vec![cell("r=100", "bb", &[("counters/x", 5.0)])]);
+        let report = diff_ledgers(&a, &b);
+        assert!(report.has_drift());
+        assert!(report.cells[0].fingerprint_changed);
+        assert!(report.cells[0].drifts.is_empty());
+        assert!(report.render(8).contains("fingerprint changed"));
+    }
+
+    #[test]
+    fn unmatched_cells_and_absent_paths_are_drift() {
+        let a = ledger(vec![
+            cell("r=100", "aa", &[("counters/x", 5.0)]),
+            cell("r=200", "cc", &[("counters/x", 7.0)]),
+        ]);
+        let b = ledger(vec![cell("r=100", "aa", &[("counters/y", 5.0)])]);
+        let report = diff_ledgers(&a, &b);
+        assert!(report.has_drift());
+        assert_eq!(report.cells_compared, 1);
+        let only: Vec<_> = report
+            .cells
+            .iter()
+            .filter_map(|c| c.only_in.map(|s| (c.label.clone(), s)))
+            .collect();
+        assert_eq!(only, vec![("r=200".to_owned(), "A")]);
+        let matched = report.cells.iter().find(|c| c.only_in.is_none()).unwrap();
+        // x only in A, y only in B: two absent-path drifts at rel 1.0.
+        assert_eq!(matched.drifts.len(), 2);
+        assert!(matched.drifts.iter().all(|d| d.rel == 1.0));
+        let text = report.render(8);
+        assert!(text.contains("only in ledger A"), "{text}");
+        assert!(text.contains("absent"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_labels_pair_in_order() {
+        let a = ledger(vec![
+            cell("r=100", "aa", &[("counters/x", 1.0)]),
+            cell("r=100", "bb", &[("counters/x", 2.0)]),
+        ]);
+        let b = ledger(vec![
+            cell("r=100", "aa", &[("counters/x", 1.0)]),
+            cell("r=100", "bb", &[("counters/x", 2.0)]),
+        ]);
+        assert!(!diff_ledgers(&a, &b).has_drift());
+    }
+}

@@ -8,7 +8,7 @@
 use crate::cpustate::{CpuAccounting, CpuState};
 use crate::sim::{MachineSim, Stack};
 use pcs_des::SimTime;
-use pcs_trace::{DropAttribution, TraceReport};
+use pcs_trace::{DropAttribution, StageTimes, TraceReport};
 
 /// The per-application outcome of a run.
 #[derive(Debug, Clone)]
@@ -66,6 +66,11 @@ pub struct RunReport {
     /// Event log and metrics, present when the sim ran with a tracing
     /// sink ([`MachineSim::with_trace`]).
     pub trace: Option<Box<TraceReport>>,
+    /// Per-CPU/per-work-kind sim-time attribution, present when the sim
+    /// ran with [`MachineSim::with_stage_times`]. Per CPU, the busy
+    /// entries plus idle equal the matching [`CpuAccounting::total`]
+    /// exactly.
+    pub stage_times: Option<StageTimes>,
 }
 
 impl RunReport {
@@ -153,11 +158,16 @@ impl MachineSim {
     /// and the final per-app/per-CPU numbers.
     pub(crate) fn finish_report(mut self) -> RunReport {
         let end = self.sched.queue.now();
-        // Close idle accounting.
-        for cpu in &mut self.sched.cpus {
+        // Close idle accounting (mirrored into the stage-time account so
+        // its per-CPU totals match `acct` exactly).
+        let mut stage_times = self.sched.stage.take();
+        for (i, cpu) in self.sched.cpus.iter_mut().enumerate() {
             if cpu.current.is_none() && end > cpu.idle_since {
-                cpu.acct
-                    .add(CpuState::Idle, end.since(cpu.idle_since).as_nanos());
+                let gap = end.since(cpu.idle_since).as_nanos();
+                cpu.acct.add(CpuState::Idle, gap);
+                if let Some(st) = stage_times.as_mut() {
+                    st.add_idle(i, gap);
+                }
             }
         }
         // End-of-run residue accounting: packets still in flight when the
@@ -219,6 +229,7 @@ impl MachineSim {
             disk_bytes: self.disk_bytes + self.dirty_bytes,
             pipe_bytes: self.pipe_bytes_total,
             trace,
+            stage_times,
         }
     }
 }

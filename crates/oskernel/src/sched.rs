@@ -25,7 +25,7 @@ use crate::fault::MachineFaults;
 use crate::sim::MachineSim;
 use crate::stack::CapturedPacket;
 use pcs_des::{BufPool, EventQueue, PoolStats, RunQueue, SimDuration, SimTime, WorkClass};
-use pcs_trace::TraceSink;
+use pcs_trace::{StageTimes, TraceSink};
 use pcs_wire::SimPacket;
 
 /// Every Nth slot goes to user work when both queues are loaded.
@@ -165,6 +165,13 @@ pub(crate) struct Scheduler {
     pub(crate) cpus: Vec<CpuSim>,
     /// Free lists for the per-packet path's buffers.
     pub(crate) pool: HotPool,
+    /// Per-CPU/per-work-kind sim-time attribution, armed by
+    /// [`crate::sim::MachineSim::with_stage_times`]. `None` (the
+    /// default) costs one branch per dispatch/finish and leaves every
+    /// run byte-identical to an unarmed one; when armed the account is
+    /// fixed arrays allocated once here, so the per-packet path stays
+    /// allocation-free.
+    pub(crate) stage: Option<StageTimes>,
     hyperthreading: bool,
     smt_factor: f64,
 }
@@ -182,9 +189,16 @@ impl Scheduler {
             queue: EventQueue::new(),
             cpus: (0..ncpu).map(|_| CpuSim::new()).collect(),
             pool: HotPool::new(pooling),
+            stage: None,
             hyperthreading,
             smt_factor,
         }
+    }
+
+    /// Arm (or disarm) per-stage time attribution; arming allocates the
+    /// per-CPU accounts once, before the run starts.
+    pub(crate) fn set_stage_times(&mut self, enabled: bool) {
+        self.stage = enabled.then(|| StageTimes::new(self.cpus.len()));
     }
 
     /// Enqueue `work` on `cpu` and dispatch immediately if it is idle.
@@ -240,9 +254,13 @@ impl Scheduler {
         if now > self.cpus[cpu].idle_since {
             let gap = now.since(self.cpus[cpu].idle_since).as_nanos();
             self.cpus[cpu].acct.add(CpuState::Idle, gap);
+            if let Some(st) = self.stage.as_mut() {
+                st.add_idle(cpu, gap);
+            }
         }
         let mut work = work;
         let mut duration = work.duration();
+        let base_duration = duration;
         // Hyperthreading: a busy sibling slows this virtual CPU. The
         // stretch is folded into the work's segments so that accounting
         // covers the full wall time the CPU was occupied.
@@ -264,6 +282,14 @@ impl Scheduler {
             if extra > 0 {
                 work.push_segment(CpuState::System, extra);
                 duration = work.duration();
+            }
+        }
+        // Stage-time attribution: everything dispatch added on top of
+        // the work's own cost (SMT sibling stretch, preemption hold) is
+        // the stretch share of the busy time charged at finish.
+        if let Some(st) = self.stage.as_mut() {
+            if duration > base_duration {
+                st.add_stretch(cpu, work.kind, duration - base_duration);
             }
         }
         ctx.trace.emit_sched(
@@ -291,11 +317,19 @@ impl Scheduler {
         // Account the segments (already SMT-scaled at start, so the sum
         // equals the wall time this CPU was occupied).
         let mut kernel_ns = 0u64;
+        let mut total_ns = 0u64;
         for (state, ns) in &work.segments {
             self.cpus[cpu].acct.add(*state, *ns);
+            total_ns += ns;
             if matches!(state, CpuState::Irq | CpuState::SoftIrq | CpuState::System) && cpu == 0 {
                 kernel_ns += ns;
             }
+        }
+        // The segment sum is the full wall occupancy (SMT-scaled and
+        // preempt-extended at dispatch), so charging it here keeps the
+        // stage account in lockstep with `acct`.
+        if let Some(st) = self.stage.as_mut() {
+            st.add_busy(cpu, work.kind, total_ns);
         }
         self.cpus[cpu].idle_since = now;
         (work, kernel_ns)

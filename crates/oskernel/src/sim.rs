@@ -276,6 +276,17 @@ impl MachineSim {
         self
     }
 
+    /// Arm per-CPU/per-work-kind sim-time attribution: the report gains
+    /// [`RunReport::stage_times`] breaking each CPU's accounted time
+    /// into busy-by-[`pcs_trace::WorkKind`], dispatch-added stretch, and
+    /// idle. Off (the default) costs one branch per dispatch/finish and
+    /// the run is byte-identical to an unarmed one; the attribution
+    /// never feeds back into scheduling.
+    pub fn with_stage_times(mut self, enabled: bool) -> MachineSim {
+        self.sched.set_stage_times(enabled);
+        self
+    }
+
     /// Enable or disable hot-path buffer pooling (on by default, or off
     /// when `PCS_NO_POOL` is set in the environment). A pooled run is
     /// byte-identical to an unpooled one: only the allocator traffic
@@ -612,6 +623,86 @@ mod tests {
         }
         // Apart from the trace, the run is unchanged.
         assert_eq!(format!("{plain:?}"), format!("{traced:?}"));
+    }
+
+    #[test]
+    fn stage_timed_run_is_identical_apart_from_the_account() {
+        let spec = pcs_hw::MachineSpec::swan();
+        let plain = MachineSim::new(spec, SimConfig::default()).run(packets(300, 3));
+        let mut timed = MachineSim::new(spec, SimConfig::default())
+            .with_stage_times(true)
+            .run(packets(300, 3));
+        assert!(plain.stage_times.is_none());
+        assert!(timed.stage_times.is_some());
+        timed.stage_times = None;
+        assert_eq!(format!("{plain:?}"), format!("{timed:?}"));
+    }
+
+    #[test]
+    fn stage_times_conserve_each_cpus_accounted_time() {
+        use pcs_trace::WorkKind;
+        // Overload an SMT machine with enough applications that sibling
+        // CPUs run concurrently, so every path charges: batching, app
+        // chunks, SMT stretch, idle gaps, end-of-run close-out.
+        let spec = pcs_hw::MachineSpec::snipe().with_hyperthreading();
+        let cfg = SimConfig {
+            apps: vec![crate::config::AppConfig::plain(); 4],
+            ..SimConfig::default()
+        };
+        let r = MachineSim::new(spec, cfg)
+            .with_stage_times(true)
+            .run(packets(20_000, 1));
+        let st = r.stage_times.as_ref().expect("stage times present");
+        assert_eq!(st.cpus.len(), r.final_acct.len());
+        for (cpu, acct) in st.cpus.iter().zip(&r.final_acct) {
+            assert_eq!(cpu.total(), acct.total(), "busy+idle == accounted total");
+            assert_eq!(cpu.idle_ns, acct.idle, "idle mirrored exactly");
+            for k in 0..pcs_trace::WORK_KINDS {
+                assert!(cpu.stretch_ns[k] <= cpu.busy_ns[k]);
+            }
+        }
+        // The interrupt CPU spent time on kernel batches; some app work
+        // ran somewhere.
+        assert!(st.cpus[0].busy_ns[WorkKind::KernelBatch as usize] > 0);
+        let app_busy: u64 = st
+            .cpus
+            .iter()
+            .map(|c| c.busy_ns[WorkKind::AppRead as usize] + c.busy_ns[WorkKind::AppChunk as usize])
+            .sum();
+        assert!(app_busy > 0);
+        // Hyperthreaded and overloaded: SMT stretch must appear.
+        assert!(st.cpus.iter().map(|c| c.stretch_total()).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn pooled_and_unpooled_runs_agree_on_stage_times_and_digests() {
+        // Pooling only changes allocator traffic; the observability
+        // surface — stage-time accounts, metrics, latency digests —
+        // must be byte-identical either way.
+        use pcs_trace::{StageFilter, TraceSpec};
+        let run = |pooling: bool| {
+            MachineSim::new(pcs_hw::MachineSpec::swan(), SimConfig::default())
+                .with_pooling(pooling)
+                .with_stage_times(true)
+                .with_trace(TraceSink::bounded(TraceSpec {
+                    filter: StageFilter::none(),
+                    ..TraceSpec::default()
+                }))
+                .run(packets(5_000, 2))
+        };
+        let a = run(true);
+        let b = run(false);
+        assert_eq!(
+            format!("{:?}", a.stage_times),
+            format!("{:?}", b.stage_times)
+        );
+        let ma = &a.trace.as_ref().expect("traced").metrics;
+        let mb = &b.trace.as_ref().expect("traced").metrics;
+        assert_eq!(format!("{ma:?}"), format!("{mb:?}"));
+        let digest = ma
+            .digest("wire_to_app_latency_ns")
+            .expect("latency digest recorded");
+        assert!(digest.count() > 0);
     }
 
     #[test]

@@ -58,11 +58,18 @@ impl MachineSim {
                         );
                     }
                     // One histogram lookup per chunk, not per packet; the
-                    // recorded values and counts are identical.
+                    // recorded values and counts are identical. The
+                    // quantile digest sees the same values: it is the
+                    // mergeable (order-independent) summary the run
+                    // ledger renders exact percentiles from.
                     if let Some(m) = self.trace.metrics_mut() {
                         let h = m.histogram_entry("wire_to_app_latency_ns");
                         for &(_, gen_ns, _) in &traced {
                             h.record(now_ns.saturating_sub(gen_ns));
+                        }
+                        let d = m.digest_entry("wire_to_app_latency_ns");
+                        for &(_, gen_ns, _) in &traced {
+                            d.record(now_ns.saturating_sub(gen_ns));
                         }
                     }
                 }

@@ -149,10 +149,12 @@ fn rendered_exports(r: &RunReport) -> (String, String) {
     let cell = CellTrace {
         label: format!("prop {}", r.machine),
         key: 1,
+        achieved_mbps: 0.0,
         suts: vec![SutTrace {
             label: r.machine.clone(),
             report: r.trace.as_deref().expect("traced run").clone(),
             attributions: r.attributions(),
+            stage_times: r.stage_times.clone(),
         }],
     };
     let cells = std::slice::from_ref(&cell);

@@ -278,6 +278,7 @@ fn run_cell(
                 spec,
                 exec.faults.as_deref(),
                 Some(exec.stats.sim_pools()),
+                exec.stage_times,
             ),
         )
     };
@@ -306,6 +307,7 @@ fn run_cell(
                 label: sut.spec.label(),
                 report: report.trace.take().map(|boxed| *boxed).unwrap_or_default(),
                 attributions: report.attributions(),
+                stage_times: report.stage_times.take(),
             })
             .collect();
         let key = wide_key(cell_key_faulted(
@@ -315,7 +317,7 @@ fn run_cell(
             repeat,
             exec.faults.as_deref(),
         ));
-        collector.record_cell(cell_label(rate, repeat), key, traces);
+        collector.record_cell(cell_label(rate, repeat), key, achieved, traces);
     }
     result
 }
@@ -401,11 +403,13 @@ fn run_cell_streaming(
                 let sink = trace.map(TraceSink::bounded).unwrap_or_default();
                 let armed = faults.map(FaultPlan::arm_machine);
                 let pools = Arc::clone(exec.stats.sim_pools());
+                let stage_times = exec.stage_times;
                 scope.spawn(move || {
                     MachineSim::new(spec, sim)
                         .with_trace(sink)
                         .with_faults(armed)
                         .with_pool_probe(pools)
+                        .with_stage_times(stage_times)
                         .run_source(output)
                 })
             })
@@ -550,17 +554,18 @@ pub fn run_point(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>) -> PointRes
 /// Run all sniffers over one shared stream, concurrently. Scoped worker
 /// threads borrow the slice directly, so callers need no `Arc` plumbing.
 pub fn run_sniffers(suts: &[Sut], stream: &[TimedPacket]) -> Vec<RunReport> {
-    run_sniffers_with(suts, stream, None, None, None)
+    run_sniffers_with(suts, stream, None, None, None, false)
 }
 
 /// [`run_sniffers`], optionally with an enabled trace sink, an armed
-/// fault plan, and/or a pool probe per SUT.
+/// fault plan, a pool probe and/or stage-time attribution per SUT.
 fn run_sniffers_with(
     suts: &[Sut],
     stream: &[TimedPacket],
     trace: Option<TraceSpec>,
     faults: Option<&FaultPlan>,
     pools: Option<&Arc<PoolProbe>>,
+    stage_times: bool,
 ) -> Vec<RunReport> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = suts
@@ -574,7 +579,8 @@ fn run_sniffers_with(
                 scope.spawn(move || {
                     let mut machine = MachineSim::new(spec, sim)
                         .with_trace(sink)
-                        .with_faults(armed);
+                        .with_faults(armed)
+                        .with_stage_times(stage_times);
                     if let Some(probe) = pools {
                         machine = machine.with_pool_probe(probe);
                     }

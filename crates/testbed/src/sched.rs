@@ -281,6 +281,12 @@ pub struct ExecConfig {
     /// `cfg(debug_assertions)` (the test profiles); this flag arms it in
     /// release builds (`--oracle`).
     pub oracle: bool,
+    /// Arm per-stage sim-time attribution
+    /// ([`pcs_oskernel::MachineSim::with_stage_times`]) on every cell, so
+    /// traced cells carry a [`pcs_trace::StageTimes`] account into the
+    /// collector (the run ledger renders it). Off by default: the sims
+    /// stay on the branch-cheap off path.
+    pub stage_times: bool,
 }
 
 impl ExecConfig {
@@ -303,6 +309,7 @@ impl ExecConfig {
             trace: None,
             faults: None,
             oracle: false,
+            stage_times: false,
         }
     }
 
@@ -328,6 +335,13 @@ impl ExecConfig {
     /// on in debug/test builds regardless of this flag).
     pub fn with_oracle(mut self, oracle: bool) -> ExecConfig {
         self.oracle = oracle;
+        self
+    }
+
+    /// The same execution with per-stage sim-time attribution armed on
+    /// every cell.
+    pub fn with_stage_times(mut self, stage_times: bool) -> ExecConfig {
+        self.stage_times = stage_times;
         self
     }
 }

@@ -5,9 +5,10 @@ use std::sync::Mutex;
 
 use crate::attr::DropAttribution;
 use crate::sink::{TraceReport, TraceSpec};
+use crate::stagetime::StageTimes;
 
 /// Everything one traced SUT produced inside one cell.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SutTrace {
     /// Human-readable SUT label (e.g. "FreeBSD/tcpdump").
     pub label: String,
@@ -15,6 +16,9 @@ pub struct SutTrace {
     pub report: TraceReport,
     /// Exact per-consumer drop attribution for this SUT's run.
     pub attributions: Vec<DropAttribution>,
+    /// Per-CPU/per-work-kind sim-time attribution, present when the run
+    /// was executed with stage-time accounting armed.
+    pub stage_times: Option<StageTimes>,
 }
 
 /// One traced cell: a (config, rate, repeat) point executed against a set
@@ -26,6 +30,8 @@ pub struct CellTrace {
     /// The cell's 128-bit memoization fingerprint — unique per distinct
     /// (SUT set, workload, rate, repeat).
     pub key: u128,
+    /// Achieved frame data rate (Mbit/s) of this cell's stream.
+    pub achieved_mbps: f64,
     /// Per-SUT traces, in SUT order.
     pub suts: Vec<SutTrace>,
 }
@@ -67,11 +73,14 @@ impl TraceCollector {
     }
 
     /// Record one cell's traces; first write wins.
-    pub fn record_cell(&self, label: String, key: u128, suts: Vec<SutTrace>) {
+    pub fn record_cell(&self, label: String, key: u128, achieved_mbps: f64, suts: Vec<SutTrace>) {
         let mut cells = self.cells.lock().expect("trace collector poisoned");
-        cells
-            .entry((label.clone(), key))
-            .or_insert(CellTrace { label, key, suts });
+        cells.entry((label.clone(), key)).or_insert(CellTrace {
+            label,
+            key,
+            achieved_mbps,
+            suts,
+        });
     }
 
     /// Number of recorded cells.
@@ -103,15 +112,15 @@ mod tests {
     fn collector_orders_and_dedups() {
         let c = TraceCollector::new(TraceSpec::default());
         assert!(c.is_empty());
-        c.record_cell("b".into(), 2, vec![]);
-        c.record_cell("a".into(), 1, vec![]);
+        c.record_cell("b".into(), 2, 0.0, vec![]);
+        c.record_cell("a".into(), 1, 0.0, vec![]);
         c.record_cell(
             "b".into(),
             2,
+            0.0,
             vec![SutTrace {
                 label: "ignored duplicate".into(),
-                report: TraceReport::default(),
-                attributions: vec![],
+                ..SutTrace::default()
             }],
         );
         assert_eq!(c.len(), 2);

@@ -11,7 +11,7 @@ use crate::collect::CellTrace;
 use crate::event::{APP_NONE, SEQ_NONE};
 
 /// Escape a string for embedding in a JSON string literal.
-fn escape_json(s: &str, out: &mut String) {
+pub fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -454,6 +454,7 @@ mod tests {
         vec![CellTrace {
             label: "count=10 seed=1 rate=100 repeat=0".into(),
             key: 0xdead_beef,
+            achieved_mbps: 100.0,
             suts: vec![SutTrace {
                 label: "FreeBSD \"tcpdump\"".into(),
                 report: TraceReport {
@@ -485,6 +486,7 @@ mod tests {
                     delivered: 9,
                     ..Default::default()
                 }],
+                stage_times: None,
             }],
         }]
     }

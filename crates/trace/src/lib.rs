@@ -31,9 +31,11 @@ pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod sink;
+pub mod stagetime;
 
 pub use attr::DropAttribution;
 pub use collect::{CellTrace, SutTrace, TraceCollector};
 pub use event::{SchedEvent, Stage, StageFilter, TraceEvent, WorkKind, APP_NONE, SEQ_NONE};
 pub use metrics::MetricsRegistry;
 pub use sink::{TraceReport, TraceSink, TraceSpec, DEFAULT_EVENT_CAP};
+pub use stagetime::{CpuStageTimes, StageTimes, WORK_KINDS};

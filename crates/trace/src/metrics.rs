@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use pcs_des::stats::LogHistogram;
+use pcs_des::stats::{LogHistogram, QuantileDigest};
 
 /// Per-sim metrics registry.
 ///
@@ -14,6 +14,7 @@ pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, LogHistogram>,
+    digests: BTreeMap<String, QuantileDigest>,
 }
 
 impl MetricsRegistry {
@@ -65,6 +66,18 @@ impl MetricsRegistry {
         self.histograms.get_mut(name).expect("just inserted")
     }
 
+    /// Mutable access to the named quantile digest, creating it (empty)
+    /// the first time the name is seen. Digests are the mergeable,
+    /// order-independent latency summaries the run ledger renders
+    /// (p50/p90/p99/p99.9); like [`MetricsRegistry::histogram_entry`],
+    /// hot-path callers hoist the map lookup out of per-packet loops.
+    pub fn digest_entry(&mut self, name: &str) -> &mut QuantileDigest {
+        if !self.digests.contains_key(name) {
+            self.digests.insert(name.to_owned(), QuantileDigest::new());
+        }
+        self.digests.get_mut(name).expect("just inserted")
+    }
+
     /// Counter value, 0 if never incremented.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -78,6 +91,11 @@ impl MetricsRegistry {
     /// The named histogram, if any observation was recorded.
     pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
         self.histograms.get(name)
+    }
+
+    /// The named quantile digest, if it was ever created.
+    pub fn digest(&self, name: &str) -> Option<&QuantileDigest> {
+        self.digests.get(name)
     }
 
     /// All counters in name order.
@@ -95,13 +113,21 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// All quantile digests in name order.
+    pub fn digests(&self) -> impl Iterator<Item = (&str, &QuantileDigest)> {
+        self.digests.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// True when nothing was ever recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.digests.is_empty()
     }
 
     /// Fold another registry into this one (counters add, gauges take the
-    /// other's value, histograms merge).
+    /// other's value, histograms and digests merge).
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (name, v) in other.counters() {
             self.inc(name, v);
@@ -114,6 +140,14 @@ impl MetricsRegistry {
                 Some(mine) => mine.merge(h),
                 None => {
                     self.histograms.insert(name.to_owned(), h.clone());
+                }
+            }
+        }
+        for (name, d) in other.digests() {
+            match self.digests.get_mut(name) {
+                Some(mine) => mine.merge(d),
+                None => {
+                    self.digests.insert(name.to_owned(), d.clone());
                 }
             }
         }
@@ -154,5 +188,23 @@ mod tests {
         assert_eq!(a.counter("n"), 3);
         assert_eq!(a.histogram("h").unwrap().count(), 2);
         assert_eq!(a.gauge("g"), Some(7.0));
+    }
+
+    #[test]
+    fn registry_digests_record_and_merge() {
+        let mut a = MetricsRegistry::new();
+        a.digest_entry("lat").record(100);
+        a.digest_entry("lat").record(900);
+        assert_eq!(a.digest("lat").unwrap().count(), 2);
+        assert!(a.digest("missing").is_none());
+        assert!(!a.is_empty());
+        let mut b = MetricsRegistry::new();
+        b.digest_entry("lat").record(500);
+        b.digest_entry("other").record(1);
+        a.merge(&b);
+        assert_eq!(a.digest("lat").unwrap().count(), 3);
+        assert_eq!(a.digest("other").unwrap().count(), 1);
+        let names: Vec<&str> = a.digests().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["lat", "other"]);
     }
 }
