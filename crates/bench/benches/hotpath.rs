@@ -10,8 +10,9 @@
 //! `hotpath` group isolates what the allocation-free refactor bought:
 //! the same full simulation with buffer pooling on (the default) vs
 //! forced off (every hot-path buffer freshly allocated, as before the
-//! refactor). Both variants produce byte-identical reports; only the
-//! allocator traffic differs.
+//! refactor), plus macro-batched event admission on vs off
+//! (`batch-on`/`batch-off`). All variants produce byte-identical
+//! reports; only the hot-path cost differs.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pcs_bench::{hotpath_stream, HOTPATH_COUNT};
@@ -103,6 +104,25 @@ fn bench_pooling(c: &mut Criterion) {
         b.iter(|| {
             MachineSim::new(MachineSpec::swan(), SimConfig::default())
                 .with_stage_times(true)
+                .run(packets.iter().map(|tp| (tp.time, tp.packet.clone())))
+        })
+    });
+    // Macro-batched admission on (the default) vs forced off (the
+    // legacy per-packet engine, `PCS_NO_BATCH=1`). Byte-identical
+    // reports — `batching_is_invisible` proves it — so the gap is pure
+    // hot-path cost: lazy arrival admission, NIC-run coalescing and the
+    // cost-model memos.
+    g.bench_function("batch-on", |b| {
+        b.iter(|| {
+            MachineSim::new(MachineSpec::swan(), SimConfig::default())
+                .with_batching(true)
+                .run(packets.iter().map(|tp| (tp.time, tp.packet.clone())))
+        })
+    });
+    g.bench_function("batch-off", |b| {
+        b.iter(|| {
+            MachineSim::new(MachineSpec::swan(), SimConfig::default())
+                .with_batching(false)
                 .run(packets.iter().map(|tp| (tp.time, tp.packet.clone())))
         })
     });

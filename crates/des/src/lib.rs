@@ -18,6 +18,9 @@
 //! * [`BufPool`] / [`PoolProbe`] — free-list buffer pools and their
 //!   cross-thread statistics probe, the allocation-free hot path's
 //!   memory supply;
+//! * [`AdmissionCursor`] / [`ExpMemo`] / [`SizeMemo`] / [`BatchProbe`] —
+//!   macro-batched event admission: lazy arrival scheduling, bit-exact
+//!   cost-model memoization, and batching telemetry;
 //! * [`FastHash`] — a deterministic, seed-free hasher for hot maps whose
 //!   iteration order is never observed;
 //! * [`stats`] — small statistics accumulators for result processing;
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod fingerprint;
 pub mod hash;
 pub mod pool;
@@ -40,6 +44,7 @@ pub mod segvec;
 pub mod stats;
 pub mod time;
 
+pub use batch::{AdmissionCursor, BatchProbe, BatchStats, ExpMemo, SizeMemo};
 pub use fingerprint::{Fingerprint, Fingerprintable};
 pub use hash::{FastHash, FastHasher};
 pub use pool::{BufPool, PoolProbe, PoolStats};

@@ -75,6 +75,32 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Create an empty queue whose heap can hold `cap` events before
+    /// reallocating. Simulations that know their in-flight bound (e.g.
+    /// ring slots + CPUs + a few timers) pre-size here and never touch
+    /// the allocator from the hot loop.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Restore the pristine `new()` state — empty heap, clock at zero,
+    /// sequence counter rewound — while keeping the heap's allocation,
+    /// so a queue can be reused across simulation runs.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+    }
+
+    /// Events the heap can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// The current virtual time: the timestamp of the most recently popped
     /// event (zero before the first pop).
     pub fn now(&self) -> SimTime {
@@ -129,6 +155,29 @@ impl<E> EventQueue<E> {
     /// Drop every pending event (the clock keeps its value).
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Reserve the next sequence number without queueing anything.
+    pub fn reserve_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Pack a (time, seq) pair into a comparable key.
+    pub fn admission_key(at: SimTime, seq: u64) -> u128 {
+        ((at.as_nanos() as u128) << 64) | seq as u128
+    }
+
+    /// Key of the earliest pending heap event.
+    pub fn peek_key(&self) -> Option<u128> {
+        self.heap.peek().map(|e| e.key)
+    }
+
+    /// Advance the clock to `at` without popping (cursor admission).
+    pub fn advance_to(&mut self, at: SimTime) {
+        debug_assert!(at >= self.now);
+        self.now = at;
     }
 }
 

@@ -497,6 +497,23 @@ fn main() {
                         p.high_water(),
                         p.recycled()
                     );
+                    let b = s.sim_batches();
+                    let mode = match (b.sims_batched(), b.sims_unbatched()) {
+                        (0, 0) => "unused".to_owned(),
+                        (_, 0) => format!("on(cap={})", pcs_oskernel::BATCH_COALESCE_CAP),
+                        (0, _) => "off".to_owned(),
+                        _ => format!("mixed(cap={})", pcs_oskernel::BATCH_COALESCE_CAP),
+                    };
+                    eprintln!(
+                        "==   {id:<12} sim batching {mode}: {} runs, {} coalesced (max run {}), alpha memo {}/{} hits, size memo {}/{} hits",
+                        b.runs(),
+                        b.coalesced(),
+                        b.max_run(),
+                        b.alpha_hits(),
+                        b.alpha_hits() + b.alpha_misses(),
+                        b.size_hits(),
+                        b.size_hits() + b.size_misses()
+                    );
                 }
             }
             if let Some((path, _)) = &trace {
@@ -549,6 +566,7 @@ fn main() {
                     .map(|(id, _desc, _e, wall, exec)| {
                         let s = &exec.stats;
                         let p = s.sim_pools();
+                        let b = s.sim_batches();
                         ExperimentProfile {
                             id: (*id).to_string(),
                             wall_s: *wall,
@@ -565,6 +583,20 @@ fn main() {
                             pool_misses: p.misses(),
                             pool_recycled: p.recycled(),
                             pool_high_water: p.high_water(),
+                            batch_sims_on: b.sims_batched(),
+                            batch_sims_off: b.sims_unbatched(),
+                            batch_coalesce_cap: if b.sims_batched() > 0 {
+                                pcs_oskernel::BATCH_COALESCE_CAP
+                            } else {
+                                0
+                            },
+                            batch_runs: b.runs(),
+                            batch_coalesced: b.coalesced(),
+                            batch_max_run: b.max_run(),
+                            batch_alpha_hits: b.alpha_hits(),
+                            batch_alpha_misses: b.alpha_misses(),
+                            batch_size_hits: b.size_hits(),
+                            batch_size_misses: b.size_misses(),
                         }
                     })
                     .collect(),

@@ -7,6 +7,15 @@
 //! clock (`now_ns`) and its own seeded state, never from host time or
 //! call order, so a faulted run stays byte-identical at any worker
 //! count or pipeline shape.
+//!
+//! The macro-batched engine (DESIGN.md §17) preserves the per-arrival
+//! hook contract exactly: a coalesced NIC run re-executes the full
+//! arrival handler — including every hook consultation, at the same
+//! `now_ns`, in the same order — for each packet in the run, so a
+//! fault-window edge splits a batch at precisely the arrival that
+//! crosses it. Hook implementations need no batch awareness, and
+//! stateful hooks observe the identical call sequence under
+//! `PCS_NO_BATCH=1` (proved by the `batching_is_invisible` suite).
 
 /// Deterministic NIC/bus fault hooks, consulted on the simulation clock.
 ///

@@ -36,8 +36,8 @@ pub(crate) struct CpuSim {
     /// Two-class (kernel/user) run queue; the scheduler grants queued
     /// user work an occasional slot so interrupt pressure cannot starve
     /// runnable processes absolutely (neither OS's livelock is total).
-    pub(crate) runq: RunQueue<Work>,
-    pub(crate) current: Option<Work>,
+    pub(crate) runq: RunQueue<Box<Work>>,
+    pub(crate) current: Option<Box<Work>>,
     pub(crate) busy_until: SimTime,
     pub(crate) idle_since: SimTime,
     pub(crate) acct: CpuAccounting,
@@ -87,6 +87,11 @@ pub(crate) struct HotPool {
     /// boxed packet rides in through the event queue.
     #[allow(clippy::vec_box)]
     boxes: Vec<Box<SimPacket>>,
+    /// Dead work-item boxes awaiting the next submission. Work items
+    /// travel boxed so the run queue and the CPU slots move a pointer,
+    /// not the ~150-byte item; this list recycles those allocations.
+    #[allow(clippy::vec_box)]
+    works: Vec<Box<Work>>,
     boxes_enabled: bool,
     box_gets: u64,
     box_misses: u64,
@@ -100,6 +105,7 @@ impl HotPool {
             captured: BufPool::new(enabled),
             traced: BufPool::new(enabled),
             boxes: Vec::new(),
+            works: Vec::new(),
             boxes_enabled: enabled,
             box_gets: 0,
             box_misses: 0,
@@ -115,7 +121,13 @@ impl HotPool {
         self.boxes_enabled = enabled;
         if !enabled {
             self.boxes = Vec::new();
+            self.works = Vec::new();
         }
+    }
+
+    /// Whether recycling is currently on.
+    pub(crate) fn enabled(&self) -> bool {
+        self.boxes_enabled
     }
 
     /// Box an owned packet, reusing a dead box when one is free.
@@ -141,6 +153,29 @@ impl HotPool {
                 self.box_recycled += 1;
                 self.boxes.push(b);
             }
+        }
+    }
+
+    /// Box a work item for submission, reusing a dead box when free.
+    pub(crate) fn box_work(&mut self, w: Work) -> Box<Work> {
+        self.box_gets += 1;
+        match self.works.pop() {
+            Some(mut b) => {
+                *b = w;
+                b
+            }
+            None => {
+                self.box_misses += 1;
+                Box::new(w)
+            }
+        }
+    }
+
+    /// Retire a finished work item's box onto the free list.
+    pub(crate) fn recycle_work(&mut self, b: Box<Work>) {
+        if self.boxes_enabled {
+            self.box_recycled += 1;
+            self.works.push(b);
         }
     }
 
@@ -176,22 +211,59 @@ pub(crate) struct Scheduler {
     smt_factor: f64,
 }
 
+thread_local! {
+    /// A retired event heap awaiting the next simulation on this thread.
+    /// The sweep engine runs thousands of short sims per worker thread;
+    /// handing the (already grown) heap allocation from one to the next
+    /// takes even queue construction off the allocator. Capacity is the
+    /// only thing carried over — [`EventQueue::reset`] restores the
+    /// pristine clock and sequence state, so reuse is unobservable.
+    static SPARE_QUEUE: std::cell::RefCell<Option<EventQueue<SimEvent>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
 impl Scheduler {
     /// A scheduler for `ncpu` logical CPUs with the spec's SMT shape
     /// (captured at construction; the spec is immutable over a run).
+    /// The event heap is pre-sized to `queue_hint` (the sim's in-flight
+    /// event bound) — or taken from the thread's spare when pooling is
+    /// on, so repeated runs share one heap allocation.
     pub(crate) fn new(
         ncpu: usize,
         hyperthreading: bool,
         smt_factor: f64,
         pooling: bool,
+        queue_hint: usize,
     ) -> Scheduler {
+        let queue = if pooling {
+            SPARE_QUEUE
+                .with(|s| s.borrow_mut().take())
+                .map(|mut q| {
+                    q.reset();
+                    q
+                })
+                .unwrap_or_else(|| EventQueue::with_capacity(queue_hint))
+        } else {
+            EventQueue::with_capacity(queue_hint)
+        };
         Scheduler {
-            queue: EventQueue::new(),
+            queue,
             cpus: (0..ncpu).map(|_| CpuSim::new()).collect(),
             pool: HotPool::new(pooling),
             stage: None,
             hyperthreading,
             smt_factor,
+        }
+    }
+
+    /// Retire the (drained) event heap into the thread-local spare so
+    /// the next simulation on this thread reuses its allocation. Gated
+    /// on pooling, like every other free list, so the `PCS_NO_POOL`
+    /// differential test covers it.
+    pub(crate) fn release_queue(&mut self) {
+        if self.pool.enabled() {
+            let q = std::mem::take(&mut self.queue);
+            SPARE_QUEUE.with(|s| *s.borrow_mut() = Some(q));
         }
     }
 
@@ -220,6 +292,7 @@ impl Scheduler {
         // the full `Work` through the queue's ring buffer per item).
         // `admit_direct` applies exactly the pick() yield-counter
         // update, so scheduling decisions are unchanged.
+        let work = self.pool.box_work(work);
         if !self.cpus[cpu].busy() && self.cpus[cpu].runq.admit_direct(class) {
             self.dispatch(now, cpu, work, ctx);
             return;
@@ -249,7 +322,7 @@ impl Scheduler {
     /// Run `work` on the (idle) `cpu`: account the idle gap, stretch for
     /// a busy SMT sibling, consult the preemption fault hook, trace the
     /// dispatch, and schedule the completion.
-    fn dispatch(&mut self, now: SimTime, cpu: usize, work: Work, ctx: &mut SchedCtx) {
+    fn dispatch(&mut self, now: SimTime, cpu: usize, work: Box<Work>, ctx: &mut SchedCtx) {
         // Account the idle gap before this work.
         if now > self.cpus[cpu].idle_since {
             let gap = now.since(self.cpus[cpu].idle_since).as_nanos();
@@ -309,7 +382,7 @@ impl Scheduler {
     /// segments to the CPU's accounting, and return it together with
     /// the kernel-state nanoseconds spent on CPU0 (the input to the
     /// kernel-utilisation estimator).
-    pub(crate) fn finish_current(&mut self, now: SimTime, cpu: usize) -> (Work, u64) {
+    pub(crate) fn finish_current(&mut self, now: SimTime, cpu: usize) -> (Box<Work>, u64) {
         let work = self.cpus[cpu]
             .current
             .take()

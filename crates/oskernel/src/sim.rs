@@ -34,13 +34,65 @@ use crate::report::{CpuSample, RunReport};
 use crate::sched::Scheduler;
 use crate::stack::{BpfDevice, CapturedPacket, LsfSocket, LsfState};
 use crate::stages;
-use pcs_des::{PoolProbe, SimTime};
+use pcs_des::{AdmissionCursor, BatchProbe, BatchStats, ExpMemo, PoolProbe, SimTime, SizeMemo};
 use pcs_hw::{MachineSpec, OsCosts};
 use pcs_pktgen::{PacketRef, PacketSource, SourceRefs};
 use pcs_trace::TraceSink;
 use pcs_wire::SimPacket;
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Most consecutive arrivals one macro-batched admission run may absorb
+/// before control returns to the main event loop. Mirrors
+/// [`crate::stages::MAX_IRQ_BATCH`]: a coalesced run can at most fill
+/// one interrupt's worth of ring slots, so capping at the same figure
+/// bounds cursor dwell time without ever splitting a batch the IRQ path
+/// could have taken whole.
+pub const BATCH_COALESCE_CAP: u64 = 64;
+
+/// Bit-exact memo tables for the per-packet path's pure cost
+/// arithmetic. Every entry caches `f(input-bits)` keyed by the exact
+/// input bits, so a hit returns precisely what recomputation would —
+/// runs with the memos disabled are byte-identical.
+pub(crate) struct CostMemo {
+    /// `exp(-dt/2e6)` — the arrival-rate EMA smoothing factor.
+    pub(crate) alpha_arrival: ExpMemo,
+    /// `exp(-dt/5e6)` — the kernel-utilisation EMA smoothing factor.
+    pub(crate) alpha_kernel: ExpMemo,
+    /// `exp(-dt/50e6)` — the write-back EMA smoothing factor.
+    pub(crate) alpha_writeback: ExpMemo,
+    /// Per-consumer tap + filter nanoseconds, keyed by the filter's
+    /// executed instruction count (constant per packet-size class).
+    pub(crate) consumer: SizeMemo,
+}
+
+impl CostMemo {
+    fn new(enabled: bool) -> CostMemo {
+        CostMemo {
+            alpha_arrival: ExpMemo::new(enabled),
+            alpha_kernel: ExpMemo::new(enabled),
+            alpha_writeback: ExpMemo::new(enabled),
+            consumer: SizeMemo::new(enabled),
+        }
+    }
+
+    fn set_enabled(&mut self, enabled: bool) {
+        self.alpha_arrival.set_enabled(enabled);
+        self.alpha_kernel.set_enabled(enabled);
+        self.alpha_writeback.set_enabled(enabled);
+        self.consumer.set_enabled(enabled);
+    }
+
+    /// (hits, misses) summed over the three EMA memos.
+    pub(crate) fn alpha_counts(&self) -> (u64, u64) {
+        (
+            self.alpha_arrival.hits() + self.alpha_kernel.hits() + self.alpha_writeback.hits(),
+            self.alpha_arrival.misses()
+                + self.alpha_kernel.misses()
+                + self.alpha_writeback.misses(),
+        )
+    }
+}
 
 /// Application run states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,11 +203,29 @@ pub struct MachineSim {
     /// queues one wakeup instead of one per arrival.
     pub(crate) fault_irq_gate: SimTime,
 
+    /// Macro-batching master switch (coalesced admission + cost memos).
+    /// On by default; `PCS_NO_BATCH=1` or
+    /// [`MachineSim::with_batching`]`(false)` falls back to scheduling
+    /// every arrival through the heap, byte-identically.
+    pub(crate) batching: bool,
+    /// Lazy-admission cursor: the next wire arrival, held outside the
+    /// event heap under its reserved (time, seq) key. Always empty when
+    /// batching is off.
+    pub(crate) pending_arrival: AdmissionCursor<PacketView>,
+    /// Coalesced-run counters, published to the probe at run end.
+    pub(crate) batch_stats: BatchStats,
+    /// Bit-exact memo tables for pure cost arithmetic.
+    pub(crate) memo: CostMemo,
+
     /// Observability tap for the hot-path buffer pools. Stats are
     /// published here when the run finishes; they never enter the
     /// [`RunReport`] (pool usage depends on the injection path, and the
     /// report must stay byte-identical across all of them).
     pub(crate) pool_probe: Option<Arc<PoolProbe>>,
+    /// Observability tap for the batching counters, alongside the pool
+    /// probe and under the same rule: published at run end, never part
+    /// of the [`RunReport`].
+    pub(crate) batch_probe: Option<Arc<BatchProbe>>,
 }
 
 impl MachineSim {
@@ -217,6 +287,19 @@ impl MachineSim {
             std::env::var("PCS_NO_POOL").ok().as_deref(),
             Some(v) if !v.is_empty() && v != "0"
         );
+        // Escape hatch: PCS_NO_BATCH=1 disables macro-batched admission
+        // (lazy arrivals, coalesced runs, cost memos) so a batched run
+        // can be differentially tested against the heap-per-arrival
+        // engine (they must be byte-identical).
+        let batching = !matches!(
+            std::env::var("PCS_NO_BATCH").ok().as_deref(),
+            Some(v) if !v.is_empty() && v != "0"
+        );
+        // In-flight event bound: one CpuFree per CPU, one resume per
+        // app, the sample clock, at most one arrival/IRQ gate/write-back
+        // each, and slack for fault-injected gates. Pre-sizing to it
+        // keeps the heap off the allocator for the whole run.
+        let queue_hint = ncpu + napps + 8;
 
         MachineSim {
             ring_slots: spec.nic.rx_ring_slots as usize,
@@ -225,6 +308,7 @@ impl MachineSim {
                 spec.cpu.hyperthreading,
                 spec.cpu.smt_factor(),
                 pooling,
+                queue_hint,
             ),
             spec,
             costs,
@@ -258,7 +342,12 @@ impl MachineSim {
             trace: TraceSink::Off,
             faults: None,
             fault_irq_gate: SimTime::ZERO,
+            batching,
+            pending_arrival: AdmissionCursor::new(),
+            batch_stats: BatchStats::default(),
+            memo: CostMemo::new(batching),
             pool_probe: None,
+            batch_probe: None,
         }
     }
 
@@ -305,6 +394,27 @@ impl MachineSim {
         self
     }
 
+    /// Enable or disable macro-batched event admission (on by default,
+    /// or off when `PCS_NO_BATCH` is set in the environment): lazy
+    /// arrival scheduling through the admission cursor, coalesced
+    /// NIC-admission runs, and the bit-exact cost memos. A batched run
+    /// is byte-identical to an unbatched one — only the engine's heap
+    /// traffic and arithmetic reuse differ. Exists for differential
+    /// testing and benchmarking.
+    pub fn with_batching(mut self, enabled: bool) -> MachineSim {
+        self.batching = enabled;
+        self.memo.set_enabled(enabled);
+        self
+    }
+
+    /// Attach a probe that receives the macro-batching statistics
+    /// (coalesced runs, memo hits/misses, the on/off config bit) when
+    /// the run finishes. Observability only, like the pool probe.
+    pub fn with_batch_probe(mut self, probe: Arc<BatchProbe>) -> MachineSim {
+        self.batch_probe = Some(probe);
+        self
+    }
+
     /// Run the simulation over a timed packet source, to completion
     /// (including the post-generation drain), and report.
     ///
@@ -345,7 +455,25 @@ impl MachineSim {
             .queue
             .schedule(SimTime::from_millis(500), SimEvent::Sample);
 
-        while let Some((now, ev)) = self.sched.queue.pop() {
+        loop {
+            // Cursor admission: the pending arrival bypasses the heap
+            // when its reserved (time, seq) key precedes every queued
+            // event — exact, because keys embed unique sequence numbers
+            // allocated in scheduling order. With batching off the
+            // cursor is always empty and this is a plain heap pop.
+            let (now, ev) = if self.pending_arrival.precedes(self.sched.queue.peek_key()) {
+                let (t, view) = self
+                    .pending_arrival
+                    .take()
+                    .expect("cursor checked non-empty");
+                self.sched.queue.advance_to(t);
+                (t, SimEvent::Arrival(view))
+            } else {
+                match self.sched.queue.pop() {
+                    Some(x) => x,
+                    None => break,
+                }
+            };
             // The measurement controller stops the applications a bounded
             // time after generation ends; whatever is still buffered then
             // is lost (it never reached the application).
@@ -385,7 +513,8 @@ impl MachineSim {
     pub(crate) fn note_kernel_busy(&mut self, now: SimTime, busy_ns: u64) {
         let dt = now.since(self.last_kernel_update).as_nanos().max(1) as f64;
         let inst = (busy_ns as f64 / dt).min(1.0);
-        let alpha = (-dt / 5e6).exp(); // ~5 ms smoothing
+        // ~5 ms smoothing; memoized (constant-gap streams repeat dt).
+        let alpha = self.memo.alpha_kernel.get(dt, |dt| (-dt / 5e6).exp());
         self.kernel_util = self.kernel_util * alpha + inst * (1.0 - alpha);
         self.last_kernel_update = now;
     }

@@ -23,11 +23,16 @@ impl super::Stage for Cpu {
 
 impl MachineSim {
     fn cpu_free(&mut self, now: SimTime, cpu: usize) {
-        let (work, kernel_ns) = self.sched.finish_current(now, cpu);
+        let (mut work, kernel_ns) = self.sched.finish_current(now, cpu);
         if cpu == 0 && kernel_ns > 0 {
             self.note_kernel_busy(now, kernel_ns);
         }
-        match work.complete {
+        // Extract the completion and retire the work box before running
+        // the handler, so the box is on the free list in time for any
+        // work the handler itself submits.
+        let complete = std::mem::replace(&mut work.complete, Completion::None);
+        self.sched.pool.recycle_work(work);
+        match complete {
             Completion::KernelBatch => {
                 self.irq_pending = false;
                 self.wake_readable_apps(now);

@@ -32,10 +32,11 @@ impl MachineSim {
             APP_NONE,
             1,
         );
-        // Track the write-back rate for PCI bus sharing.
+        // Track the write-back rate for PCI bus sharing. The smoothing
+        // factor is memoized (steady write-back repeats the chunk gap).
         let dt = now.since(self.last_writeback).as_nanos().max(1) as f64;
         let inst = chunk as f64 * 1e9 / dt;
-        let alpha = (-dt / 50e6).exp();
+        let alpha = self.memo.alpha_writeback.get(dt, |dt| (-dt / 50e6).exp());
         self.writeback_ema_bps = self.writeback_ema_bps * alpha + inst * (1.0 - alpha);
         self.last_writeback = now;
         // Completion interrupt cost on CPU0.

@@ -120,6 +120,13 @@ impl MachineSim {
 
     pub(crate) fn kernel_batch_work(&mut self, now: SimTime, batch: &[PacketView]) -> Work {
         let c = &self.costs;
+        // Per-consumer delivery cost is a pure function of the filter's
+        // executed instruction count (the only per-packet input —
+        // tap/filter unit costs are run constants), so it is served from
+        // the size-keyed memo: streams with few packet-size classes stop
+        // redoing the float arithmetic per consumer per packet.
+        let tap_pkt_ns = c.tap_pkt_ns;
+        let filter_insn_ns = c.filter_insn_ns;
         let freebsd = self.spec.os.is_freebsd();
         // A poll visit skips the interrupt entry/ack machinery.
         let mut irq_ns = match self.spec.nic.interrupts {
@@ -138,8 +145,9 @@ impl MachineSim {
                 Stack::Bpf(devs) => {
                     for (i, d) in devs.iter_mut().enumerate() {
                         let o = d.deliver(pkt, recv_ns);
-                        consumer_ns +=
-                            c.tap_pkt_ns + (o.filter_insns as f64 * c.filter_insn_ns) as u64;
+                        consumer_ns += self.memo.consumer.get(o.filter_insns as u64, || {
+                            tap_pkt_ns + (o.filter_insns as f64 * filter_insn_ns) as u64
+                        });
                         copy_total += o.copied_bytes as u64;
                         if tracing {
                             let (verdict, kernel) = consumer_stages(&o);
@@ -154,8 +162,9 @@ impl MachineSim {
                 Stack::Lsf(l) => {
                     let outcomes = l.deliver(pkt, recv_ns);
                     for (i, o) in outcomes.iter().enumerate() {
-                        consumer_ns +=
-                            c.tap_pkt_ns + (o.filter_insns as f64 * c.filter_insn_ns) as u64;
+                        consumer_ns += self.memo.consumer.get(o.filter_insns as u64, || {
+                            tap_pkt_ns + (o.filter_insns as f64 * filter_insn_ns) as u64
+                        });
                         copy_total += o.copied_bytes as u64;
                         if tracing {
                             let (verdict, kernel) = consumer_stages(o);

@@ -23,6 +23,41 @@ impl super::Stage for Nic {
 
 impl MachineSim {
     fn on_arrival(&mut self, now: SimTime, pkt: PacketView, src: ArrivalSource) {
+        self.admit_arrival(now, pkt, src);
+        if !self.batching {
+            return;
+        }
+        // Macro-event coalescing: while the next arrival precedes every
+        // queued event, admit it here instead of bouncing through the
+        // main loop. This is exact, not approximate — the loop repeats
+        // precisely the main loop's admission (same `precedes` check
+        // over the same keys, same clock advance, same per-arrival
+        // handler including the fault hooks, trace emissions, ring
+        // bounds and IRQ gate), so any intervening event — a CpuFree, a
+        // fault-window IRQ gate, the sample clock — splits the run
+        // exactly where the unbatched engine would have interleaved it.
+        // The main loop's stop_at check cannot be bypassed either:
+        // stop_at is set only on source exhaustion, which leaves the
+        // cursor empty and ends the run here.
+        let mut run_len = 1u64;
+        while run_len < crate::sim::BATCH_COALESCE_CAP
+            && self.pending_arrival.precedes(self.sched.queue.peek_key())
+        {
+            let (t, view) = self
+                .pending_arrival
+                .take()
+                .expect("cursor checked non-empty");
+            self.sched.queue.advance_to(t);
+            self.admit_arrival(t, view, src);
+            run_len += 1;
+        }
+        self.batch_stats.note_run(run_len);
+    }
+
+    /// The per-arrival admission body: PCI credit, ring entry, the next
+    /// source pull, and the IRQ gate. One call per packet, identical
+    /// whether entered from the main loop or a coalesced run.
+    fn admit_arrival(&mut self, now: SimTime, pkt: PacketView, src: ArrivalSource) {
         self.offered += 1;
         let (seq, frame_len) = {
             let p = pkt.packet();
@@ -93,20 +128,32 @@ impl MachineSim {
         self.try_fire_irq(now);
     }
 
-    /// Turn one pulled [`ArrivalFeed`] into a queued arrival event.
-    /// Owned packets land in a recycled box from the scheduler's pool.
+    /// Turn one pulled [`ArrivalFeed`] into the next arrival. Owned
+    /// packets land in a recycled box from the scheduler's pool either
+    /// way — boxing happens here, at the same program point in both
+    /// branches, so pool traffic is identical batched and unbatched.
+    /// Batched, the arrival waits in the admission cursor under a
+    /// reserved heap sequence number (tie-breaking identical to the
+    /// heap); unbatched, it is scheduled through the heap as always.
     pub(crate) fn schedule_arrival(&mut self, feed: ArrivalFeed) {
         let (t, view) = match feed {
             ArrivalFeed::Owned(t, p) => (t, PacketView::Owned(self.sched.pool.box_packet(p))),
             ArrivalFeed::Shared(r) => (r.time(), PacketView::Shared(r)),
         };
-        self.sched.queue.schedule(t, SimEvent::Arrival(view));
+        if self.batching {
+            let seq = self.sched.queue.reserve_seq();
+            let key = pcs_des::EventQueue::<SimEvent>::admission_key(t, seq);
+            self.pending_arrival.stash(key, view);
+        } else {
+            self.sched.queue.schedule(t, SimEvent::Arrival(view));
+        }
     }
 
     pub(crate) fn note_arrival(&mut self, now: SimTime, frame_len: u32) {
         let dt = now.since(self.last_arrival).as_nanos().max(1) as f64;
         let inst = frame_len as f64 * 1e9 / dt;
-        let alpha = (-dt / 2e6).exp(); // ~2 ms smoothing
+        // ~2 ms smoothing; memoized (constant-gap streams repeat dt).
+        let alpha = self.memo.alpha_arrival.get(dt, |dt| (-dt / 2e6).exp());
         self.arrival_ema_bps = self.arrival_ema_bps * alpha + inst * (1.0 - alpha);
         self.last_arrival = now;
     }

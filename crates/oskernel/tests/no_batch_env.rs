@@ -1,0 +1,66 @@
+//! The `PCS_NO_BATCH` escape hatch: setting it in the environment must
+//! fall back to the legacy per-packet engine (every arrival
+//! heap-scheduled individually, no coalescing, no cost-model memos)
+//! without changing one byte of the report.
+//!
+//! This lives in its own test binary because it mutates the process
+//! environment — integration-test files run as separate processes, so
+//! the variable cannot leak into tests that assert batch statistics.
+
+use pcs_des::BatchProbe;
+use pcs_hw::MachineSpec;
+use pcs_oskernel::{MachineSim, SimConfig};
+use pcs_pktgen::{Generator, PktgenConfig, SizeSource, TxModel};
+use std::sync::Arc;
+
+fn source(count: u64, seed: u64) -> impl Iterator<Item = (pcs_des::SimTime, pcs_wire::SimPacket)> {
+    let cfg = PktgenConfig {
+        count,
+        size: SizeSource::Fixed(659),
+        ..PktgenConfig::default()
+    };
+    let mut g = Generator::new(cfg, TxModel::syskonnect(), seed);
+    g.set_target_rate(400.0, 659.0);
+    g.set_burstiness(16);
+    g.map(|tp| (tp.time, tp.packet))
+}
+
+#[test]
+fn pcs_no_batch_disables_batching_without_changing_output() {
+    let run = |no_batch: Option<&str>| {
+        match no_batch {
+            Some(v) => std::env::set_var("PCS_NO_BATCH", v),
+            None => std::env::remove_var("PCS_NO_BATCH"),
+        }
+        let probe = Arc::new(BatchProbe::new());
+        let report = MachineSim::new(MachineSpec::swan(), SimConfig::default())
+            .with_batch_probe(Arc::clone(&probe))
+            .run(source(3_000, 42));
+        (format!("{report:?}"), probe)
+    };
+
+    let (disabled, p_off) = run(Some("1"));
+    let (enabled, p_on) = run(None);
+
+    // Byte-identical output either way — only hot-path cost moves.
+    assert_eq!(disabled, enabled);
+
+    // Disabled: the legacy engine records no runs and the memos stay
+    // cold.
+    assert_eq!(p_off.sims_unbatched(), 1);
+    assert_eq!(p_off.runs(), 0);
+    assert_eq!(p_off.coalesced(), 0);
+    assert_eq!(p_off.alpha_hits() + p_off.alpha_misses(), 0);
+
+    // Enabled (the default): arrivals coalesce and the memos serve
+    // hits.
+    assert_eq!(p_on.sims_batched(), 1);
+    assert!(p_on.runs() > 0);
+    assert!(p_on.alpha_hits() + p_on.alpha_misses() > 0);
+
+    // "0" and "" mean "leave batching on", like an unset variable.
+    let (zero, p_zero) = run(Some("0"));
+    assert_eq!(zero, enabled);
+    assert_eq!(p_zero.sims_batched(), 1);
+    std::env::remove_var("PCS_NO_BATCH");
+}

@@ -142,6 +142,24 @@ impl pcs_hw::SchedFault for Preempt {
 }
 impl MachineFaults for Preempt {}
 
+/// A kernel-buffer-shrink window (capacity cut to 1/4 between 1 ms and
+/// 3 ms of sim time) for the batching differential test: the
+/// buffer_permille hook is consulted on every delivery, so a coalesced
+/// NIC run must observe the window edge at exactly the same arrival as
+/// the per-packet engine.
+struct Kshrink;
+impl pcs_hw::NicBusFault for Kshrink {}
+impl pcs_hw::SchedFault for Kshrink {}
+impl MachineFaults for Kshrink {
+    fn buffer_permille(&mut self, now_ns: u64) -> u32 {
+        if (1_000_000..3_000_000).contains(&now_ns) {
+            250
+        } else {
+            1000
+        }
+    }
+}
+
 /// Render a traced report's exports exactly as the sweep exporter
 /// would: pooled and unpooled runs must agree on every exported byte,
 /// not just on the report struct.
@@ -210,4 +228,90 @@ proptest! {
             prop_assert_eq!(csv_a, csv_b);
         }
     }
+
+    /// Batching is invisible: the macro-batched engine (lazy arrival
+    /// admission + NIC-run coalescing + cost-model memos) and the
+    /// legacy per-packet engine (the `PCS_NO_BATCH=1` escape hatch)
+    /// produce byte-identical reports — and, when traced, byte-identical
+    /// trace exports and run-ledger documents — across machines, rates,
+    /// app counts, trace filters (including `sched`, whose dispatch
+    /// order pins the exact event interleaving) and fault plans
+    /// (kshrink / preempt / ringstall, whose hooks must fire at exactly
+    /// the same arrival inside a coalesced run).
+    #[test]
+    fn batching_is_invisible(
+        spec in arb_machine(),
+        count in 500u64..2_500,
+        rate in 100f64..900.0,
+        burst in 1u32..64,
+        napps in 1usize..3,
+        filter in 0u8..4,
+        fault in 0u8..4,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SimConfig {
+            apps: vec![AppConfig::plain(); napps],
+            ..SimConfig::default()
+        };
+        let run = |batched: bool| {
+            let mut sim = MachineSim::new(spec, cfg.clone())
+                .with_batching(batched)
+                .with_stage_times(true);
+            let spec = match filter {
+                1 => Some(TraceSpec::default()),
+                2 => Some(TraceSpec { filter: pcs_trace::StageFilter::drops(), ..TraceSpec::default() }),
+                3 => {
+                    let mut f = pcs_trace::StageFilter::sched();
+                    for s in pcs_trace::Stage::ALL {
+                        f.insert(s);
+                    }
+                    Some(TraceSpec { filter: f, ..TraceSpec::default() })
+                }
+                _ => None,
+            };
+            if let Some(spec) = spec {
+                sim = sim.with_trace(TraceSink::bounded(spec));
+            }
+            let hooks: Option<Box<dyn MachineFaults>> = match fault {
+                1 => Some(Box::new(Stall)),
+                2 => Some(Box::new(Preempt)),
+                3 => Some(Box::new(Kshrink)),
+                _ => None,
+            };
+            sim.with_faults(hooks).run(source(count, rate, burst, seed))
+        };
+        let batched = run(true);
+        let legacy = run(false);
+        prop_assert_eq!(format!("{batched:?}"), format!("{legacy:?}"));
+        if filter != 0 {
+            let (json_a, csv_a) = rendered_exports(&batched);
+            let (json_b, csv_b) = rendered_exports(&legacy);
+            prop_assert_eq!(json_a, json_b);
+            prop_assert_eq!(csv_a, csv_b);
+            prop_assert_eq!(rendered_ledger(&batched), rendered_ledger(&legacy));
+        }
+    }
+}
+
+/// Render a traced report as the full `--ledger` document, exactly as
+/// the experiments CLI would: the batched and per-packet engines must
+/// agree on every ledger byte, not just on the report struct.
+fn rendered_ledger(r: &RunReport) -> String {
+    let cell = CellTrace {
+        label: format!("prop {}", r.machine),
+        key: 1,
+        achieved_mbps: 0.0,
+        suts: vec![SutTrace {
+            label: r.machine.clone(),
+            report: r.trace.as_deref().expect("traced run").clone(),
+            attributions: r.attributions(),
+            stage_times: r.stage_times.clone(),
+        }],
+    };
+    let meta = pcs_obs::LedgerMeta {
+        scale: "prop".to_owned(),
+        experiments: vec!["batching_is_invisible".to_owned()],
+        faults: None,
+    };
+    pcs_obs::render_ledger(&meta, std::slice::from_ref(&cell), None)
 }

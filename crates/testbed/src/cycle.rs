@@ -35,7 +35,7 @@ use crate::sched::{parallel_ordered, ExecConfig};
 use crate::splitter::OpticalSplitter;
 use crate::switch::MonitorSwitch;
 use pcs_des::stats::median;
-use pcs_des::{PoolProbe, SimTime};
+use pcs_des::{BatchProbe, PoolProbe, SimTime};
 use pcs_faultsim::{FaultPlan, Oracle};
 use pcs_hw::MachineSpec;
 use pcs_oskernel::{MachineSim, RunReport, SimConfig};
@@ -278,6 +278,7 @@ fn run_cell(
                 spec,
                 exec.faults.as_deref(),
                 Some(exec.stats.sim_pools()),
+                Some(exec.stats.sim_batches()),
                 exec.stage_times,
             ),
         )
@@ -403,12 +404,14 @@ fn run_cell_streaming(
                 let sink = trace.map(TraceSink::bounded).unwrap_or_default();
                 let armed = faults.map(FaultPlan::arm_machine);
                 let pools = Arc::clone(exec.stats.sim_pools());
+                let batches = Arc::clone(exec.stats.sim_batches());
                 let stage_times = exec.stage_times;
                 scope.spawn(move || {
                     MachineSim::new(spec, sim)
                         .with_trace(sink)
                         .with_faults(armed)
                         .with_pool_probe(pools)
+                        .with_batch_probe(batches)
                         .with_stage_times(stage_times)
                         .run_source(output)
                 })
@@ -554,17 +557,19 @@ pub fn run_point(suts: &[Sut], cfg: &CycleConfig, rate: Option<f64>) -> PointRes
 /// Run all sniffers over one shared stream, concurrently. Scoped worker
 /// threads borrow the slice directly, so callers need no `Arc` plumbing.
 pub fn run_sniffers(suts: &[Sut], stream: &[TimedPacket]) -> Vec<RunReport> {
-    run_sniffers_with(suts, stream, None, None, None, false)
+    run_sniffers_with(suts, stream, None, None, None, None, false)
 }
 
 /// [`run_sniffers`], optionally with an enabled trace sink, an armed
-/// fault plan, a pool probe and/or stage-time attribution per SUT.
+/// fault plan, pool/batch probes and/or stage-time attribution per SUT.
+#[allow(clippy::too_many_arguments)]
 fn run_sniffers_with(
     suts: &[Sut],
     stream: &[TimedPacket],
     trace: Option<TraceSpec>,
     faults: Option<&FaultPlan>,
     pools: Option<&Arc<PoolProbe>>,
+    batches: Option<&Arc<BatchProbe>>,
     stage_times: bool,
 ) -> Vec<RunReport> {
     std::thread::scope(|scope| {
@@ -576,6 +581,7 @@ fn run_sniffers_with(
                 let sink = trace.map(TraceSink::bounded).unwrap_or_default();
                 let armed = faults.map(FaultPlan::arm_machine);
                 let pools = pools.map(Arc::clone);
+                let batches = batches.map(Arc::clone);
                 scope.spawn(move || {
                     let mut machine = MachineSim::new(spec, sim)
                         .with_trace(sink)
@@ -583,6 +589,9 @@ fn run_sniffers_with(
                         .with_stage_times(stage_times);
                     if let Some(probe) = pools {
                         machine = machine.with_pool_probe(probe);
+                    }
+                    if let Some(probe) = batches {
+                        machine = machine.with_batch_probe(probe);
                     }
                     let source = stream.iter().map(|tp| (tp.time, tp.packet.clone()));
                     machine.run(source)

@@ -6,17 +6,20 @@ argument or stdin), which the vendored criterion stub prints as::
 
     sched_overhead/full-pipeline        15.083 ms/iter   2651908 elem/s
 
-and compares ``sched_overhead/full-pipeline`` to the committed baseline,
-**calibrated by host speed**: the bare ``sched_overhead/event-queue-floor``
-bench runs the same 40k-event chain with no stage work, so
+and compares **every bench recorded in the baseline** to its measured
+time, **calibrated by host speed**: the bare
+``sched_overhead/event-queue-floor`` bench runs the same 40k-event chain
+with no stage work, so
 
-    expected_full = baseline_full * (measured_floor / baseline_floor)
+    expected = baseline * (measured_floor / baseline_floor)
 
 tracks how fast this runner is rather than assuming the baseline host.
-The check fails only when the measured full-pipeline time exceeds
-``expected_full * --threshold`` (default 1.6 — generous, because shared
+A bench fails only when its measured time exceeds
+``expected * --threshold`` (default 1.6 — generous, because shared
 CI runners are noisy; the point is to catch an accidental return of
-per-packet allocation or an O(n) slip, not a 5% drift).
+per-packet allocation or an O(n) slip, not a 5% drift). Every bench
+outside its floor is reported — the check does not stop at the first
+failure — and the host-calibration ratio is always printed.
 
 If the floor itself deviates wildly from baseline (ratio outside
 [1/--max-floor-ratio, --max-floor-ratio]), the runner is too unlike the
@@ -26,9 +29,11 @@ a clear message rather than failing the build.
 Regenerate the baseline with ``cargo bench -p pcs-bench --bench hotpath``
 and record the new numbers in BENCH_HOTPATH.json after an intentional
 hot-path change. Record every ``hotpath/*`` variant together (pool-on,
-pool-off, pool-on-shared-ref, stage-times-on): the variants are context
-for each other, and ``stage-times-on`` documents what a ``--ledger`` run
-pays over ``pool-on``.
+pool-off, pool-on-shared-ref, stage-times-on, batch-on, batch-off): the
+variants are context for each other, ``stage-times-on`` documents what a
+``--ledger`` run pays over ``pool-on``, and ``batch-on``/``batch-off``
+document what macro-batched event admission buys over the per-packet
+engine (``PCS_NO_BATCH=1``).
 
 To localize a failure, pass ``--ledgers BASELINE.json CURRENT.json``
 (two run ledgers from ``pcs-experiments run --ledger``, e.g. the quick
@@ -174,6 +179,10 @@ def main() -> None:
         fail(f"baseline {args.baseline} is missing {e}")
 
     floor_ratio = measured[FLOOR] / base_floor
+    print(
+        f"check_perf: host calibration: event-queue floor {measured[FLOOR]:.3f} ms "
+        f"vs baseline {base_floor:.3f} ms -> ratio {floor_ratio:.2f}x"
+    )
     if not (1.0 / args.max_floor_ratio <= floor_ratio <= args.max_floor_ratio):
         skip(
             f"event-queue floor is {measured[FLOOR]:.3f} ms vs baseline "
@@ -181,19 +190,34 @@ def main() -> None:
             f"unlike the baseline host for a calibrated comparison"
         )
 
-    expected = base_full * floor_ratio
-    limit = expected * args.threshold
-    verdict = "OK" if measured[FULL] <= limit else "FAIL"
-    print(
-        f"check_perf: {FULL} measured {measured[FULL]:.3f} ms/iter; "
-        f"baseline {base_full:.3f} scaled by floor ratio {floor_ratio:.2f}x "
-        f"-> expected {expected:.3f}, limit {limit:.3f} (x{args.threshold}): {verdict}"
-    )
-    if verdict == "FAIL":
+    # Gate every baseline bench (the floor is the calibration reference,
+    # not a gated subject). Report all verdicts; fail at the end so one
+    # regression never hides another.
+    failures = []
+    for bench in sorted(baseline["results"]):
+        if bench == FLOOR:
+            continue
+        base_ms = baseline["results"][bench]["ms_per_iter"]
+        if bench not in measured:
+            failures.append(bench)
+            print(f"check_perf: {bench} MISSING from bench output (truncated log?)")
+            continue
+        expected = base_ms * floor_ratio
+        limit = expected * args.threshold
+        verdict = "OK" if measured[bench] <= limit else "FAIL"
+        print(
+            f"check_perf: {bench} measured {measured[bench]:.3f} ms/iter; "
+            f"baseline {base_ms:.3f} scaled by floor ratio {floor_ratio:.2f}x "
+            f"-> expected {expected:.3f}, limit {limit:.3f} (x{args.threshold}): {verdict}"
+        )
+        if verdict == "FAIL":
+            failures.append(bench)
+    if failures:
         if args.ledgers:
             print_stage_deltas(args.ledgers[0], args.ledgers[1])
         fail(
-            f"{FULL} regressed: {measured[FULL]:.3f} ms/iter > {limit:.3f} ms/iter. "
+            f"{len(failures)} bench(es) regressed past the calibrated limit: "
+            f"{', '.join(failures)}. "
             f"If the slowdown is intentional, regenerate {args.baseline} "
             f"(see its `command` field) and commit the new numbers."
             + (
